@@ -1,0 +1,100 @@
+"""Ablation A3 — "more sophisticated side information": bigram context.
+
+The paper's conclusion: "there is still room for improvement of this
+result with more sophisticated uses of side information."  This bench
+takes the obvious next step — rank candidates not only by how common
+their operation is *globally* (the paper's method) but by how well it
+fits *between its neighbours* (a smoothed bigram model) — and measures
+the improvement on the paper's own experiment, for both the startup
+window the paper analyses and a post-startup body window.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.heatmap import render_table
+from repro.core.rankers import BigramContextRanker, FrequencyRanker
+from repro.core.sideinfo import RecoveryContext
+from repro.core.swdecc import SwdEcc, success_probability
+from repro.ecc.channel import double_bit_patterns
+from repro.isa.decoder import try_decode
+from repro.program.stats import BigramTable, FrequencyTable
+
+
+def _sweep_window(code, image, start, window, engine, use_bigram):
+    frequency = FrequencyTable.from_image(image)
+    bigram = BigramTable.from_image(image)
+    patterns = double_bit_patterns(code.n)
+    total = 0.0
+    cases = 0
+    for index in range(start, start + window):
+        original = image.words[index]
+        codeword = code.encode(original)
+        if use_bigram:
+            before = try_decode(image.words[index - 1]) if index else None
+            after = (
+                try_decode(image.words[index + 1])
+                if index + 1 < len(image) else None
+            )
+            context = RecoveryContext.for_instructions(
+                frequency,
+                bigram_table=bigram,
+                preceding_mnemonic=before.mnemonic if before else None,
+                following_mnemonic=after.mnemonic if after else None,
+            )
+        else:
+            context = RecoveryContext.for_instructions(frequency)
+        for pattern in patterns:
+            result = engine.recover(pattern.apply(codeword), context)
+            total += success_probability(result, original)
+            cases += 1
+    return total / cases
+
+
+def test_bigram_context_ablation(benchmark, code, images, scale):
+    window = scale.instructions
+    workloads = [
+        image for image in images if image.name in ("bzip2", "mcf")
+    ]
+
+    def run_all():
+        unigram_engine = SwdEcc(
+            code, ranker=FrequencyRanker(), rng=random.Random(0)
+        )
+        bigram_engine = SwdEcc(
+            code, ranker=BigramContextRanker(), rng=random.Random(0)
+        )
+        rows = []
+        for image in workloads:
+            for label, start in (("startup", 1), ("body", 40)):
+                unigram = _sweep_window(
+                    code, image, start, window, unigram_engine, False
+                )
+                bigram = _sweep_window(
+                    code, image, start, window, bigram_engine, True
+                )
+                rows.append((image.name, label, unigram, bigram))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "Ablation A3 | unigram (paper) vs bigram-context ranking",
+        render_table(
+            ["benchmark", "window", "unigram (paper)", "bigram context",
+             "relative gain"],
+            [
+                [name, label, f"{unigram:.4f}", f"{bigram:.4f}",
+                 f"{(bigram / unigram - 1):+.1%}"]
+                for name, label, unigram, bigram in rows
+            ],
+        ),
+    )
+    # Honest finding: local context helps decisively where code has
+    # strong idiomatic structure and can mislead on atypical stretches,
+    # but on average it improves on the paper's unigram ranking and is
+    # never catastrophic.
+    gains = [bigram / unigram for _, _, unigram, bigram in rows]
+    assert all(gain > 0.85 for gain in gains)
+    assert sum(gains) / len(gains) > 1.02

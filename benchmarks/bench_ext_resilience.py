@@ -1,0 +1,65 @@
+"""Extension E4 — system resilience: crash vs SWD-ECC over fault arrivals.
+
+The paper's future work asks to "study the impact on system
+resiliency".  This bench runs the survival study of
+:mod:`repro.analysis.resilience`: a workload reads an ECC-protected
+image while BSC faults accumulate; a conventional system panics on the
+first DUE read, SWD-ECC keeps going.  Scrubbing is toggled to show the
+complementarity claimed in Sec. II-B.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.heatmap import render_table
+from repro.analysis.resilience import ResilienceConfig, survival_study
+from repro.program.synth import synthesize_benchmark
+
+
+def test_survival_study(benchmark, code, scale):
+    image = synthesize_benchmark("mcf", length=512)
+    trials = 8 if scale.full else 4
+    epochs = 40
+
+    def run_study():
+        return survival_study(
+            code,
+            image,
+            trials=trials,
+            base_config=ResilienceConfig(epochs=epochs, flip_probability=3e-4),
+        )
+
+    study = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    rows = [
+        [
+            label,
+            f"{metrics['mean_survived_epochs']:.1f}/{epochs}",
+            f"{metrics['completion_rate']:.0%}",
+            f"{metrics['mean_correct_recoveries']:.1f}",
+            f"{metrics['mean_silent_corruptions']:.1f}",
+        ]
+        for label, metrics in study.items()
+    ]
+    emit(
+        "Extension E4 | survival study under accumulating faults",
+        render_table(
+            ["configuration", "survived epochs", "completed",
+             "correct recoveries", "silent corruptions"],
+            rows,
+        ),
+    )
+    crash = study["crash, no scrub"]
+    swd = study["SWD-ECC, no scrub"]
+    swd_scrub = study["SWD-ECC + scrubbing"]
+    # SWD-ECC must strictly extend survival over crash-on-DUE.
+    assert swd["mean_survived_epochs"] > crash["mean_survived_epochs"]
+    assert swd["completion_rate"] >= crash["completion_rate"]
+    # SWD-ECC absorbs DUEs (it recovers at least sometimes).
+    assert swd["mean_correct_recoveries"] > 0
+    # Scrubbing reduces the number of DUEs SWD-ECC has to absorb.
+    total_swd = swd["mean_correct_recoveries"] + swd["mean_silent_corruptions"]
+    total_scrubbed = (
+        swd_scrub["mean_correct_recoveries"]
+        + swd_scrub["mean_silent_corruptions"]
+    )
+    assert total_scrubbed <= total_swd

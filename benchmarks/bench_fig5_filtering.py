@@ -1,0 +1,33 @@
+"""Fig. 5 — candidate counts vs legality-filtered valid-message counts.
+
+Paper claims reproduced here (mcf, first N instructions, all 741
+patterns): (a) the candidate count is independent of the stored
+instruction (linearity of the code); (b) legality filtering removes
+roughly two candidates on average; (c) some (pattern, instruction)
+cells are filtered down to a *single* valid message, making recovery
+certain.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import run_fig5
+
+
+def test_fig5_filtering(benchmark, code, images, scale):
+    mcf = next(image for image in images if image.name == "mcf")
+    result = benchmark.pedantic(
+        run_fig5,
+        args=(code, mcf),
+        kwargs={"num_instructions": scale.instructions},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig. 5 | filtering candidate messages (mcf)", result.render())
+    assert result.candidates_message_independent
+    assert 11.5 <= result.mean_candidates <= 12.5
+    # Filtering must remove a nontrivial share of candidates (paper: ~2).
+    reduction = result.mean_candidates - result.mean_valid
+    assert 1.0 <= reduction <= 6.0
+    # The certain-recovery best case exists.
+    assert result.single_valid_fraction > 0.0

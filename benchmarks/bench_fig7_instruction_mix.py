@@ -1,0 +1,27 @@
+"""Fig. 7 — per-benchmark instruction-mix distributions.
+
+Paper claims reproduced here: the mnemonic distributions of all five
+benchmarks follow a power law spanning orders of magnitude, and ``lw``
+alone is roughly 20% of every program image.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import run_fig7
+
+
+def test_fig7_instruction_mix(benchmark, images):
+    result = benchmark.pedantic(run_fig7, args=(images,), rounds=1, iterations=1)
+    emit("Fig. 7 | instruction mixes of the five benchmarks", result.render())
+
+    assert set(result.tables) == {"bzip2", "h264ref", "mcf", "perlbench", "povray"}
+    for name, (alpha, r_squared) in result.fits.items():
+        assert alpha < -1.0, f"{name}: no power-law decay (alpha={alpha})"
+        assert r_squared > 0.5, f"{name}: poor power-law fit"
+    for name, lw_share in result.lw_frequencies().items():
+        assert 0.15 <= lw_share <= 0.30, f"{name}: lw share {lw_share}"
+    # The tail spans orders of magnitude (log-scale Fig. 7b).
+    for name, table in result.tables.items():
+        frequencies = [f for _, f in table.ranked()]
+        assert frequencies[0] / frequencies[-1] >= 100, name

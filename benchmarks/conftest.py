@@ -1,0 +1,54 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and
+prints it.  By default the sweeps use a reduced instruction window so
+``pytest benchmarks/ --benchmark-only`` finishes in a few minutes; set
+``REPRO_FULL_SWEEP=1`` to run at full paper scale (100 instructions
+per benchmark, all 741 patterns — identical methodology to Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.experiments import default_code, default_images
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Sweep sizing knobs."""
+
+    instructions: int
+    image_length: int
+    full: bool
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """Reduced by default; paper scale with REPRO_FULL_SWEEP=1."""
+    full = os.environ.get("REPRO_FULL_SWEEP", "") == "1"
+    if full:
+        return Scale(instructions=100, image_length=4096, full=True)
+    return Scale(instructions=25, image_length=2048, full=False)
+
+
+@pytest.fixture(scope="session")
+def code():
+    """The canonical (39, 32) SECDED code."""
+    return default_code()
+
+
+@pytest.fixture(scope="session")
+def images(scale):
+    """The five synthetic SPEC stand-in images."""
+    return default_images(length=scale.image_length)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure reproduction with a banner (shown with -s or on
+    the captured stdout of the benchmark run)."""
+    banner = "=" * 78
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Exploring the code-design space with the coding-theory substrate.
+
+SWD-ECC's effectiveness depends on properties of the underlying code:
+how many equidistant candidates a DUE has, how triple errors behave,
+what the storage overhead buys.  This example uses the library as a
+code-design tool, comparing four memory codes on the metrics that
+matter to heuristic recovery:
+
+- candidate-list statistics for the errors the code cannot correct
+  (Fig. 4 generalised to every code);
+- the exact random-recovery baseline (analytic, no sweeps);
+- weight-3 behaviour of the SECDED codes (miscorrect vs detect);
+- redundancy cost.
+
+Run:  python examples/code_design_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.analysis.theory import (
+    expected_random_candidate_success,
+    predicted_count_distribution,
+    triple_error_outcomes,
+)
+from repro.ecc import (
+    canonical_secded_39_32,
+    dected_code,
+    extended_hamming_secded,
+    hsiao_72_64,
+)
+from repro.ecc.candidates import CandidateEnumerator
+import random
+
+
+def dected_candidate_stats(code, samples: int = 60, seed: int = 1):
+    """Empirical 3-bit-DUE candidate statistics for a DECTED code."""
+    enumerator = CandidateEnumerator(code)
+    rng = random.Random(seed)
+    sizes = []
+    while len(sizes) < samples:
+        codeword = code.encode(rng.getrandbits(32))
+        received = codeword
+        for position in rng.sample(range(code.n), 3):
+            received ^= 1 << (code.n - 1 - position)
+        if code.decode(received).status.name != "DUE":
+            continue
+        sizes.append(len(enumerator.candidates_within_radius(received, 3)))
+    return min(sizes), sum(sizes) / len(sizes), max(sizes)
+
+
+def main() -> None:
+    codes = {
+        "canonical Hsiao (39,32)": canonical_secded_39_32(),
+        "ext. Hamming (39,32)": extended_hamming_secded(32),
+        "Hsiao (72,64)": hsiao_72_64(),
+    }
+
+    rows = []
+    for name, code in codes.items():
+        distribution = predicted_count_distribution(code)
+        counts = sorted(distribution)
+        mean = sum(c * n for c, n in distribution.items()) / sum(
+            distribution.values()
+        )
+        rows.append([
+            name,
+            f"{code.r}/{code.k}",
+            f"{counts[0]}..{counts[-1]}",
+            f"{mean:.1f}",
+            f"{expected_random_candidate_success(code):.4f}",
+        ])
+    print(render_table(
+        ["code", "parity/data bits", "DUE candidates", "mean",
+         "random-recovery baseline"],
+        rows,
+        title="2-bit DUE candidate structure across SECDED designs "
+        "(all computed analytically from H)",
+    ))
+    print()
+
+    rows = []
+    for name, code in codes.items():
+        outcomes = triple_error_outcomes(code)
+        total = sum(outcomes.values())
+        rows.append([
+            name,
+            f"{outcomes['miscorrected'] / total:.1%}",
+            f"{outcomes['detected'] / total:.1%}",
+        ])
+    print(render_table(
+        ["code", "3-bit errors silently miscorrected", "3-bit errors detected"],
+        rows,
+        title="what happens beyond the SECDED guarantee",
+    ))
+    print()
+
+    dected = dected_code()
+    low, mean, high = dected_candidate_stats(dected)
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ["code", f"({dected.n},{dected.k}) DECTED, d = 6"],
+            ["3-bit DUE candidates (min/mean/max)", f"{low}/{mean:.1f}/{high}"],
+            ["vs SECDED's 2-bit DUE candidates", "8/12.0/15"],
+        ],
+        title="SWD-ECC one weight up: stronger codes shrink the guess list",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Data-memory recovery with Sec. III-B side information.
+
+The paper's exemplar targets instruction memory, but Sec. III-B sketches
+how the same enumerate/filter/rank pipeline recovers DUEs in *data*:
+
+- a cache line of small unsigned counters -> bound the magnitude,
+  prefer candidates close to the neighbours;
+- a cache line of heap pointers -> restrict to the allocation's address
+  range, prefer bitwise-similar candidates.
+
+This example corrupts one word of each cache line with every possible
+double-bit error and reports how often each heuristic finds the truth.
+
+Run:  python examples/data_memory_recovery.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import render_table
+from repro.core import (
+    BitwiseSimilarityRanker,
+    IntegerMagnitudeFilter,
+    MagnitudeSimilarityRanker,
+    PointerRangeFilter,
+    RecoveryContext,
+    SwdEcc,
+    UniformRanker,
+)
+from repro.core.swdecc import success_probability
+from repro.ecc import canonical_secded_39_32, double_bit_patterns
+
+
+def sweep(engine, code, victim, context):
+    total = 0.0
+    patterns = double_bit_patterns(code.n)
+    codeword = code.encode(victim)
+    for pattern in patterns:
+        result = engine.recover(pattern.apply(codeword), context)
+        total += success_probability(result, victim)
+    return total / len(patterns)
+
+
+def main() -> None:
+    code = canonical_secded_39_32()
+    rng = random.Random(7)
+
+    # Cache line 1: loop counters / small sizes.
+    counters = (3, 17, 128, 42, 1999, 64, 7)
+    victim_counter = 311
+    counter_context = RecoveryContext.for_data(
+        neighborhood=counters, value_bound=4096
+    )
+
+    # Cache line 2: pointers into a 64 KiB arena at 0x10010000.
+    arena = (0x1001_0000, 0x1002_0000)
+    pointers = tuple((rng.randrange(*arena) & ~3) for _ in range(7))
+    victim_pointer = (rng.randrange(*arena) & ~3)
+    pointer_context = RecoveryContext.for_data(
+        neighborhood=pointers, pointer_range=arena
+    )
+
+    blind = SwdEcc(code, filters=(), ranker=UniformRanker(),
+                   rng=random.Random(0))
+    int_engine = SwdEcc(
+        code,
+        filters=(IntegerMagnitudeFilter(),),
+        ranker=MagnitudeSimilarityRanker(),
+        rng=random.Random(0),
+    )
+    ptr_engine = SwdEcc(
+        code,
+        filters=(PointerRangeFilter(),),
+        ranker=BitwiseSimilarityRanker(),
+        rng=random.Random(0),
+    )
+
+    print(f"counter cache line: {counters}, victim = {victim_counter}")
+    print(f"pointer arena: [0x{arena[0]:x}, 0x{arena[1]:x}), "
+          f"victim = 0x{victim_pointer:x}\n")
+
+    rows = [
+        ["counter, random candidate",
+         f"{sweep(blind, code, victim_counter, counter_context):.4f}"],
+        ["counter, magnitude filter + similarity ranker",
+         f"{sweep(int_engine, code, victim_counter, counter_context):.4f}"],
+        ["pointer, random candidate",
+         f"{sweep(blind, code, victim_pointer, pointer_context):.4f}"],
+        ["pointer, range filter + bitwise ranker",
+         f"{sweep(ptr_engine, code, victim_pointer, pointer_context):.4f}"],
+    ]
+    print(render_table(
+        ["strategy", "mean recovery rate over all 741 patterns"],
+        rows,
+        title="data-memory heuristic recovery (Sec. III-B ideas)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's exemplar at small scale: instruction-memory DUE sweeps.
+
+Generates a synthetic SPEC-like benchmark, then exhaustively applies a
+sample of the 741 double-bit error patterns to its leading
+instructions, recovering each DUE with the three strategies of Sec. IV
+(random candidate, filtering-only, filtering-and-ranking).  Prints a
+miniature Fig. 8: recovery rate by strategy and by bit region.
+
+Run:  python examples/instruction_memory_recovery.py [benchmark]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import (
+    BitRegion,
+    DueSweep,
+    RecoveryStrategy,
+    region_means,
+    render_series,
+    render_table,
+)
+from repro.ecc import canonical_secded_39_32
+from repro.program import synthesize_benchmark
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    code = canonical_secded_39_32()
+    image = synthesize_benchmark(benchmark, length=2048)
+    print(f"benchmark: {image.name}  ({len(image)} instructions)")
+    print("first instructions of .text:")
+    for line in image.disassembly().splitlines()[:8]:
+        print(f"  {line}")
+    print()
+
+    window = 20
+    rows = []
+    fig8_series = None
+    for strategy in RecoveryStrategy:
+        sweep = DueSweep(code, strategy, num_instructions=window)
+        result = sweep.run(image)
+        rows.append([strategy.value, f"{result.mean_success_rate:.4f}"])
+        if strategy is RecoveryStrategy.FILTER_AND_RANK:
+            fig8_series = result.success_series()
+            regions = region_means(result.outcomes)
+    print(render_table(
+        ["strategy", "mean recovery rate"],
+        rows,
+        title=f"recovery over {window} instructions x 741 patterns "
+        "(paper Fig. 8 mean: 0.3403)",
+    ))
+    print()
+    print(render_table(
+        ["bit region", "mean recovery rate"],
+        [
+            [region.value, f"{rate:.4f}"]
+            for region, rate in sorted(regions.items(), key=lambda kv: -kv[1])
+        ],
+        title="filter-and-rank by error location "
+        "(paper: ~0.99 best in decode fields, ~0.15 low-order)",
+    ))
+    print()
+    assert fig8_series is not None
+    print(render_series(
+        fig8_series,
+        title="recovery rate vs error-pattern index (cf. paper Fig. 8)",
+    ))
+    decode_best = max(
+        outcome.success_rate
+        for outcome in result.outcomes
+        if region_means([outcome]).get(BitRegion.DECODE_FIELDS) is not None
+    )
+    print(f"\nbest decode-field pattern recovery rate: {decode_best:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro -- Software-Defined Error-Correcting Codes (SWD-ECC).
+
+A from-scratch reproduction of *"Software-Defined Error-Correcting
+Codes"* (Gottscho, Schoeny, Dolecek, Gupta; SELSE-12 / DSN 2016):
+heuristic recovery from detected-but-uncorrectable errors (DUEs) in
+ECC-protected memory, using side information about the stored messages.
+
+Package map
+-----------
+``repro.ecc``
+    Coding theory: GF(2)/GF(2^m) algebra, Hamming/Hsiao SECDED,
+    BCH/DECTED, candidate-codeword enumeration, channel models.
+``repro.isa``
+    MIPS-I: decoder (the legality oracle), encoder, assembler,
+    disassembler.
+``repro.program``
+    Program images, ELF32 I/O, mnemonic statistics, synthetic SPEC-like
+    workloads, and a MiniLang compiler.
+``repro.memory``
+    ECC memory model, fault injection, DUE policies, checkpointing,
+    scrubbing and page-retirement baselines.
+``repro.sim``
+    Functional MIPS CPU with delay slots and symptom detection;
+    speculative forked execution over recovery candidates.
+``repro.core``
+    The SWD-ECC engine: enumerate -> filter -> rank -> choose, plus the
+    Fig. 3 system recovery ladder.
+``repro.analysis``
+    Exhaustive DUE sweeps and drivers for every figure of the paper.
+
+Sixty-second tour::
+
+    from repro.analysis import run_fig8
+    print(run_fig8(num_instructions=20).render())
+"""
+
+from repro.core import RecoveryContext, RecoveryPipeline, RecoveryResult, SwdEcc
+from repro.ecc import canonical_secded_39_32, hsiao_39_32, hsiao_72_64
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RecoveryContext",
+    "RecoveryPipeline",
+    "RecoveryResult",
+    "SwdEcc",
+    "canonical_secded_39_32",
+    "hsiao_39_32",
+    "hsiao_72_64",
+    "ReproError",
+    "__version__",
+]

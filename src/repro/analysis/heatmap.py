@@ -1,0 +1,125 @@
+"""Text rendering of heatmaps, tables, and series for bench output.
+
+The paper's figures are rendered here as terminal text: the Fig. 4
+candidate-count heatmap becomes a character grid, Figs. 6-8 become
+aligned tables.  Keeping rendering separate from computation lets tests
+assert on numbers while benches print something a human can read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["render_heatmap", "render_table", "render_histogram", "render_series"]
+
+# Ten-step character ramp, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(
+    matrix: Sequence[Sequence[float]],
+    title: str = "",
+    legend: bool = True,
+) -> str:
+    """Render a numeric matrix as a character-ramp heatmap.
+
+    Cells are scaled between the matrix minimum and maximum; zero cells
+    on the diagonal of symmetric pattern matrices render as spaces.
+    """
+    values = [value for row in matrix for value in row if value]
+    if not values:
+        raise AnalysisError("heatmap matrix has no non-zero cells")
+    low, high = min(values), max(values)
+    span = high - low
+    lines = []
+    if title:
+        lines.append(title)
+    for row in matrix:
+        cells = []
+        for value in row:
+            if not value:
+                cells.append(" ")
+                continue
+            scaled = (value - low) / span if span else 1.0
+            cells.append(_RAMP[min(int(scaled * len(_RAMP)), len(_RAMP) - 1)])
+        lines.append("".join(cells))
+    if legend:
+        lines.append(f"[light='{_RAMP[0]}'={low:g} .. dark='{_RAMP[-1]}'={high:g}]")
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    if not headers:
+        raise AnalysisError("table needs headers")
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_histogram(
+    bins: Sequence[tuple[float, float, float]],
+    title: str = "",
+    bar_width: int = 50,
+) -> str:
+    """Render (low, high, fraction) bins as a horizontal bar chart."""
+    if not bins:
+        raise AnalysisError("histogram needs bins")
+    peak = max(fraction for _, _, fraction in bins) or 1.0
+    lines = [title] if title else []
+    for low, high, fraction in bins:
+        bar = "#" * round(bar_width * fraction / peak)
+        lines.append(f"[{low:4.2f},{high:4.2f})  {fraction:6.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Sequence[float],
+    title: str = "",
+    width: int = 74,
+    height: int = 12,
+) -> str:
+    """Render a numeric series as a down-sampled ASCII line chart."""
+    if not series:
+        raise AnalysisError("series is empty")
+    # Down-sample by averaging consecutive chunks.
+    chunk = max(1, len(series) // width)
+    points = [
+        sum(series[i : i + chunk]) / len(series[i : i + chunk])
+        for i in range(0, len(series), chunk)
+    ]
+    low, high = min(points), max(points)
+    span = (high - low) or 1.0
+    rows = [[" "] * len(points) for _ in range(height)]
+    for x, value in enumerate(points):
+        y = round((value - low) / span * (height - 1))
+        rows[height - 1 - y][x] = "*"
+    lines = [title] if title else []
+    lines.append(f"max={high:.3f}")
+    lines.extend("".join(row) for row in rows)
+    lines.append(f"min={low:.3f}  (x: 0..{len(series) - 1}, {len(points)} buckets)")
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

@@ -1,0 +1,152 @@
+"""Metrics over sweep outcomes: regions, histograms, aggregates.
+
+Home of the quantities the paper's figures report: per-pattern success
+rates (Figs. 6 and 8), the decode-field vs low-order-bit split that
+explains the 99%-vs-15% contrast, and the arithmetic-mean headline
+(0.3403 in the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.isa.fields import FIELDS
+
+__all__ = [
+    "PatternOutcome",
+    "BitRegion",
+    "classify_positions",
+    "region_means",
+    "rate_histogram",
+    "mean_series",
+    "arithmetic_mean",
+]
+
+
+@dataclass(frozen=True)
+class PatternOutcome:
+    """Sweep result for one 2-bit error pattern.
+
+    Attributes
+    ----------
+    index:
+        Pattern number in the paper's order (0..740 for n = 39).
+    positions:
+        The two MSB-first codeword bit positions in error.
+    success_rate:
+        Mean recovery probability over the instruction window.
+    mean_candidates:
+        Mean number of candidate codewords (Fig. 5a; message
+        independent for a linear code).
+    mean_valid:
+        Mean number of legality-surviving messages (Fig. 5b).
+    """
+
+    index: int
+    positions: tuple[int, ...]
+    success_rate: float
+    mean_candidates: float
+    mean_valid: float
+
+
+class BitRegion(enum.Enum):
+    """Where a 2-bit error pattern lands in the protected word."""
+
+    DECODE_FIELDS = "decode-fields"
+    """Both errors in opcode/funct/fmt bits: legality filtering is at
+    its strongest (up to 99% recovery in the paper)."""
+
+    OPERAND_FIELDS = "operand-fields"
+    """Both errors in register/immediate/target bits, which may legally
+    take any value: the hard ~15% region of Fig. 8."""
+
+    PARITY_BITS = "parity-bits"
+    """At least one error in the ECC check bits."""
+
+    MIXED = "mixed"
+    """One error in a decode field, one in an operand field."""
+
+
+# MSB-first message positions of the decoding fields for a 32-bit
+# instruction placed in the top bits of a systematic codeword.
+_DECODE_POSITIONS = frozenset(
+    FIELDS["opcode"].msb_first_positions()
+    + FIELDS["funct"].msb_first_positions()
+    + FIELDS["fmt"].msb_first_positions()
+)
+
+
+def classify_positions(
+    positions: Sequence[int], message_bits: int = 32
+) -> BitRegion:
+    """Classify an error pattern's positions into a :class:`BitRegion`."""
+    if any(position >= message_bits for position in positions):
+        return BitRegion.PARITY_BITS
+    in_decode = [position in _DECODE_POSITIONS for position in positions]
+    if all(in_decode):
+        return BitRegion.DECODE_FIELDS
+    if not any(in_decode):
+        return BitRegion.OPERAND_FIELDS
+    return BitRegion.MIXED
+
+
+def region_means(
+    outcomes: Sequence[PatternOutcome], message_bits: int = 32
+) -> dict[BitRegion, float]:
+    """Mean success rate per bit region (empty regions omitted)."""
+    totals: dict[BitRegion, list[float]] = {}
+    for outcome in outcomes:
+        region = classify_positions(outcome.positions, message_bits)
+        totals.setdefault(region, []).append(outcome.success_rate)
+    return {
+        region: sum(rates) / len(rates) for region, rates in totals.items()
+    }
+
+
+def rate_histogram(
+    rates: Sequence[float], num_bins: int = 20
+) -> list[tuple[float, float, float]]:
+    """Bin success rates into (low, high, fraction) triples (Fig. 6).
+
+    Bins partition [0, 1]; a rate of exactly 1.0 lands in the last bin.
+    Fractions sum to 1.0 over a non-empty input.
+    """
+    if num_bins < 1:
+        raise AnalysisError(f"num_bins must be >= 1, got {num_bins}")
+    if not rates:
+        raise AnalysisError("cannot histogram an empty rate sequence")
+    counts = [0] * num_bins
+    for rate in rates:
+        if not 0.0 <= rate <= 1.0:
+            raise AnalysisError(f"rate {rate} outside [0, 1]")
+        bin_index = min(int(rate * num_bins), num_bins - 1)
+        counts[bin_index] += 1
+    total = len(rates)
+    width = 1.0 / num_bins
+    return [
+        (i * width, (i + 1) * width, count / total)
+        for i, count in enumerate(counts)
+    ]
+
+
+def mean_series(series: Sequence[Sequence[float]]) -> list[float]:
+    """Element-wise mean of equal-length series (cross-benchmark Fig. 8)."""
+    if not series:
+        raise AnalysisError("no series to average")
+    length = len(series[0])
+    for s in series:
+        if len(s) != length:
+            raise AnalysisError("series lengths differ")
+    return [
+        sum(s[i] for s in series) / len(series) for i in range(length)
+    ]
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain arithmetic mean (the paper's headline aggregation)."""
+    if not values:
+        raise AnalysisError("mean of empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,198 @@
+"""System-resilience simulation: SWD-ECC's effect on survival time.
+
+The paper's future work asks to "study the impact on system
+resiliency".  This module runs that study on the memory model: a
+long-running workload accumulates random bit faults (BSC arrivals
+between scrub intervals); reads sweep the working set; every DUE is
+handled by the configured policy.  We measure how long the system
+survives and how many DUEs were absorbed, comparing:
+
+- a conventional system (crash on first DUE);
+- SWD-ECC (heuristic recovery; a *wrong* recovery is counted as silent
+  data corruption, the honest accounting);
+- each with and without periodic scrubbing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.recovery import RecoveryPipeline
+from repro.core.sideinfo import RecoveryContext
+from repro.core.swdecc import SwdEcc
+from repro.ecc.code import DecodeStatus, LinearBlockCode
+from repro.errors import AnalysisError, RecoveryError, UncorrectableError
+from repro.memory.faults import FaultInjector
+from repro.memory.model import EccMemory
+from repro.memory.policy import CrashPolicy, HeuristicPolicy
+from repro.memory.scrub import Scrubber
+from repro.program.image import ProgramImage
+from repro.program.stats import FrequencyTable
+
+__all__ = ["ResilienceConfig", "ResilienceOutcome", "run_resilience_trial",
+           "survival_study"]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Parameters of one survival trial.
+
+    Attributes
+    ----------
+    epochs:
+        Number of read/fault rounds to attempt.
+    reads_per_epoch:
+        Random word reads per round (the "workload").
+    flip_probability:
+        Per-bit BSC flip probability applied to the whole array each
+        round (compressed time: one round ~ a long wall-clock period).
+    scrub_interval:
+        Run a scrub pass every this many rounds (0 = never).
+    use_heuristic:
+        SWD-ECC policy instead of crash-on-DUE.
+    seed:
+        RNG seed for the whole trial.
+    """
+
+    epochs: int = 50
+    reads_per_epoch: int = 64
+    flip_probability: float = 2e-4
+    scrub_interval: int = 0
+    use_heuristic: bool = True
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ResilienceOutcome:
+    """What happened over one trial.
+
+    ``survived_epochs == config.epochs`` means the system outlived the
+    experiment.  ``silent_corruptions`` counts heuristic recoveries
+    that picked the wrong message (possible SDC), which conventional
+    accounting would never see.
+    """
+
+    survived_epochs: int
+    crashed: bool
+    corrected_errors: int
+    dues: int
+    heuristic_recoveries: int
+    correct_recoveries: int
+    silent_corruptions: int
+    scrub_passes: int
+
+
+def run_resilience_trial(
+    code: LinearBlockCode,
+    image: ProgramImage,
+    config: ResilienceConfig,
+) -> ResilienceOutcome:
+    """Run one survival trial of the configured system."""
+    if config.epochs < 1 or config.reads_per_epoch < 1:
+        raise AnalysisError("epochs and reads_per_epoch must be >= 1")
+    rng = random.Random(config.seed)
+    table = FrequencyTable.from_image(image)
+    context = RecoveryContext.for_instructions(table)
+
+    if config.use_heuristic:
+        pipeline = RecoveryPipeline(
+            SwdEcc(code, rng=random.Random(config.seed + 1))
+        )
+        policy = HeuristicPolicy(pipeline, lambda address: context)
+    else:
+        policy = CrashPolicy()
+    memory = EccMemory(code, policy)
+    memory.load_image(image.words, image.base_address)
+    injector = FaultInjector(memory, rng=rng)
+    scrubber = Scrubber(memory)
+
+    addresses = [
+        image.base_address + 4 * index for index in range(len(image))
+    ]
+    correct = 0
+    wrong = 0
+    scrub_passes = 0
+    crashed = False
+    survived = 0
+    for epoch in range(config.epochs):
+        injector.inject_bsc(config.flip_probability)
+        try:
+            for _ in range(config.reads_per_epoch):
+                address = rng.choice(addresses)
+                result = memory.read(address)
+                if result.status is DecodeStatus.DUE and result.recovery:
+                    original = image.word_at_address(address)
+                    if result.word == original:
+                        correct += 1
+                    else:
+                        wrong += 1
+        except (UncorrectableError, RecoveryError):
+            # RecoveryError: a heavily-corrupted word had no candidate
+            # codewords at all — even SWD-ECC must give up (crash).
+            crashed = True
+            break
+        survived = epoch + 1
+        if config.scrub_interval and (epoch + 1) % config.scrub_interval == 0:
+            scrubber.scrub()
+            scrub_passes += 1
+    stats = memory.stats
+    return ResilienceOutcome(
+        survived_epochs=survived,
+        crashed=crashed,
+        corrected_errors=stats.corrected_errors,
+        dues=stats.detected_uncorrectable,
+        heuristic_recoveries=stats.heuristic_recoveries,
+        correct_recoveries=correct,
+        silent_corruptions=wrong,
+        scrub_passes=scrub_passes,
+    )
+
+
+def survival_study(
+    code: LinearBlockCode,
+    image: ProgramImage,
+    trials: int = 10,
+    base_config: ResilienceConfig | None = None,
+) -> dict[str, dict[str, float]]:
+    """Compare four system configurations over repeated trials.
+
+    Returns ``{configuration: {metric: mean value}}`` for the four
+    combinations of {crash, SWD-ECC} x {no scrub, scrub}.
+    """
+    if trials < 1:
+        raise AnalysisError("trials must be >= 1")
+    base = base_config or ResilienceConfig()
+    configurations = {
+        "crash, no scrub": (False, 0),
+        "crash + scrubbing": (False, 5),
+        "SWD-ECC, no scrub": (True, 0),
+        "SWD-ECC + scrubbing": (True, 5),
+    }
+    study: dict[str, dict[str, float]] = {}
+    for label, (use_heuristic, scrub_interval) in configurations.items():
+        survived = 0.0
+        completed = 0.0
+        recovered = 0.0
+        corrupted = 0.0
+        for trial in range(trials):
+            config = ResilienceConfig(
+                epochs=base.epochs,
+                reads_per_epoch=base.reads_per_epoch,
+                flip_probability=base.flip_probability,
+                scrub_interval=scrub_interval,
+                use_heuristic=use_heuristic,
+                seed=base.seed + trial,
+            )
+            outcome = run_resilience_trial(code, image, config)
+            survived += outcome.survived_epochs
+            completed += float(not outcome.crashed)
+            recovered += outcome.correct_recoveries
+            corrupted += outcome.silent_corruptions
+        study[label] = {
+            "mean_survived_epochs": survived / trials,
+            "completion_rate": completed / trials,
+            "mean_correct_recoveries": recovered / trials,
+            "mean_silent_corruptions": corrupted / trials,
+        }
+    return study

@@ -1,0 +1,179 @@
+"""Analytical properties of SWD-ECC (paper future work: "derive
+theoretical properties").
+
+Everything the empirical sweeps measure about candidate counts and the
+baseline strategies can be predicted in closed form from the code's
+parity-check matrix and a couple of scalar statistics:
+
+**Candidate counts from column pair-XORs.**  For a 2-bit DUE at
+positions (i, j) of a linear code, the equidistant candidates are the
+codewords at distance 2 from the received word.  Each corresponds to an
+unordered pair (k, l) with ``h_k ^ h_l == h_i ^ h_j`` (including (i, j)
+itself).  So the Fig. 4 heatmap is exactly the multiset of pair-XOR
+multiplicities of H's columns — no enumeration needed.
+
+**Random-candidate baseline.**  Choosing uniformly among the
+candidates succeeds with probability 1/count; averaging the reciprocal
+multiplicities over all patterns gives the exact expectation of the
+paper's gray Fig. 6 curve.
+
+**Filtering-only model.**  If each non-original candidate is legal
+independently with probability *p* (the legal-encoding density of the
+message space), the number of surviving competitors is
+Binomial(count - 1, p) and the success probability of a uniform pick
+among survivors has the closed form ``(1 - (1-p)^count) / (count * p)``.
+
+**Side-information value.**  The Shannon entropy of the mnemonic
+distribution quantifies how concentrated the program's instruction
+usage is; the lower the entropy, the more a frequency ranker can
+extract.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.ecc.code import LinearBlockCode
+from repro.errors import AnalysisError
+from repro.program.stats import FrequencyTable
+
+__all__ = [
+    "pair_xor_multiplicities",
+    "predicted_candidate_counts",
+    "predicted_count_distribution",
+    "expected_random_candidate_success",
+    "expected_filter_only_success",
+    "mnemonic_entropy",
+    "effective_mnemonics",
+    "triple_error_outcomes",
+]
+
+
+def pair_xor_multiplicities(code: LinearBlockCode) -> dict[int, int]:
+    """Multiplicity of each value among the C(n,2) column pair-XORs."""
+    columns = code.column_syndromes
+    multiplicities: Counter[int] = Counter()
+    n = len(columns)
+    for i in range(n):
+        for j in range(i + 1, n):
+            multiplicities[columns[i] ^ columns[j]] += 1
+    return dict(multiplicities)
+
+
+def predicted_candidate_counts(code: LinearBlockCode) -> dict[tuple[int, int], int]:
+    """Fig. 4 predicted analytically: counts[(i, j)] = multiplicity of
+    ``h_i ^ h_j`` among all column pair-XORs."""
+    columns = code.column_syndromes
+    multiplicities = pair_xor_multiplicities(code)
+    n = len(columns)
+    return {
+        (i, j): multiplicities[columns[i] ^ columns[j]]
+        for i in range(n)
+        for j in range(i + 1, n)
+    }
+
+
+def predicted_count_distribution(code: LinearBlockCode) -> dict[int, int]:
+    """How many 2-bit patterns have each candidate count.
+
+    A pair-XOR value with multiplicity m contributes m patterns of
+    count m, so the distribution is ``{m: m * (#values with mult m)}``.
+    """
+    distribution: Counter[int] = Counter()
+    for multiplicity in pair_xor_multiplicities(code).values():
+        distribution[multiplicity] += multiplicity
+    return dict(distribution)
+
+
+def expected_random_candidate_success(code: LinearBlockCode) -> float:
+    """Exact mean success of uniform random candidate choice.
+
+    The average over all C(n,2) patterns of 1/candidate-count; by
+    linearity it is message independent, so this single number is the
+    exact expectation of the paper's random baseline.
+    """
+    multiplicities = pair_xor_multiplicities(code)
+    total_patterns = sum(multiplicities.values())
+    # Each XOR value v contributes m_v patterns, each succeeding with
+    # probability 1/m_v: total successes sum to the number of distinct
+    # pair-XOR values.
+    return len(multiplicities) / total_patterns
+
+
+def expected_filter_only_success(count: int, legal_probability: float) -> float:
+    """Closed-form success of filtering-only for one pattern.
+
+    Model: the original is always legal; each of the other
+    ``count - 1`` candidates is independently legal with probability
+    *p*; the decoder picks uniformly among the legal survivors.
+
+    E[1 / (1 + B)] with B ~ Binomial(count - 1, p) has the closed form
+    ``(1 - (1 - p)^count) / (count * p)`` (for p > 0).
+    """
+    if count < 1:
+        raise AnalysisError(f"candidate count must be >= 1, got {count}")
+    if not 0.0 <= legal_probability <= 1.0:
+        raise AnalysisError(
+            f"legal probability must be in [0, 1], got {legal_probability}"
+        )
+    if legal_probability == 0.0:
+        return 1.0
+    return (1.0 - (1.0 - legal_probability) ** count) / (
+        count * legal_probability
+    )
+
+
+def triple_error_outcomes(code: LinearBlockCode) -> dict[str, int]:
+    """Classify every weight-3 error of a SECDED code by its outcome.
+
+    SWD-ECC's 2-bit procedure (and SECDED hardware itself) assumes DUEs
+    come from double-bit flips.  A *triple*-bit error either:
+
+    - ``miscorrected`` — its syndrome matches a single column of H, so
+      the hardware silently "corrects" the wrong bit (classic SECDED
+      miscorrection; SWD-ECC is never consulted);
+    - ``detected`` — reported as a DUE.  The true codeword is at
+      distance 3, outside the equidistant candidate list, so heuristic
+      recovery of these is *structurally* wrong-or-lucky only.
+
+    Returns counts over all C(n, 3) patterns, by linearity message
+    independent.
+    """
+    columns = code.column_syndromes
+    syndrome_to_position = code.syndrome_to_position
+    n = code.n
+    outcomes = {"miscorrected": 0, "detected": 0}
+    for i in range(n):
+        for j in range(i + 1, n):
+            partial = columns[i] ^ columns[j]
+            for k in range(j + 1, n):
+                syndrome = partial ^ columns[k]
+                if syndrome == 0:
+                    raise AnalysisError(
+                        "weight-3 codeword found: the code is not SECDED"
+                    )
+                if syndrome in syndrome_to_position:
+                    outcomes["miscorrected"] += 1
+                else:
+                    outcomes["detected"] += 1
+    return outcomes
+
+
+def mnemonic_entropy(table: FrequencyTable) -> float:
+    """Shannon entropy (bits) of the mnemonic distribution.
+
+    Low entropy = concentrated usage = frequency ranking has a lot to
+    work with.  A uniform distribution over M mnemonics has entropy
+    log2(M); measured SPEC-like mixes sit far below it.
+    """
+    entropy = 0.0
+    for _, frequency in table.ranked():
+        if frequency > 0.0:
+            entropy -= frequency * math.log2(frequency)
+    return entropy
+
+
+def effective_mnemonics(table: FrequencyTable) -> float:
+    """Perplexity 2^H: the 'effective number' of mnemonics in use."""
+    return 2.0 ** mnemonic_entropy(table)

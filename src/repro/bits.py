@@ -1,0 +1,221 @@
+"""Bit-twiddling utilities shared across the library.
+
+Words, codewords, and error vectors are represented as non-negative
+Python integers together with an explicit bit *width*.  Bit positions
+follow the paper's convention: **position 0 is the most-significant
+bit** of the word, so the 39-bit error vector written ``1100...0000`` in
+Sec. IV-A of the paper has errors at positions 0 and 1.
+
+All helpers validate their inputs; silent wrap-around would corrupt
+experiments in ways that are very hard to notice downstream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from itertools import combinations
+
+__all__ = [
+    "bit_mask",
+    "bit_at",
+    "get_bit",
+    "set_bit",
+    "clear_bit",
+    "flip_bit",
+    "flip_bits",
+    "popcount",
+    "parity",
+    "hamming_distance",
+    "bits_of",
+    "support",
+    "pack_bits",
+    "int_to_bits",
+    "bits_to_int",
+    "extract_field",
+    "insert_field",
+    "weight_k_vectors",
+    "pair_index",
+    "pair_from_index",
+    "reverse_bits",
+]
+
+
+def bit_mask(width: int) -> int:
+    """Return a mask with the low *width* bits set (``width >= 0``)."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_at(position: int, width: int) -> int:
+    """Return an integer with only *position* set, MSB-first indexing."""
+    _check_position(position, width)
+    return 1 << (width - 1 - position)
+
+
+def get_bit(value: int, position: int, width: int) -> int:
+    """Return the bit of *value* at MSB-first *position* (0 or 1)."""
+    _check_position(position, width)
+    return (value >> (width - 1 - position)) & 1
+
+
+def set_bit(value: int, position: int, width: int) -> int:
+    """Return *value* with the bit at *position* set to 1."""
+    return value | bit_at(position, width)
+
+
+def clear_bit(value: int, position: int, width: int) -> int:
+    """Return *value* with the bit at *position* cleared to 0."""
+    return value & ~bit_at(position, width)
+
+
+def flip_bit(value: int, position: int, width: int) -> int:
+    """Return *value* with the bit at *position* inverted."""
+    return value ^ bit_at(position, width)
+
+
+def flip_bits(value: int, positions: Iterable[int], width: int) -> int:
+    """Return *value* with every bit in *positions* inverted.
+
+    Positions may repeat; repeats cancel pairwise, matching XOR
+    semantics of error vectors.
+    """
+    result = value
+    for position in positions:
+        result ^= bit_at(position, width)
+    return result
+
+
+def popcount(value: int) -> int:
+    """Return the Hamming weight of a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"popcount of negative value {value}")
+    return value.bit_count()
+
+
+def parity(value: int) -> int:
+    """Return the XOR of all bits of *value* (0 or 1)."""
+    return popcount(value) & 1
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Return the Hamming distance between two equal-width words."""
+    return popcount(a ^ b)
+
+
+def bits_of(value: int, width: int) -> tuple[int, ...]:
+    """Return the bits of *value*, MSB first, as a tuple of 0/1 ints."""
+    _check_value(value, width)
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def support(value: int, width: int) -> tuple[int, ...]:
+    """Return the MSB-first positions of the set bits of *value*."""
+    _check_value(value, width)
+    return tuple(i for i in range(width) if (value >> (width - 1 - i)) & 1)
+
+
+def pack_bits(bits: Iterable[int]) -> int:
+    """Pack an MSB-first iterable of 0/1 values into an integer."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {bit!r}")
+        value = (value << 1) | bit
+    return value
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Return the bits of *value* as a mutable MSB-first list."""
+    return list(bits_of(value, width))
+
+
+def bits_to_int(bits: Iterable[int]) -> int:
+    """Alias of :func:`pack_bits` that reads more naturally in decoders."""
+    return pack_bits(bits)
+
+
+def extract_field(word: int, high: int, low: int, width: int = 32) -> int:
+    """Extract bits ``high..low`` (inclusive, LSB-numbered) of *word*.
+
+    MIPS manuals number instruction bits 31..0 with 31 the MSB; this
+    helper follows that convention, e.g. ``extract_field(w, 31, 26)`` is
+    the opcode.
+    """
+    if not 0 <= low <= high < width:
+        raise ValueError(f"invalid field bounds [{high}:{low}] for width {width}")
+    _check_value(word, width)
+    return (word >> low) & bit_mask(high - low + 1)
+
+
+def insert_field(word: int, high: int, low: int, value: int, width: int = 32) -> int:
+    """Return *word* with bits ``high..low`` (LSB-numbered) set to *value*."""
+    if not 0 <= low <= high < width:
+        raise ValueError(f"invalid field bounds [{high}:{low}] for width {width}")
+    field_width = high - low + 1
+    if not 0 <= value <= bit_mask(field_width):
+        raise ValueError(
+            f"value 0x{value:x} does not fit in {field_width}-bit field"
+        )
+    cleared = word & ~(bit_mask(field_width) << low)
+    return cleared | (value << low)
+
+
+def weight_k_vectors(width: int, weight: int) -> Iterator[int]:
+    """Yield every *width*-bit integer of Hamming weight *weight*.
+
+    Vectors are produced in decreasing numeric order of their MSB-first
+    support, matching the paper's enumeration of 2-bit error vectors:
+    ``1100..0``, ``1010..0``, ..., ``0..0011``.
+    """
+    if weight < 0 or weight > width:
+        return
+    for positions in combinations(range(width), weight):
+        yield flip_bits(0, positions, width)
+
+
+def pair_index(i: int, j: int, width: int) -> int:
+    """Return the paper-order index of the 2-bit error pattern (i, j).
+
+    The paper enumerates the 741 patterns of a 39-bit word with pattern
+    0 = bits (0, 1), pattern 1 = bits (0, 2), ..., pattern 740 =
+    bits (37, 38).  Requires ``i < j``.
+    """
+    if not 0 <= i < j < width:
+        raise ValueError(f"require 0 <= i < j < {width}, got ({i}, {j})")
+    # Patterns with first index < i:  sum_{a<i} (width-1-a)
+    preceding = i * (width - 1) - (i * (i - 1)) // 2
+    return preceding + (j - i - 1)
+
+
+def pair_from_index(index: int, width: int) -> tuple[int, int]:
+    """Invert :func:`pair_index`: return the (i, j) pair for an index."""
+    total = width * (width - 1) // 2
+    if not 0 <= index < total:
+        raise ValueError(f"index {index} out of range for width {width}")
+    i = 0
+    remaining = index
+    while remaining >= width - 1 - i:
+        remaining -= width - 1 - i
+        i += 1
+    return i, i + 1 + remaining
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Return *value* with its *width*-bit representation reversed."""
+    _check_value(value, width)
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def _check_position(position: int, width: int) -> None:
+    if not 0 <= position < width:
+        raise ValueError(f"bit position {position} out of range for width {width}")
+
+
+def _check_value(value: int, width: int) -> None:
+    if value < 0 or value > bit_mask(width):
+        raise ValueError(f"value 0x{value:x} does not fit in {width} bits")

@@ -1,0 +1,227 @@
+"""Command-line interface: regenerate figures and poke at the pipeline.
+
+Usage (also ``python -m repro``)::
+
+    repro fig4                     # candidate-count heatmap
+    repro fig5 [--benchmark mcf] [--instructions 25]
+    repro fig6 [--benchmark bzip2] [--instructions 25]
+    repro fig7
+    repro fig8 [--instructions 25]
+    repro legality                 # Sec. III-B counts
+    repro properties               # Sec. IV-B code properties
+    repro resilience [--trials 5]  # survival study (future-work item)
+    repro synth mcf --length 1024 --out mcf.elf
+    repro disasm mcf.elf [--limit 32]
+    repro recover 0x8fbf0018 --bits 1,4 [--benchmark mcf]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.experiments import (
+    default_code,
+    run_code_properties,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_isa_legality,
+)
+from repro.analysis.heatmap import render_table
+from repro.analysis.resilience import ResilienceConfig, survival_study
+from repro.core import RecoveryContext, SwdEcc
+from repro.isa.disassembler import disassemble, render_instruction
+from repro.isa.decoder import try_decode
+from repro.program.elf import read_elf, write_elf
+from repro.program.stats import FrequencyTable
+from repro.program.synth import synthesize_benchmark
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Software-Defined ECC (DSN 2016) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for figure in ("fig4", "fig7", "legality", "properties"):
+        subparsers.add_parser(figure, help=f"regenerate {figure}")
+
+    for figure, default_benchmark in (("fig5", "mcf"), ("fig6", "bzip2")):
+        sub = subparsers.add_parser(figure, help=f"regenerate {figure}")
+        sub.add_argument("--benchmark", default=default_benchmark)
+        sub.add_argument("--instructions", type=int, default=25)
+
+    fig8 = subparsers.add_parser("fig8", help="regenerate the headline Fig. 8")
+    fig8.add_argument("--instructions", type=int, default=25)
+
+    report = subparsers.add_parser(
+        "report", help="regenerate every figure/table in one run"
+    )
+    report.add_argument("--instructions", type=int, default=15)
+
+    resilience = subparsers.add_parser(
+        "resilience", help="survival study: crash vs SWD-ECC, +/- scrubbing"
+    )
+    resilience.add_argument("--trials", type=int, default=5)
+    resilience.add_argument("--epochs", type=int, default=40)
+
+    synth = subparsers.add_parser("synth", help="generate a synthetic benchmark ELF")
+    synth.add_argument("benchmark")
+    synth.add_argument("--length", type=int, default=1024)
+    synth.add_argument("--seed", type=int, default=2016)
+    synth.add_argument("--out", required=True)
+
+    disasm = subparsers.add_parser("disasm", help="disassemble an ELF .text")
+    disasm.add_argument("path")
+    disasm.add_argument("--limit", type=int, default=None)
+
+    recover = subparsers.add_parser(
+        "recover", help="recover one instruction word from a 2-bit DUE"
+    )
+    recover.add_argument("word", help="32-bit instruction word, e.g. 0x8fbf0018")
+    recover.add_argument(
+        "--bits", required=True,
+        help="two codeword bit positions to flip, e.g. 1,4 (0 = MSB)",
+    )
+    recover.add_argument("--benchmark", default="mcf",
+                         help="benchmark supplying the frequency table")
+    recover.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    """Regenerate every paper artifact at the requested scale."""
+    from repro.analysis.experiments import default_images
+
+    banner = "=" * 78
+    images = default_images(length=2048)
+    sections = [
+        ("Sec. III-B | ISA legality", run_isa_legality().render()),
+        ("Sec. IV-B | code properties", run_code_properties().render()),
+        ("Fig. 4", run_fig4().render()),
+        ("Fig. 5", run_fig5(
+            image=next(i for i in images if i.name == "mcf"),
+            num_instructions=args.instructions,
+        ).render()),
+        ("Fig. 6", run_fig6(
+            image=next(i for i in images if i.name == "bzip2"),
+            num_instructions=args.instructions,
+        ).render()),
+        ("Fig. 7", run_fig7(images).render()),
+        ("Fig. 8", run_fig8(
+            images=images, num_instructions=args.instructions
+        ).render()),
+    ]
+    for title, body in sections:
+        print(f"{banner}\n{title}\n{banner}\n{body}\n")
+    return 0
+
+
+def _command_resilience(args: argparse.Namespace) -> int:
+    code = default_code()
+    image = synthesize_benchmark("mcf", length=512)
+    study = survival_study(
+        code,
+        image,
+        trials=args.trials,
+        base_config=ResilienceConfig(epochs=args.epochs),
+    )
+    rows = [
+        [
+            label,
+            f"{metrics['mean_survived_epochs']:.1f}/{args.epochs}",
+            f"{metrics['completion_rate']:.0%}",
+            f"{metrics['mean_correct_recoveries']:.1f}",
+            f"{metrics['mean_silent_corruptions']:.1f}",
+        ]
+        for label, metrics in study.items()
+    ]
+    print(render_table(
+        ["configuration", "survived epochs", "completed", "correct recoveries",
+         "silent corruptions"],
+        rows,
+        title="Survival study (mcf image, BSC fault arrivals)",
+    ))
+    return 0
+
+
+def _command_recover(args: argparse.Namespace) -> int:
+    code = default_code()
+    word = int(args.word, 0)
+    positions = [int(p) for p in args.bits.split(",")]
+    if len(positions) != 2:
+        print("--bits needs exactly two comma-separated positions", file=sys.stderr)
+        return 2
+    instruction = try_decode(word)
+    print(f"original:  0x{word:08x}  "
+          f"{render_instruction(instruction) if instruction else '<illegal>'}")
+    received = code.encode(word)
+    for position in positions:
+        received ^= 1 << (code.n - 1 - position)
+    image = synthesize_benchmark(args.benchmark, length=2048)
+    context = RecoveryContext.for_instructions(FrequencyTable.from_image(image))
+    engine = SwdEcc(code, rng=random.Random(args.seed))
+    result = engine.recover(received, context)
+    print(f"candidates: {result.num_candidates}, "
+          f"legal: {result.num_valid}"
+          f"{' (filter fell back)' if result.filter_fell_back else ''}")
+    for message in result.valid_messages:
+        decoded = try_decode(message)
+        text = render_instruction(decoded) if decoded else "<illegal>"
+        marker = "  <== chosen" if message == result.chosen_message else ""
+        print(f"  0x{message:08x}  {text}{marker}")
+    print(f"recovered correctly: {result.recovered(word)}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    args = _build_parser().parse_args(argv)
+    command = args.command
+    if command == "fig4":
+        print(run_fig4().render())
+    elif command == "fig5":
+        image = synthesize_benchmark(args.benchmark)
+        print(run_fig5(image=image, num_instructions=args.instructions).render())
+    elif command == "fig6":
+        image = synthesize_benchmark(args.benchmark)
+        print(run_fig6(image=image, num_instructions=args.instructions).render())
+    elif command == "fig7":
+        print(run_fig7().render())
+    elif command == "fig8":
+        print(run_fig8(num_instructions=args.instructions).render())
+    elif command == "legality":
+        print(run_isa_legality().render())
+    elif command == "properties":
+        print(run_code_properties().render())
+    elif command == "report":
+        return _command_report(args)
+    elif command == "resilience":
+        return _command_resilience(args)
+    elif command == "synth":
+        image = synthesize_benchmark(args.benchmark, length=args.length,
+                                     seed=args.seed)
+        with open(args.out, "wb") as handle:
+            handle.write(write_elf(image))
+        print(f"wrote {args.out}: {len(image)} instructions, "
+              f"base 0x{image.base_address:x}")
+    elif command == "disasm":
+        with open(args.path, "rb") as handle:
+            image = read_elf(handle.read(), name=args.path)
+        words = image.words[: args.limit] if args.limit else image.words
+        print(disassemble(words, image.base_address))
+    elif command == "recover":
+        return _command_recover(args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""SWD-ECC core: the heuristic DUE-recovery engine and system flow.
+
+Quickstart::
+
+    from repro.core import SwdEcc, RecoveryContext
+    from repro.ecc import canonical_secded_39_32
+    from repro.program import synthesize_benchmark, FrequencyTable
+
+    code = canonical_secded_39_32()
+    image = synthesize_benchmark("mcf")
+    engine = SwdEcc(code)
+    context = RecoveryContext.for_instructions(FrequencyTable.from_image(image))
+
+    received = code.encode(image.words[0]) ^ 0b11  # a 2-bit DUE
+    result = engine.recover(received, context)
+    result.recovered(image.words[0])
+"""
+
+from repro.core.filters import (
+    CandidateFilter,
+    FilterChain,
+    InstructionLegalityFilter,
+    InstructionPairLegalityFilter,
+    IntegerMagnitudeFilter,
+    PointerRangeFilter,
+)
+from repro.core.rankers import (
+    BigramContextRanker,
+    BitwiseSimilarityRanker,
+    CandidateRanker,
+    FrequencyRanker,
+    MagnitudeSimilarityRanker,
+    PairFrequencyRanker,
+    UniformRanker,
+)
+from repro.core.recovery import (
+    CheckpointSource,
+    PageSource,
+    RecoveryAction,
+    RecoveryOutcome,
+    RecoveryPipeline,
+)
+from repro.core.sideinfo import MemoryKind, RecoveryContext
+from repro.core.swdecc import RecoveryResult, SwdEcc, TieBreak
+
+__all__ = [
+    "CandidateFilter",
+    "FilterChain",
+    "InstructionLegalityFilter",
+    "InstructionPairLegalityFilter",
+    "IntegerMagnitudeFilter",
+    "PointerRangeFilter",
+    "BigramContextRanker",
+    "BitwiseSimilarityRanker",
+    "CandidateRanker",
+    "FrequencyRanker",
+    "PairFrequencyRanker",
+    "MagnitudeSimilarityRanker",
+    "UniformRanker",
+    "CheckpointSource",
+    "PageSource",
+    "RecoveryAction",
+    "RecoveryOutcome",
+    "RecoveryPipeline",
+    "MemoryKind",
+    "RecoveryContext",
+    "RecoveryResult",
+    "SwdEcc",
+    "TieBreak",
+]

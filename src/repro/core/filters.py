@@ -1,0 +1,174 @@
+"""Candidate filters: hard side-information constraints.
+
+A filter removes candidate messages that the side information proves
+impossible.  The exemplar is :class:`InstructionLegalityFilter` — the
+paper's "filter out the candidates that are not legal MIPS
+instructions" — and the data-memory filters implement the Sec. III-B
+suggestions (low-magnitude integers, pointers within the address
+space).
+
+Filters must be *sound with respect to their premise*: if the premise
+holds (the word really was a legal instruction / small integer /
+pointer), the true message always survives.  The engine in
+:mod:`repro.core.swdecc` handles the premise-violated case by falling
+back to the unfiltered candidate list when a filter empties it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+
+from repro.isa.decoder import is_legal
+from repro.core.sideinfo import RecoveryContext
+
+__all__ = [
+    "CandidateFilter",
+    "InstructionLegalityFilter",
+    "InstructionPairLegalityFilter",
+    "OracleLegalityFilter",
+    "IntegerMagnitudeFilter",
+    "PointerRangeFilter",
+    "FilterChain",
+]
+
+
+class CandidateFilter(ABC):
+    """Interface: reduce a candidate message list using side information."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "filter"
+
+    @abstractmethod
+    def apply(
+        self, messages: Sequence[int], context: RecoveryContext
+    ) -> tuple[int, ...]:
+        """Return the messages consistent with the side information.
+
+        Implementations must preserve order and must not invent
+        messages that were not in the input.
+        """
+
+
+class InstructionLegalityFilter(CandidateFilter):
+    """Keep only messages that decode as legal MIPS instructions.
+
+    The first stage of both the filtering-only and the
+    filtering-and-ranking strategies of Sec. IV.
+    """
+
+    name = "instruction-legality"
+
+    def apply(
+        self, messages: Sequence[int], context: RecoveryContext
+    ) -> tuple[int, ...]:
+        return tuple(message for message in messages if is_legal(message))
+
+
+class OracleLegalityFilter(CandidateFilter):
+    """Legality filtering for any ISA, via a supplied oracle.
+
+    The paper's technique is ISA-agnostic: all it needs is a predicate
+    "is this word a legal instruction?".  Supply one (e.g.
+    :func:`repro.isa_rv.is_legal` for RV32I) and this filter plays the
+    role :class:`InstructionLegalityFilter` plays for MIPS.
+    """
+
+    def __init__(
+        self, is_legal_word: Callable[[int], bool], name: str = "oracle-legality"
+    ) -> None:
+        self._is_legal = is_legal_word
+        self.name = name
+
+    def apply(
+        self, messages: Sequence[int], context: RecoveryContext
+    ) -> tuple[int, ...]:
+        return tuple(message for message in messages if self._is_legal(message))
+
+
+class InstructionPairLegalityFilter(CandidateFilter):
+    """Keep 64-bit messages whose two halves are both legal instructions.
+
+    The paper's future work proposes adapting SWD-ECC to 64-bit ISAs
+    and memories; with the common (72, 64) SECDED code, one protected
+    word holds *two* 32-bit MIPS instructions, so a candidate message
+    is plausible only when both halves decode.  Requiring two legality
+    checks prunes roughly quadratically harder than one.
+    """
+
+    name = "instruction-pair-legality"
+
+    def apply(
+        self, messages: Sequence[int], context: RecoveryContext
+    ) -> tuple[int, ...]:
+        return tuple(
+            message
+            for message in messages
+            if is_legal(message >> 32) and is_legal(message & 0xFFFF_FFFF)
+        )
+
+
+class IntegerMagnitudeFilter(CandidateFilter):
+    """Keep messages below the context's unsigned magnitude bound.
+
+    Implements the paper's example of ruling out candidates "whose
+    messages have 1s in the most-significant bit positions" when the
+    location is known to hold small unsigned integers.  A no-op when
+    the context carries no bound.
+    """
+
+    name = "integer-magnitude"
+
+    def apply(
+        self, messages: Sequence[int], context: RecoveryContext
+    ) -> tuple[int, ...]:
+        bound = context.value_bound
+        if bound is None:
+            return tuple(messages)
+        return tuple(message for message in messages if message < bound)
+
+
+class PointerRangeFilter(CandidateFilter):
+    """Keep messages inside the application's virtual address range.
+
+    Implements the paper's pointer example: candidates pointing outside
+    the allocated address space cannot be the original pointer.  A
+    no-op when the context carries no range.
+    """
+
+    name = "pointer-range"
+
+    def apply(
+        self, messages: Sequence[int], context: RecoveryContext
+    ) -> tuple[int, ...]:
+        if context.pointer_range is None:
+            return tuple(messages)
+        low, high = context.pointer_range
+        return tuple(message for message in messages if low <= message < high)
+
+
+class FilterChain(CandidateFilter):
+    """Apply several filters in sequence.
+
+    Unlike the engine-level fallback, the chain itself is strict: it
+    simply composes its members.  An empty chain is the identity.
+    """
+
+    name = "chain"
+
+    def __init__(self, filters: Sequence[CandidateFilter]) -> None:
+        self._filters = tuple(filters)
+        self.name = "+".join(f.name for f in self._filters) or "identity"
+
+    @property
+    def filters(self) -> tuple[CandidateFilter, ...]:
+        """The composed filters, in application order."""
+        return self._filters
+
+    def apply(
+        self, messages: Sequence[int], context: RecoveryContext
+    ) -> tuple[int, ...]:
+        current = tuple(messages)
+        for candidate_filter in self._filters:
+            current = candidate_filter.apply(current, context)
+        return current

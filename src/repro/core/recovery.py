@@ -1,0 +1,157 @@
+"""The system-level DUE handling flow of the paper's Fig. 3.
+
+On a DUE, a conventional system crashes; a high-end system poisons the
+word or rolls back.  Fig. 3 inserts two cheap outs before heuristic
+recovery — reload a *clean page* from backing store, or roll back to a
+*recent checkpoint* — and only then lets SWD-ECC speculate.
+
+:class:`RecoveryPipeline` implements that decision ladder over two
+small protocols so any memory model can plug in:
+
+- :class:`PageSource` — can the original word be refetched (clean page)?
+- :class:`CheckpointSource` — is there a checkpoint to roll back to?
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.core.sideinfo import RecoveryContext
+from repro.core.swdecc import RecoveryResult, SwdEcc
+
+__all__ = [
+    "RecoveryAction",
+    "RecoveryOutcome",
+    "PageSource",
+    "CheckpointSource",
+    "RecoveryPipeline",
+]
+
+
+class RecoveryAction(enum.Enum):
+    """What the system did about a DUE."""
+
+    PAGE_FAULT_RELOAD = "page-fault-reload"
+    """The page was clean; the word was refetched from backing store."""
+
+    ROLLBACK = "rollback"
+    """Execution state was restored from a checkpoint."""
+
+    HEURISTIC = "heuristic"
+    """SWD-ECC chose a candidate message (probabilistic success)."""
+
+    CRASH = "crash"
+    """No recovery path was available or configured (kernel panic)."""
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """Result of running the Fig. 3 ladder for one DUE.
+
+    Attributes
+    ----------
+    action:
+        Which rung of the ladder handled the error.
+    word:
+        The recovered 32-bit message, when the action produced one
+        (reload or heuristic); ``None`` for rollback and crash.
+    heuristic:
+        The full :class:`~repro.core.swdecc.RecoveryResult` trace when
+        the heuristic ran.
+    """
+
+    action: RecoveryAction
+    word: int | None = None
+    heuristic: RecoveryResult | None = None
+
+    @property
+    def made_forward_progress(self) -> bool:
+        """True when execution can continue without replaying work."""
+        return self.action in (
+            RecoveryAction.PAGE_FAULT_RELOAD,
+            RecoveryAction.HEURISTIC,
+        )
+
+
+@runtime_checkable
+class PageSource(Protocol):
+    """Backing store that may hold a clean copy of a corrupted word."""
+
+    def clean_copy(self, address: int) -> int | None:
+        """Return the original word at *address*, or ``None`` if the
+        page is dirty or unmapped."""
+
+
+@runtime_checkable
+class CheckpointSource(Protocol):
+    """A checkpointing facility the pipeline can roll back to."""
+
+    def has_checkpoint(self) -> bool:
+        """True when a restorable checkpoint exists."""
+
+    def rollback(self) -> None:
+        """Restore the most recent checkpoint."""
+
+
+class RecoveryPipeline:
+    """The Fig. 3 decision ladder: reload, roll back, or speculate.
+
+    Parameters
+    ----------
+    engine:
+        The SWD-ECC heuristic engine (the last rung).
+    page_source:
+        Optional clean-page backing store.
+    checkpoint_source:
+        Optional checkpoint facility.
+    allow_heuristic:
+        When False the ladder models a conventional system: after the
+        cheap outs fail it crashes instead of speculating.
+    """
+
+    def __init__(
+        self,
+        engine: SwdEcc,
+        page_source: PageSource | None = None,
+        checkpoint_source: CheckpointSource | None = None,
+        allow_heuristic: bool = True,
+    ) -> None:
+        self._engine = engine
+        self._page_source = page_source
+        self._checkpoint_source = checkpoint_source
+        self._allow_heuristic = allow_heuristic
+
+    @property
+    def engine(self) -> SwdEcc:
+        """The SWD-ECC engine used on the heuristic rung."""
+        return self._engine
+
+    def handle_due(
+        self,
+        address: int,
+        received: int,
+        context: RecoveryContext | None = None,
+    ) -> RecoveryOutcome:
+        """Run the ladder for the DUE word *received* at *address*."""
+        if self._page_source is not None:
+            clean = self._page_source.clean_copy(address)
+            if clean is not None:
+                return RecoveryOutcome(
+                    action=RecoveryAction.PAGE_FAULT_RELOAD, word=clean
+                )
+        if (
+            self._checkpoint_source is not None
+            and self._checkpoint_source.has_checkpoint()
+        ):
+            self._checkpoint_source.rollback()
+            return RecoveryOutcome(action=RecoveryAction.ROLLBACK)
+        if self._allow_heuristic:
+            result = self._engine.recover(received, context)
+            return RecoveryOutcome(
+                action=RecoveryAction.HEURISTIC,
+                word=result.chosen_message,
+                heuristic=result,
+            )
+        return RecoveryOutcome(action=RecoveryAction.CRASH)

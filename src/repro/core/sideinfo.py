@@ -1,0 +1,108 @@
+"""Side-information containers passed to filters and rankers.
+
+Sec. III-B of the paper defines side information as knowledge about the
+*source* (message contents) that the ECC layer alone does not have:
+whether the word is an instruction or data, the program's instruction
+mix, the data type stored at the address, neighbouring words in the
+cache line.  :class:`RecoveryContext` carries whichever of those the
+system can supply; filters and rankers consume the fields they
+understand and ignore the rest.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.program.stats import BigramTable, FrequencyTable
+
+__all__ = ["MemoryKind", "RecoveryContext"]
+
+
+class MemoryKind(enum.Enum):
+    """What the corrupted word is believed to hold."""
+
+    INSTRUCTION = "instruction"
+    DATA = "data"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class RecoveryContext:
+    """Everything the system knows about a DUE besides the received bits.
+
+    Attributes
+    ----------
+    kind:
+        Instruction vs data memory; selects the recovery strategy in
+        the Fig. 3 flow.
+    frequency_table:
+        Per-mnemonic statistics of the program image (instruction
+        memory side information, Fig. 7).
+    bigram_table:
+        Adjacent-mnemonic statistics (the "more sophisticated side
+        information" extension); used together with the neighbour
+        mnemonics below.
+    preceding_mnemonic:
+        Mnemonic of the instruction immediately before the corrupted
+        word, when it is known good.
+    following_mnemonic:
+        Mnemonic of the instruction immediately after, when known good.
+    neighborhood:
+        Known-good 32-bit words from the same cache line (data memory
+        side information; Sec. III-B's intra-cache-line correlation).
+    value_bound:
+        When the location is known to hold small unsigned integers, an
+        exclusive upper bound on plausible values.
+    pointer_range:
+        When the location is known to hold a pointer, the (lo, hi)
+        byte range of the application's address space.
+    address:
+        The memory address of the DUE, when known.
+    """
+
+    kind: MemoryKind = MemoryKind.UNKNOWN
+    frequency_table: FrequencyTable | None = None
+    bigram_table: BigramTable | None = None
+    preceding_mnemonic: str | None = None
+    following_mnemonic: str | None = None
+    neighborhood: tuple[int, ...] = field(default_factory=tuple)
+    value_bound: int | None = None
+    pointer_range: tuple[int, int] | None = None
+    address: int | None = None
+
+    @classmethod
+    def for_instructions(
+        cls,
+        frequency_table: FrequencyTable | None = None,
+        address: int | None = None,
+        bigram_table: BigramTable | None = None,
+        preceding_mnemonic: str | None = None,
+        following_mnemonic: str | None = None,
+    ) -> RecoveryContext:
+        """Context for a DUE in instruction memory."""
+        return cls(
+            kind=MemoryKind.INSTRUCTION,
+            frequency_table=frequency_table,
+            bigram_table=bigram_table,
+            preceding_mnemonic=preceding_mnemonic,
+            following_mnemonic=following_mnemonic,
+            address=address,
+        )
+
+    @classmethod
+    def for_data(
+        cls,
+        neighborhood: tuple[int, ...] = (),
+        value_bound: int | None = None,
+        pointer_range: tuple[int, int] | None = None,
+        address: int | None = None,
+    ) -> RecoveryContext:
+        """Context for a DUE in data memory."""
+        return cls(
+            kind=MemoryKind.DATA,
+            neighborhood=tuple(neighborhood),
+            value_bound=value_bound,
+            pointer_range=pointer_range,
+            address=address,
+        )

@@ -1,0 +1,284 @@
+"""The SWD-ECC engine: enumerate -> filter -> rank -> choose.
+
+This is the paper's primary contribution (Sec. III-B), assembled from
+the substrates:
+
+1. *Enumerate* the equidistant candidate codewords of the DUE with
+   :class:`~repro.ecc.candidates.CandidateEnumerator`;
+2. *Filter* the candidate messages with hard side information
+   (:mod:`repro.core.filters`), falling back to the unfiltered list if
+   the filter rejects everything;
+3. *Rank* the survivors with soft side information
+   (:mod:`repro.core.rankers`);
+4. *Choose* the top-ranked candidate, breaking ties randomly (the
+   paper's policy) or deterministically.
+
+SWD-ECC costs nothing when no DUE occurs: this engine is only invoked
+on a word the hardware decoder has already flagged.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.filters import CandidateFilter, FilterChain, InstructionLegalityFilter
+from repro.core.rankers import CandidateRanker, FrequencyRanker
+from repro.core.sideinfo import RecoveryContext
+from repro.ecc.candidates import CandidateEnumerator
+from repro.ecc.code import LinearBlockCode
+from repro.errors import RecoveryError
+
+__all__ = ["TieBreak", "RecoveryResult", "SwdEcc", "success_probability"]
+
+
+class TieBreak(enum.Enum):
+    """How the engine resolves equal top scores."""
+
+    RANDOM = "random"
+    """Choose uniformly among the tied candidates (the paper's policy;
+    explains the ~15% plateau for low-order-bit errors in Fig. 8)."""
+
+    FIRST = "first"
+    """Choose the numerically smallest tied candidate (deterministic)."""
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Full trace of one heuristic recovery attempt.
+
+    Attributes
+    ----------
+    received:
+        The DUE word as read from memory.
+    candidates:
+        All equidistant candidate codewords.
+    candidate_messages:
+        Their decoded k-bit messages (same order).
+    valid_messages:
+        The messages surviving the filter stage.
+    filter_fell_back:
+        True when filtering rejected everything and the engine reverted
+        to the unfiltered candidates.
+    scores:
+        Ranker score per surviving message (same order as
+        ``valid_messages``).
+    chosen_message:
+        The recovery target message.
+    chosen_codeword:
+        Its codeword.
+    tied:
+        Number of candidates sharing the winning score (1 = the ranker
+        was decisive).
+    """
+
+    received: int
+    candidates: tuple[int, ...]
+    candidate_messages: tuple[int, ...]
+    valid_messages: tuple[int, ...]
+    filter_fell_back: bool
+    scores: tuple[float, ...]
+    chosen_message: int
+    chosen_codeword: int
+    tied: int
+
+    @property
+    def num_candidates(self) -> int:
+        """Size of the unfiltered candidate list (Fig. 5a)."""
+        return len(self.candidates)
+
+    @property
+    def num_valid(self) -> int:
+        """Size of the filtered list (Fig. 5b)."""
+        return len(self.valid_messages)
+
+    def recovered(self, original_message: int) -> bool:
+        """Did the attempt pick the true original message?"""
+        return self.chosen_message == original_message
+
+
+class SwdEcc:
+    """Software-Defined ECC heuristic recovery engine.
+
+    Parameters
+    ----------
+    code:
+        The ECC code protecting the memory.
+    filters:
+        Hard-constraint filters; defaults to instruction legality (the
+        paper's exemplar).  Pass an empty sequence for no filtering.
+    ranker:
+        Soft-preference ranker; defaults to mnemonic frequency.
+    tie_break:
+        Tie resolution policy (random by default, as in the paper).
+    rng:
+        RNG for random tie-breaking; supply a seeded instance for
+        reproducible sweeps.
+    """
+
+    def __init__(
+        self,
+        code: LinearBlockCode,
+        filters: Sequence[CandidateFilter] | None = None,
+        ranker: CandidateRanker | None = None,
+        tie_break: TieBreak = TieBreak.RANDOM,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._code = code
+        self._enumerator = CandidateEnumerator(code)
+        if filters is None:
+            filters = (InstructionLegalityFilter(),)
+        self._filter = FilterChain(filters)
+        self._ranker = ranker if ranker is not None else FrequencyRanker()
+        self._tie_break = tie_break
+        self._rng = rng if rng is not None else random.Random()
+
+    @property
+    def code(self) -> LinearBlockCode:
+        """The underlying ECC code."""
+        return self._code
+
+    @property
+    def filter_chain(self) -> FilterChain:
+        """The configured filter chain."""
+        return self._filter
+
+    @property
+    def ranker(self) -> CandidateRanker:
+        """The configured ranker."""
+        return self._ranker
+
+    def _candidates_with_escalation(self, received: int) -> tuple[int, ...]:
+        """Distance-2 candidates, escalating one radius if none exist.
+
+        The fast enumeration assumes the DUE came from a double-bit
+        flip; an accumulated triple-bit error may sit at distance >= 3
+        from every codeword, in which case we escalate to radius
+        ``t + 2`` list decoding before giving up.
+        """
+        candidates = self._enumerator.candidates(received)
+        if candidates:
+            return candidates
+        radius = self._code.correctable_bits() + 2
+        candidates = self._enumerator.candidates_within_radius(received, radius)
+        if not candidates:
+            raise RecoveryError(
+                f"word 0x{received:x} has no candidate codewords within "
+                f"radius {radius}"
+            )
+        return candidates
+
+    def recover(
+        self, received: int, context: RecoveryContext | None = None
+    ) -> RecoveryResult:
+        """Heuristically recover from the DUE word *received*.
+
+        Assumes a double-bit error first (the paper's model); if no
+        codeword lies at distance 2 — an accumulated higher-weight
+        error — the enumeration escalates one radius before giving up
+        with :class:`~repro.errors.RecoveryError`.  Propagates
+        :class:`~repro.errors.DecodingError` when *received* is not a
+        DUE in the first place.
+        """
+        if context is None:
+            context = RecoveryContext()
+        candidates = self._candidates_with_escalation(received)
+        candidate_messages = tuple(
+            self._code.extract_message(codeword) for codeword in candidates
+        )
+        valid_messages = self._filter.apply(candidate_messages, context)
+        fell_back = not valid_messages
+        if fell_back:
+            # The side information's premise failed (e.g. the original
+            # word was not a legal instruction): recover from the raw
+            # candidate list rather than giving up.
+            valid_messages = candidate_messages
+        scores = tuple(
+            self._ranker.score(message, context) for message in valid_messages
+        )
+        best_score = max(scores)
+        tied_messages = [
+            message
+            for message, score in zip(valid_messages, scores)
+            if score == best_score
+        ]
+        if len(tied_messages) == 1 or self._tie_break is TieBreak.FIRST:
+            chosen_message = min(tied_messages)
+        else:
+            chosen_message = self._rng.choice(tied_messages)
+        chosen_codeword = candidates[candidate_messages.index(chosen_message)]
+        return RecoveryResult(
+            received=received,
+            candidates=candidates,
+            candidate_messages=candidate_messages,
+            valid_messages=tuple(valid_messages),
+            filter_fell_back=fell_back,
+            scores=scores,
+            chosen_message=chosen_message,
+            chosen_codeword=chosen_codeword,
+            tied=len(tied_messages),
+        )
+
+    def recovery_probability(
+        self, received: int, original_message: int, context: RecoveryContext | None = None
+    ) -> float:
+        """Exact probability that :meth:`recover` returns the original.
+
+        Computes the analytical success probability of the configured
+        strategy — 1/|tied| when the original is among the top-scored
+        candidates, else 0 — removing tie-break sampling noise from
+        sweeps.  This is how the per-pattern success *rates* of Figs. 6
+        and 8 are evaluated.
+        """
+        if context is None:
+            context = RecoveryContext()
+        candidates = self._candidates_with_escalation(received)
+        candidate_messages = tuple(
+            self._code.extract_message(codeword) for codeword in candidates
+        )
+        valid_messages = self._filter.apply(candidate_messages, context)
+        if not valid_messages:
+            valid_messages = candidate_messages
+        if original_message not in valid_messages:
+            return 0.0
+        scores = [self._ranker.score(m, context) for m in valid_messages]
+        best_score = max(scores)
+        tied = [
+            message
+            for message, score in zip(valid_messages, scores)
+            if score == best_score
+        ]
+        if original_message not in tied:
+            return 0.0
+        if self._tie_break is TieBreak.FIRST:
+            return 1.0 if original_message == min(tied) else 0.0
+        return 1.0 / len(tied)
+
+
+def success_probability(
+    result: RecoveryResult,
+    original_message: int,
+    tie_break: TieBreak = TieBreak.RANDOM,
+) -> float:
+    """Exact success probability of an already-computed recovery trace.
+
+    Equivalent to :meth:`SwdEcc.recovery_probability` but reusing the
+    enumeration/filter/rank work captured in *result* — the sweep
+    harness calls :meth:`SwdEcc.recover` once per DUE and derives the
+    probability from the trace.
+    """
+    if original_message not in result.valid_messages:
+        return 0.0
+    best_score = max(result.scores)
+    tied = [
+        message
+        for message, score in zip(result.valid_messages, result.scores)
+        if score == best_score
+    ]
+    if original_message not in tied:
+        return 0.0
+    if tie_break is TieBreak.FIRST:
+        return 1.0 if original_message == min(tied) else 0.0
+    return 1.0 / len(tied)

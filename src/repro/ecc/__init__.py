@@ -1,0 +1,70 @@
+"""Coding-theory substrate: GF(2)/GF(2^m) algebra, code families, channels.
+
+Public surface of the :mod:`repro.ecc` package.  The exemplar code of
+the paper is :func:`~repro.ecc.matrices.canonical_secded_39_32`; the
+enumeration machinery that SWD-ECC builds on is
+:class:`~repro.ecc.candidates.CandidateEnumerator`.
+"""
+
+from repro.ecc.bch import BCHCode, bch_generator_poly, dec_code, dected_code
+from repro.ecc.candidates import (
+    CandidateCountProfile,
+    CandidateEnumerator,
+    candidate_count_profile,
+)
+from repro.ecc.channel import (
+    BinarySymmetricChannel,
+    ErrorPattern,
+    double_bit_patterns,
+    exhaustive_error_patterns,
+    pattern_from_positions,
+    pattern_from_vector,
+)
+from repro.ecc.code import DecodeResult, DecodeStatus, LinearBlockCode
+from repro.ecc.gf2 import GF2Matrix
+from repro.ecc.gf2m import GF2mField
+from repro.ecc.hamming import (
+    extended_hamming_secded,
+    hamming_code,
+    shortened_hamming_code,
+)
+from repro.ecc.hsiao import hsiao_39_32, hsiao_72_64, hsiao_code, is_hsiao
+from repro.ecc.matrices import (
+    CANONICAL_39_32_COLUMNS,
+    canonical_secded_39_32,
+    code_from_h_columns,
+)
+from repro.ecc.parity import repetition_code, single_parity_code
+
+__all__ = [
+    "BCHCode",
+    "bch_generator_poly",
+    "dec_code",
+    "dected_code",
+    "GF2mField",
+    "CANONICAL_39_32_COLUMNS",
+    "canonical_secded_39_32",
+    "code_from_h_columns",
+    "CandidateCountProfile",
+    "CandidateEnumerator",
+    "candidate_count_profile",
+    "BinarySymmetricChannel",
+    "ErrorPattern",
+    "double_bit_patterns",
+    "exhaustive_error_patterns",
+    "pattern_from_positions",
+    "pattern_from_vector",
+    "DecodeResult",
+    "DecodeStatus",
+    "LinearBlockCode",
+    "GF2Matrix",
+    "extended_hamming_secded",
+    "hamming_code",
+    "shortened_hamming_code",
+    "hsiao_39_32",
+    "hsiao_72_64",
+    "hsiao_code",
+    "is_hsiao",
+    "repetition_code",
+    "single_parity_code",
+]

@@ -1,0 +1,295 @@
+"""Binary BCH codes with t = 2 decoding, and a DECTED construction.
+
+Sec. II-A of the paper names DECTED and BCH codes as the stronger —
+and costlier — alternatives to SECDED for memories.  This module makes
+that comparison concrete:
+
+- :class:`BCHCode` — a (possibly shortened) primitive binary BCH code
+  with algebraic decoding of up to ``t`` errors (direct solution of the
+  error-locator polynomial for t <= 2, the regime memory codes use);
+- :func:`dec_code` — double-error-correcting shortened BCH, e.g. the
+  (44, 32) code;
+- :func:`dected_code` — DEC plus an overall parity bit, e.g. (45, 32)
+  DECTED: corrects 2-bit errors, flags 3-bit errors as DUEs.
+
+Under a DECTED code the SWD-ECC story repeats one weight higher: 3-bit
+DUEs have equidistant candidate codewords reachable by the trial-flip
+enumeration of :class:`repro.ecc.candidates.CandidateEnumerator` with
+``radius = 3``.
+"""
+
+from __future__ import annotations
+
+from repro.bits import bit_mask
+from repro.ecc.code import DecodeResult, DecodeStatus, LinearBlockCode
+from repro.ecc.gf2 import GF2Matrix, identity
+from repro.ecc.gf2m import GF2mField, poly_degree, poly_mod, poly_mul
+from repro.errors import CodeConstructionError, DecodingError
+
+__all__ = ["BCHCode", "bch_generator_poly", "dec_code", "dected_code"]
+
+
+def bch_generator_poly(field: GF2mField, t: int) -> int:
+    """Generator polynomial of the primitive t-error-correcting BCH code.
+
+    The LCM of the minimal polynomials of alpha, alpha^2, ...,
+    alpha^{2t}; since conjugates share a minimal polynomial, this is the
+    product over distinct cyclotomic cosets of odd representatives.
+    """
+    if t < 1:
+        raise CodeConstructionError(f"BCH needs t >= 1, got {t}")
+    seen_cosets: set[tuple[int, ...]] = set()
+    generator = 1
+    for power in range(1, 2 * t + 1):
+        coset = field.cyclotomic_coset(power)
+        if coset in seen_cosets:
+            continue
+        seen_cosets.add(coset)
+        generator = poly_mul(generator, field.minimal_polynomial(power))
+    return generator
+
+
+class BCHCode(LinearBlockCode):
+    """A systematic (shortened) binary BCH code with algebraic decoding.
+
+    Parameters
+    ----------
+    m:
+        Field degree; the parent code has length ``2^m - 1``.
+    t:
+        Designed error-correction capability (1 or 2 supported by the
+        decoder; the construction accepts any t).
+    k:
+        Message length after shortening; defaults to the full dimension.
+    extended:
+        Append an overall parity bit, raising the minimum distance by
+        one (DEC -> DECTED when t = 2).
+    """
+
+    def __init__(
+        self,
+        m: int,
+        t: int,
+        k: int | None = None,
+        extended: bool = False,
+    ) -> None:
+        field = GF2mField(m)
+        full_length = field.order
+        generator_poly = bch_generator_poly(field, t)
+        parity_bits = poly_degree(generator_poly)
+        full_k = full_length - parity_bits
+        if full_k <= 0:
+            raise CodeConstructionError(
+                f"BCH(m={m}, t={t}) has no data bits (r={parity_bits})"
+            )
+        if k is None:
+            k = full_k
+        if not 1 <= k <= full_k:
+            raise CodeConstructionError(
+                f"cannot shorten BCH dimension {full_k} to k={k}"
+            )
+        self._field = field
+        self._t = t
+        self._generator_poly = generator_poly
+        self._full_length = full_length
+        self._inner_n = k + parity_bits  # BCH part, before extension
+        self._extended = extended
+
+        # Systematic P: row i (data position i, MSB-first) is the
+        # remainder of x^(r + k - 1 - i) mod g(x), giving codeword
+        # polynomial degrees n-1..r for data and r-1..0 for parity.
+        p_rows = []
+        for i in range(k):
+            remainder = poly_mod(1 << (parity_bits + k - 1 - i), generator_poly)
+            # Remainder bits: coefficient of x^j -> parity position with
+            # MSB-first packing of degrees r-1..0.
+            packed = 0
+            for degree in range(parity_bits - 1, -1, -1):
+                packed = (packed << 1) | ((remainder >> degree) & 1)
+            p_rows.append(packed)
+        if extended:
+            # Extra parity column: overall parity of the systematic row
+            # (the data bit itself plus its parity contributions).
+            p_rows = [
+                (row << 1) | ((1 + row.bit_count()) & 1) for row in p_rows
+            ]
+            parity_bits += 1
+        p_matrix = GF2Matrix(p_rows, parity_bits)
+        generator = identity(k).hstack(p_matrix)
+        parity_check = p_matrix.transpose().hstack(identity(parity_bits))
+        n = k + parity_bits
+        label = "extended " if extended else ""
+        super().__init__(
+            generator,
+            parity_check,
+            name=f"{label}BCH ({n},{k}) t={t}",
+        )
+
+    @property
+    def t(self) -> int:
+        """Designed error-correction capability."""
+        return self._t
+
+    @property
+    def field(self) -> GF2mField:
+        """The GF(2^m) field the code is defined over."""
+        return self._field
+
+    @property
+    def generator_poly(self) -> int:
+        """The binary generator polynomial (LSB = x^0)."""
+        return self._generator_poly
+
+    @property
+    def extended(self) -> bool:
+        """True when an overall parity bit is appended."""
+        return self._extended
+
+    def correctable_bits(self) -> int:
+        """The decoder corrects up to t errors."""
+        return self._t
+
+    # ------------------------------------------------------------------
+    # Algebraic decoding
+    # ------------------------------------------------------------------
+
+    def _bch_syndromes(self, inner_word: int) -> list[int]:
+        """Power sums S_1..S_2t of the inner (non-extended) word.
+
+        Bit position p (MSB-first over the inner n bits) corresponds to
+        polynomial degree ``inner_n - 1 - p``; shortening means degrees
+        above ``inner_n - 1`` are structurally zero.
+        """
+        field = self._field
+        degrees = []
+        inner_n = self._inner_n
+        word = inner_word
+        degree = 0
+        while word:
+            if word & 1:
+                degrees.append(degree)
+            word >>= 1
+            degree += 1
+        syndromes = []
+        for j in range(1, 2 * self._t + 1):
+            acc = 0
+            for degree in degrees:
+                acc ^= field.alpha_power(j * degree)
+            syndromes.append(acc)
+        del inner_n
+        return syndromes
+
+    def decode(self, received: int) -> DecodeResult:
+        """Decode up to t = 2 errors; anything beyond is a DUE.
+
+        For the extended code, the overall parity bit arbitrates between
+        correction and detection: a parity that disagrees with the
+        inferred error weight means the true error weight exceeded t,
+        so the word is flagged as a DUE instead of being miscorrected.
+        """
+        if self._t > 2:
+            raise DecodingError(
+                "algebraic decoding implemented for t <= 2 (memory-code regime)"
+            )
+        n = self.n
+        if received < 0 or received > bit_mask(n):
+            raise DecodingError(
+                f"received word 0x{received:x} does not fit in {n} bits"
+            )
+        syndrome = self.syndrome(received)
+        if syndrome == 0:
+            return DecodeResult(
+                status=DecodeStatus.OK,
+                codeword=received,
+                message=self.extract_message(received),
+                syndrome=0,
+            )
+        if self._extended:
+            inner = received >> 1
+            overall_parity = (received.bit_count()) & 1
+        else:
+            inner = received
+            overall_parity = None
+
+        error_positions = self._locate_errors(inner)
+        if error_positions is None:
+            return self._due(syndrome)
+        if overall_parity is not None:
+            # The overall parity bit is invisible to the BCH syndromes.
+            # If the parity of the received word disagrees with the
+            # inferred inner error weight, the parity bit itself must
+            # also be in error: total weight is inner weight + 1, which
+            # is correctable only while it stays within t.
+            inner_weight = len(error_positions)
+            if inner_weight % 2 != overall_parity:
+                if inner_weight + 1 <= self._t:
+                    error_positions = error_positions + (n - 1,)
+                else:
+                    return self._due(syndrome)
+        codeword = received
+        top_bit = 1 << (n - 1)
+        for position in error_positions:
+            codeword ^= top_bit >> position
+        if self.syndrome(codeword) != 0:
+            return self._due(syndrome)
+        return DecodeResult(
+            status=DecodeStatus.CORRECTED,
+            codeword=codeword,
+            message=self.extract_message(codeword),
+            syndrome=syndrome,
+            corrected_positions=tuple(sorted(error_positions)),
+        )
+
+    def _locate_errors(self, inner_word: int) -> tuple[int, ...] | None:
+        """Return MSB-first error positions in the inner word, or None.
+
+        Solves the error-locator polynomial directly (Peterson's method
+        for t <= 2).  Positions refer to the *extended* word when the
+        code is extended (the inner word occupies positions 0..n-2).
+        """
+        field = self._field
+        syndromes = self._bch_syndromes(inner_word)
+        s1 = syndromes[0]
+        s3 = syndromes[2] if self._t >= 2 else None
+        inner_n = self._inner_n
+        if s1 == 0 and (s3 is None or s3 == 0):
+            return ()
+        if s1 != 0:
+            # Single-error hypothesis: S3 must equal S1^3.
+            if s3 is None or s3 == field.pow(s1, 3):
+                degree = field.log_alpha(s1)
+                if degree < inner_n:
+                    return (inner_n - 1 - degree,)
+                return None
+            # Double-error hypothesis: roots of x^2 + S1 x + sigma2.
+            sigma2 = field.div(s3 ^ field.pow(s1, 3), s1)
+            positions = []
+            for degree in range(inner_n):
+                x1 = field.alpha_power(degree)
+                if field.mul(x1, x1) ^ field.mul(s1, x1) ^ sigma2 == 0:
+                    positions.append(inner_n - 1 - degree)
+                    if len(positions) == 2:
+                        break
+            if len(positions) == 2:
+                return tuple(positions)
+            return None
+        # s1 == 0 but s3 != 0: not decodable as weight <= 2.
+        return None
+
+    def _due(self, syndrome: int) -> DecodeResult:
+        return DecodeResult(
+            status=DecodeStatus.DUE,
+            codeword=None,
+            message=None,
+            syndrome=syndrome,
+        )
+
+
+def dec_code(k: int = 32, m: int = 6) -> BCHCode:
+    """Shortened double-error-correcting BCH, default (44, 32)."""
+    return BCHCode(m=m, t=2, k=k, extended=False)
+
+
+def dected_code(k: int = 32, m: int = 6) -> BCHCode:
+    """Shortened DECTED code (DEC BCH + overall parity), default (45, 32)."""
+    return BCHCode(m=m, t=2, k=k, extended=True)

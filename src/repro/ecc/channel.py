@@ -1,0 +1,203 @@
+"""Channel and fault models: the BSC and exhaustive error-pattern sweeps.
+
+The paper assumes a binary symmetric channel (BSC): every bit of a
+stored codeword flips independently with the same probability, so all
+``C(n, 2)`` double-bit error patterns are equally likely (Sec. IV-A).
+The evaluation then *exhaustively* enumerates those 741 patterns for the
+(39, 32) code rather than sampling them; both modes live here.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.bits import bit_mask, pair_index, popcount, support
+
+__all__ = [
+    "ErrorPattern",
+    "exhaustive_error_patterns",
+    "double_bit_patterns",
+    "BinarySymmetricChannel",
+]
+
+
+@dataclass(frozen=True)
+class ErrorPattern:
+    """A weight-w error vector over an n-bit word.
+
+    Attributes
+    ----------
+    vector:
+        Bit-packed error vector (MSB-first positions).
+    width:
+        Word width n.
+    positions:
+        The MSB-first bit positions in error.
+    index:
+        Enumeration index in the paper's ordering (pattern 0 flips bits
+        0 and 1, pattern 740 flips bits 37 and 38 for n = 39); ``-1``
+        for randomly sampled patterns.
+    """
+
+    vector: int
+    width: int
+    positions: tuple[int, ...]
+    index: int = -1
+
+    @property
+    def weight(self) -> int:
+        """Number of bits in error."""
+        return len(self.positions)
+
+    def apply(self, word: int) -> int:
+        """Return *word* with this error pattern XOR-ed in."""
+        if word < 0 or word > bit_mask(self.width):
+            raise ValueError(
+                f"word 0x{word:x} does not fit in {self.width} bits"
+            )
+        return word ^ self.vector
+
+    def __str__(self) -> str:
+        return (
+            f"ErrorPattern(width={self.width}, positions={self.positions}, "
+            f"index={self.index})"
+        )
+
+
+def exhaustive_error_patterns(width: int, weight: int) -> Iterator[ErrorPattern]:
+    """Yield every weight-*weight* pattern over *width* bits, paper order.
+
+    For ``weight == 2`` the enumeration index matches the paper's
+    pattern numbering (0..740 for a 39-bit word).
+    """
+    if weight < 0 or weight > width:
+        return
+    for index, positions in enumerate(combinations(range(width), weight)):
+        vector = 0
+        for position in positions:
+            vector |= 1 << (width - 1 - position)
+        yield ErrorPattern(
+            vector=vector, width=width, positions=positions, index=index
+        )
+
+
+def double_bit_patterns(width: int) -> list[ErrorPattern]:
+    """Return all C(width, 2) double-bit patterns as a list, paper order."""
+    return list(exhaustive_error_patterns(width, 2))
+
+
+class BinarySymmetricChannel:
+    """A BSC that corrupts words with i.i.d. bit flips.
+
+    Parameters
+    ----------
+    flip_probability:
+        Per-bit flip probability p, ``0 <= p <= 1``.
+    width:
+        Word width in bits.
+    rng:
+        Source of randomness; pass a seeded :class:`random.Random` for
+        reproducible experiments.
+    """
+
+    def __init__(
+        self,
+        flip_probability: float,
+        width: int,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError(
+                f"flip probability must be in [0, 1], got {flip_probability}"
+            )
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self._p = flip_probability
+        self._width = width
+        self._rng = rng if rng is not None else random.Random()
+
+    @property
+    def flip_probability(self) -> float:
+        """The per-bit flip probability."""
+        return self._p
+
+    @property
+    def width(self) -> int:
+        """The word width in bits."""
+        return self._width
+
+    def sample_error(self) -> ErrorPattern:
+        """Draw one error vector from the BSC."""
+        vector = 0
+        positions = []
+        for position in range(self._width):
+            if self._rng.random() < self._p:
+                vector |= 1 << (self._width - 1 - position)
+                positions.append(position)
+        return ErrorPattern(
+            vector=vector, width=self._width, positions=tuple(positions)
+        )
+
+    def sample_error_of_weight(self, weight: int) -> ErrorPattern:
+        """Draw an error vector uniformly among those of given weight.
+
+        This is the conditional BSC distribution the paper uses: given
+        that a DUE occurred as a double-bit flip, all ``C(n, 2)``
+        patterns are equally likely.
+        """
+        if not 0 <= weight <= self._width:
+            raise ValueError(
+                f"weight {weight} out of range for width {self._width}"
+            )
+        positions = tuple(sorted(self._rng.sample(range(self._width), weight)))
+        vector = 0
+        for position in positions:
+            vector |= 1 << (self._width - 1 - position)
+        index = (
+            pair_index(positions[0], positions[1], self._width)
+            if weight == 2
+            else -1
+        )
+        return ErrorPattern(
+            vector=vector, width=self._width, positions=positions, index=index
+        )
+
+    def transmit(self, word: int) -> tuple[int, ErrorPattern]:
+        """Send *word* through the channel; return (received, error)."""
+        error = self.sample_error()
+        return error.apply(word), error
+
+
+def pattern_from_positions(positions: tuple[int, ...], width: int) -> ErrorPattern:
+    """Build an :class:`ErrorPattern` from explicit bit positions."""
+    ordered = tuple(sorted(set(positions)))
+    if ordered != tuple(sorted(positions)):
+        raise ValueError(f"duplicate positions in {positions}")
+    vector = 0
+    for position in ordered:
+        if not 0 <= position < width:
+            raise ValueError(
+                f"position {position} out of range for width {width}"
+            )
+        vector |= 1 << (width - 1 - position)
+    index = (
+        pair_index(ordered[0], ordered[1], width) if len(ordered) == 2 else -1
+    )
+    return ErrorPattern(vector=vector, width=width, positions=ordered, index=index)
+
+
+def pattern_from_vector(vector: int, width: int) -> ErrorPattern:
+    """Build an :class:`ErrorPattern` from a bit-packed error vector."""
+    positions = support(vector, width)
+    index = (
+        pair_index(positions[0], positions[1], width)
+        if popcount(vector) == 2
+        else -1
+    )
+    return ErrorPattern(vector=vector, width=width, positions=positions, index=index)
+
+
+__all__ += ["pattern_from_positions", "pattern_from_vector"]

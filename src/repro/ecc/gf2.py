@@ -1,0 +1,340 @@
+"""Dense linear algebra over GF(2) with bit-packed rows.
+
+A :class:`GF2Matrix` stores each row as one Python integer whose
+MSB-first bit *i* is the entry in column *i* (see :mod:`repro.bits` for
+the indexing convention).  This makes row operations single XORs and a
+matrix-vector product a popcount per row, which is what the syndrome
+computations in :mod:`repro.ecc.code` need to stay fast during the
+exhaustive 741-pattern sweeps of the evaluation.
+
+The class is immutable: every operation returns a new matrix.  That
+keeps code objects safely shareable between experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.bits import bit_mask, parity, popcount
+
+__all__ = ["GF2Matrix", "identity", "zeros", "from_rows", "from_columns"]
+
+
+class GF2Matrix:
+    """An immutable dense matrix over GF(2).
+
+    Parameters
+    ----------
+    rows:
+        Iterable of row values; each row is an integer whose MSB-first
+        bits are the row entries.
+    num_cols:
+        Number of columns.  Required because leading zero columns are
+        not representable in the integers alone.
+    """
+
+    __slots__ = ("_rows", "_num_cols")
+
+    def __init__(self, rows: Iterable[int], num_cols: int) -> None:
+        row_tuple = tuple(rows)
+        if num_cols < 0:
+            raise ValueError(f"num_cols must be non-negative, got {num_cols}")
+        mask = bit_mask(num_cols)
+        for index, row in enumerate(row_tuple):
+            if row < 0 or row > mask:
+                raise ValueError(
+                    f"row {index} value 0x{row:x} does not fit in {num_cols} columns"
+                )
+        self._rows = row_tuple
+        self._num_cols = num_cols
+
+    # ------------------------------------------------------------------
+    # Shape and access
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return len(self._rows)
+
+    @property
+    def num_cols(self) -> int:
+        """Number of columns."""
+        return self._num_cols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns) pair."""
+        return (len(self._rows), self._num_cols)
+
+    @property
+    def rows(self) -> tuple[int, ...]:
+        """Rows as bit-packed integers (MSB-first within each row)."""
+        return self._rows
+
+    def row(self, index: int) -> int:
+        """Return row *index* as a bit-packed integer."""
+        return self._rows[index]
+
+    def entry(self, row: int, col: int) -> int:
+        """Return the entry at (*row*, *col*) as 0 or 1."""
+        if not 0 <= col < self._num_cols:
+            raise IndexError(f"column {col} out of range")
+        return (self._rows[row] >> (self._num_cols - 1 - col)) & 1
+
+    def column(self, index: int) -> int:
+        """Return column *index* as a bit-packed integer (MSB = row 0)."""
+        if not 0 <= index < self._num_cols:
+            raise IndexError(f"column {index} out of range")
+        shift = self._num_cols - 1 - index
+        value = 0
+        for row in self._rows:
+            value = (value << 1) | ((row >> shift) & 1)
+        return value
+
+    def columns(self) -> tuple[int, ...]:
+        """Return all columns as bit-packed integers."""
+        return tuple(self.column(i) for i in range(self._num_cols))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def transpose(self) -> GF2Matrix:
+        """Return the transpose."""
+        return GF2Matrix(self.columns(), len(self._rows))
+
+    def __add__(self, other: GF2Matrix) -> GF2Matrix:
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} + {other.shape}")
+        return GF2Matrix(
+            (a ^ b for a, b in zip(self._rows, other._rows)), self._num_cols
+        )
+
+    def __matmul__(self, other: GF2Matrix) -> GF2Matrix:
+        """Matrix product over GF(2)."""
+        if self._num_cols != other.num_rows:
+            raise ValueError(
+                f"shape mismatch: {self.shape} @ {other.shape}"
+            )
+        other_cols = other.columns()
+        result_rows = []
+        for row in self._rows:
+            packed = 0
+            for col in other_cols:
+                packed = (packed << 1) | parity(row & col)
+            result_rows.append(packed)
+        return GF2Matrix(result_rows, other.num_cols)
+
+    def mul_vector(self, vector: int) -> int:
+        """Multiply by a column vector (bit-packed, width = num_cols).
+
+        Returns a bit-packed vector of width ``num_rows``.  This is the
+        syndrome computation ``H @ r`` when *self* is a parity-check
+        matrix and *vector* a received word.
+        """
+        if vector < 0 or vector > bit_mask(self._num_cols):
+            raise ValueError(
+                f"vector 0x{vector:x} does not fit in {self._num_cols} bits"
+            )
+        result = 0
+        for row in self._rows:
+            result = (result << 1) | parity(row & vector)
+        return result
+
+    def left_mul_vector(self, vector: int) -> int:
+        """Multiply a row vector (width = num_rows) by this matrix.
+
+        Returns a bit-packed vector of width ``num_cols``.  This is the
+        encoding operation ``m @ G`` when *self* is a generator matrix.
+        """
+        if vector < 0 or vector > bit_mask(self.num_rows):
+            raise ValueError(
+                f"vector 0x{vector:x} does not fit in {self.num_rows} bits"
+            )
+        result = 0
+        shift = self.num_rows - 1
+        for index, row in enumerate(self._rows):
+            if (vector >> (shift - index)) & 1:
+                result ^= row
+        return result
+
+    # ------------------------------------------------------------------
+    # Gaussian elimination and derived quantities
+    # ------------------------------------------------------------------
+
+    def rref(self) -> tuple[GF2Matrix, tuple[int, ...]]:
+        """Return (reduced row echelon form, pivot column indices)."""
+        rows = list(self._rows)
+        n = self._num_cols
+        pivots: list[int] = []
+        pivot_row = 0
+        for col in range(n):
+            if pivot_row >= len(rows):
+                break
+            shift = n - 1 - col
+            # Find a row with a 1 in this column at or below pivot_row.
+            found = None
+            for r in range(pivot_row, len(rows)):
+                if (rows[r] >> shift) & 1:
+                    found = r
+                    break
+            if found is None:
+                continue
+            rows[pivot_row], rows[found] = rows[found], rows[pivot_row]
+            # Eliminate this column from every other row.
+            pivot_value = rows[pivot_row]
+            for r in range(len(rows)):
+                if r != pivot_row and (rows[r] >> shift) & 1:
+                    rows[r] ^= pivot_value
+            pivots.append(col)
+            pivot_row += 1
+        return GF2Matrix(rows, n), tuple(pivots)
+
+    def rank(self) -> int:
+        """Return the rank over GF(2)."""
+        _, pivots = self.rref()
+        return len(pivots)
+
+    def null_space(self) -> GF2Matrix:
+        """Return a matrix whose rows form a basis of the null space.
+
+        Solves ``self @ x = 0``; the returned matrix has one row per
+        free variable (possibly zero rows).
+        """
+        reduced, pivots = self.rref()
+        n = self._num_cols
+        pivot_set = set(pivots)
+        free_cols = [c for c in range(n) if c not in pivot_set]
+        basis = []
+        for free in free_cols:
+            vector = 1 << (n - 1 - free)
+            for row_index, pivot_col in enumerate(pivots):
+                if (reduced.row(row_index) >> (n - 1 - free)) & 1:
+                    vector |= 1 << (n - 1 - pivot_col)
+            basis.append(vector)
+        return GF2Matrix(basis, n)
+
+    def is_zero(self) -> bool:
+        """True if every entry is zero."""
+        return all(row == 0 for row in self._rows)
+
+    def column_weights(self) -> tuple[int, ...]:
+        """Hamming weight of each column (useful for Hsiao balance)."""
+        return tuple(popcount(col) for col in self.columns())
+
+    def row_weights(self) -> tuple[int, ...]:
+        """Hamming weight of each row."""
+        return tuple(popcount(row) for row in self._rows)
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+
+    def hstack(self, other: GF2Matrix) -> GF2Matrix:
+        """Concatenate columns: ``[self | other]``."""
+        if self.num_rows != other.num_rows:
+            raise ValueError(
+                f"row count mismatch: {self.num_rows} vs {other.num_rows}"
+            )
+        width = other.num_cols
+        rows = (
+            (a << width) | b for a, b in zip(self._rows, other._rows)
+        )
+        return GF2Matrix(rows, self._num_cols + width)
+
+    def vstack(self, other: GF2Matrix) -> GF2Matrix:
+        """Concatenate rows."""
+        if self._num_cols != other.num_cols:
+            raise ValueError(
+                f"column count mismatch: {self._num_cols} vs {other.num_cols}"
+            )
+        return GF2Matrix(self._rows + other.rows, self._num_cols)
+
+    def submatrix_columns(self, cols: Sequence[int]) -> GF2Matrix:
+        """Return the matrix restricted to the given columns, in order."""
+        n = self._num_cols
+        for col in cols:
+            if not 0 <= col < n:
+                raise IndexError(f"column {col} out of range")
+        rows = []
+        for row in self._rows:
+            packed = 0
+            for col in cols:
+                packed = (packed << 1) | ((row >> (n - 1 - col)) & 1)
+            rows.append(packed)
+        return GF2Matrix(rows, len(cols))
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GF2Matrix):
+            return NotImplemented
+        return self._num_cols == other._num_cols and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._rows, self._num_cols))
+
+    def __repr__(self) -> str:
+        return f"GF2Matrix(shape={self.shape})"
+
+    def to_lists(self) -> list[list[int]]:
+        """Return the matrix as nested lists of 0/1 ints (row-major)."""
+        n = self._num_cols
+        return [
+            [(row >> (n - 1 - c)) & 1 for c in range(n)] for row in self._rows
+        ]
+
+    def render(self) -> str:
+        """Return a compact text rendering, one row per line."""
+        n = self._num_cols
+        return "\n".join(format(row, f"0{n}b") if n else "" for row in self._rows)
+
+
+def identity(size: int) -> GF2Matrix:
+    """Return the size x size identity matrix."""
+    return GF2Matrix((1 << (size - 1 - i) for i in range(size)), size)
+
+
+def zeros(num_rows: int, num_cols: int) -> GF2Matrix:
+    """Return an all-zero matrix."""
+    return GF2Matrix((0 for _ in range(num_rows)), num_cols)
+
+
+def from_rows(rows: Sequence[Sequence[int]]) -> GF2Matrix:
+    """Build a matrix from nested 0/1 lists (row-major)."""
+    if not rows:
+        return GF2Matrix((), 0)
+    width = len(rows[0])
+    packed = []
+    for index, row in enumerate(rows):
+        if len(row) != width:
+            raise ValueError(f"row {index} has length {len(row)}, expected {width}")
+        value = 0
+        for bit in row:
+            if bit not in (0, 1):
+                raise ValueError(f"entries must be 0/1, got {bit!r}")
+            value = (value << 1) | bit
+        packed.append(value)
+    return GF2Matrix(packed, width)
+
+
+def from_columns(columns: Sequence[int], num_rows: int) -> GF2Matrix:
+    """Build a matrix from bit-packed columns (MSB = row 0)."""
+    mask = bit_mask(num_rows)
+    for index, col in enumerate(columns):
+        if col < 0 or col > mask:
+            raise ValueError(
+                f"column {index} value 0x{col:x} does not fit in {num_rows} rows"
+            )
+    rows = []
+    width = len(columns)
+    for r in range(num_rows):
+        shift = num_rows - 1 - r
+        value = 0
+        for col in columns:
+            value = (value << 1) | ((col >> shift) & 1)
+        rows.append(value)
+    return GF2Matrix(rows, width)

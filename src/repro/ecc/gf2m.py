@@ -1,0 +1,250 @@
+"""Arithmetic in the finite fields GF(2^m), substrate for BCH codes.
+
+Elements are represented as integers in ``[0, 2^m)`` whose bits are the
+coefficients of a polynomial over GF(2) reduced modulo a primitive
+polynomial (LSB = x^0).  Multiplication uses exp/log tables built at
+construction, so products and inverses are O(1).
+
+Binary polynomials (used for BCH generator polynomials) are likewise
+integers with LSB = x^0; helpers for those live at module scope.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodeConstructionError
+
+__all__ = [
+    "GF2mField",
+    "DEFAULT_PRIMITIVE_POLYS",
+    "poly_degree",
+    "poly_mul",
+    "poly_mod",
+    "poly_divmod",
+]
+
+# Standard primitive polynomials (Lin & Costello, App. B), LSB = x^0.
+DEFAULT_PRIMITIVE_POLYS: dict[int, int] = {
+    2: 0b111,                # x^2 + x + 1
+    3: 0b1011,               # x^3 + x + 1
+    4: 0b10011,              # x^4 + x + 1
+    5: 0b100101,             # x^5 + x^2 + 1
+    6: 0b1000011,            # x^6 + x + 1
+    7: 0b10001001,           # x^7 + x^3 + 1
+    8: 0b100011101,          # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,         # x^9 + x^4 + 1
+    10: 0b10000001001,       # x^10 + x^3 + 1
+}
+
+
+def poly_degree(poly: int) -> int:
+    """Degree of a binary polynomial (-1 for the zero polynomial)."""
+    return poly.bit_length() - 1
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Product of two binary polynomials (carry-less multiply)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_divmod(dividend: int, divisor: int) -> tuple[int, int]:
+    """Quotient and remainder of binary polynomial division."""
+    if divisor == 0:
+        raise ZeroDivisionError("binary polynomial division by zero")
+    quotient = 0
+    divisor_degree = poly_degree(divisor)
+    while poly_degree(dividend) >= divisor_degree:
+        shift = poly_degree(dividend) - divisor_degree
+        quotient ^= 1 << shift
+        dividend ^= divisor << shift
+    return quotient, dividend
+
+
+def poly_mod(dividend: int, divisor: int) -> int:
+    """Remainder of binary polynomial division."""
+    return poly_divmod(dividend, divisor)[1]
+
+
+class GF2mField:
+    """The finite field GF(2^m) with exp/log table arithmetic.
+
+    Parameters
+    ----------
+    m:
+        Field extension degree (2 <= m <= 20 supported).
+    primitive_poly:
+        Primitive polynomial of degree m (LSB = x^0); defaults to the
+        standard table entry.
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None) -> None:
+        if m < 2:
+            raise CodeConstructionError(f"GF(2^m) needs m >= 2, got {m}")
+        if primitive_poly is None:
+            primitive_poly = DEFAULT_PRIMITIVE_POLYS.get(m)
+            if primitive_poly is None:
+                raise CodeConstructionError(
+                    f"no default primitive polynomial for m={m}; supply one"
+                )
+        if poly_degree(primitive_poly) != m:
+            raise CodeConstructionError(
+                f"primitive polynomial degree {poly_degree(primitive_poly)} != m={m}"
+            )
+        self._m = m
+        self._order = (1 << m) - 1
+        self._poly = primitive_poly
+        # Build exp/log tables by repeated multiplication by alpha = x.
+        exp = [0] * (2 * self._order)
+        log = [0] * (1 << m)
+        value = 1
+        for power in range(self._order):
+            # alpha must have full order 2^m - 1: returning to 1 early
+            # means the polynomial is irreducible but not primitive
+            # (or not irreducible at all), and the tables would alias.
+            if value == 1 and power != 0:
+                raise CodeConstructionError(
+                    f"polynomial 0x{primitive_poly:x} is not primitive for m={m}"
+                )
+            exp[power] = value
+            log[value] = power
+            value <<= 1
+            if value >> m:
+                value ^= primitive_poly
+        if value != 1:
+            raise CodeConstructionError(
+                f"polynomial 0x{primitive_poly:x} is not primitive for m={m}"
+            )
+        # Duplicate the table so exp[i + j] never needs a modulo.
+        for power in range(self._order, 2 * self._order):
+            exp[power] = exp[power - self._order]
+        self._exp = exp
+        self._log = log
+
+    @property
+    def m(self) -> int:
+        """Extension degree."""
+        return self._m
+
+    @property
+    def order(self) -> int:
+        """Multiplicative group order, 2^m - 1."""
+        return self._order
+
+    @property
+    def size(self) -> int:
+        """Number of field elements, 2^m."""
+        return self._order + 1
+
+    @property
+    def primitive_poly(self) -> int:
+        """The defining primitive polynomial."""
+        return self._poly
+
+    def _check(self, a: int) -> None:
+        if not 0 <= a <= self._order:
+            raise ValueError(f"0x{a:x} is not an element of GF(2^{self._m})")
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        self._check(a)
+        self._check(b)
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log/exp tables."""
+        self._check(a)
+        self._check(b)
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError for 0."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF(2^m)")
+        return self._exp[self._order - self._log[a]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division a / b."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        """Raise *a* to an integer power (negative powers allowed)."""
+        self._check(a)
+        if a == 0:
+            if exponent <= 0:
+                raise ZeroDivisionError("0 to a non-positive power")
+            return 0
+        reduced = (self._log[a] * exponent) % self._order
+        return self._exp[reduced]
+
+    def alpha_power(self, exponent: int) -> int:
+        """Return alpha^exponent for the primitive element alpha = x."""
+        return self._exp[exponent % self._order]
+
+    def log_alpha(self, a: int) -> int:
+        """Return the discrete log of *a* base alpha."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("log of 0 in GF(2^m)")
+        return self._log[a]
+
+    # ------------------------------------------------------------------
+    # Structures over the field
+    # ------------------------------------------------------------------
+
+    def cyclotomic_coset(self, s: int) -> tuple[int, ...]:
+        """Return the 2-cyclotomic coset of *s* modulo 2^m - 1."""
+        coset = []
+        current = s % self._order
+        while current not in coset:
+            coset.append(current)
+            current = (current * 2) % self._order
+        return tuple(sorted(coset))
+
+    def minimal_polynomial(self, s: int) -> int:
+        """Return the minimal polynomial of alpha^s over GF(2).
+
+        Computed as the product of ``(x - alpha^j)`` over the cyclotomic
+        coset of *s*; the result always has coefficients in {0, 1} and
+        is returned as a binary polynomial (LSB = x^0).
+        """
+        coset = self.cyclotomic_coset(s)
+        # Polynomial with GF(2^m) coefficients, index = degree.
+        poly = [1]
+        for j in coset:
+            root = self.alpha_power(j)
+            # Multiply poly by (x + root).
+            next_poly = [0] * (len(poly) + 1)
+            for degree, coeff in enumerate(poly):
+                next_poly[degree + 1] ^= coeff
+                next_poly[degree] ^= self.mul(coeff, root)
+            poly = next_poly
+        packed = 0
+        for degree, coeff in enumerate(poly):
+            if coeff not in (0, 1):
+                raise CodeConstructionError(
+                    "minimal polynomial has a coefficient outside GF(2); "
+                    "field tables are corrupt"
+                )
+            packed |= coeff << degree
+        return packed
+
+    def poly_eval(self, coefficients: list[int], x: int) -> int:
+        """Evaluate a GF(2^m)-coefficient polynomial at *x* (Horner).
+
+        *coefficients* are ordered by increasing degree.
+        """
+        result = 0
+        for coeff in reversed(coefficients):
+            result = self.mul(result, x) ^ coeff
+        return result
+
+    def __repr__(self) -> str:
+        return f"GF2mField(m={self._m}, poly=0x{self._poly:x})"

@@ -1,0 +1,69 @@
+"""Canonical, frozen parity-check matrices for the evaluation.
+
+The paper uses the (39, 32) SECDED generator/parity-check pair from the
+Lattice Semiconductor ECC reference design RD1025 (its ref. [39]).
+That document is not redistributable, so the evaluation here pins an
+equivalent code: the odd-weight-column Hsiao (39, 32) construction from
+:mod:`repro.ecc.hsiao`, with its H columns frozen as literals below so
+results are stable even if the greedy column selection ever changes.
+
+Equivalence argument (also in DESIGN.md): both are distance-4 SECDED
+codes of identical (n, k) from the truncated-Hamming/Hsiao family, so
+they share every property the evaluation depends on — all 1-bit errors
+corrected, all 2-bit errors detected, and a position-dependent
+candidate-codeword count for 2-bit DUEs ranging 8..15 with mean ~12
+(the paper's Fig. 4 reports exactly that range for RD1025's matrix).
+"""
+
+from __future__ import annotations
+
+from repro.ecc.code import LinearBlockCode
+from repro.ecc.gf2 import from_columns, identity
+from repro.errors import CodeConstructionError
+
+__all__ = ["CANONICAL_39_32_COLUMNS", "canonical_secded_39_32", "code_from_h_columns"]
+
+# H columns for the canonical (39, 32) SECDED code, one 7-bit value per
+# codeword bit position 0..38 (MSB-first).  Positions 0..31 carry the
+# message (all odd weight >= 3), positions 32..38 the parity identity.
+CANONICAL_39_32_COLUMNS: tuple[int, ...] = (
+    7, 56, 67, 28, 97, 14, 112, 11, 52, 69, 26, 98, 13, 19, 100, 88,
+    35, 44, 81, 22, 104, 21, 42, 70, 25, 37, 74, 38, 41, 82, 84, 49,
+    64, 32, 16, 8, 4, 2, 1,
+)
+
+
+def code_from_h_columns(
+    columns: tuple[int, ...], k: int, r: int, name: str
+) -> LinearBlockCode:
+    """Build a systematic code from explicit H columns.
+
+    The last *r* columns must form the identity block (in MSB-first row
+    order, that is ``2^(r-1), ..., 2, 1``); the first *k* columns are
+    the parity contributions of the data bits.
+    """
+    if len(columns) != k + r:
+        raise CodeConstructionError(
+            f"expected {k + r} columns, got {len(columns)}"
+        )
+    expected_identity = tuple(1 << (r - 1 - i) for i in range(r))
+    if tuple(columns[k:]) != expected_identity:
+        raise CodeConstructionError(
+            "last r columns must be the identity block for a systematic code"
+        )
+    parity_check = from_columns(columns, r)
+    # G = [I_k | P] with P rows read from the data columns of H.
+    p_matrix = parity_check.submatrix_columns(range(k)).transpose()
+    generator = identity(k).hstack(p_matrix)
+    return LinearBlockCode(generator, parity_check, name=name)
+
+
+def canonical_secded_39_32() -> LinearBlockCode:
+    """The frozen (39, 32) SECDED code used by every experiment.
+
+    Stand-in for the Lattice RD1025 matrix the paper used; see the
+    module docstring for the equivalence argument.
+    """
+    return code_from_h_columns(
+        CANONICAL_39_32_COLUMNS, k=32, r=7, name="canonical (39,32) SECDED"
+    )

@@ -1,0 +1,57 @@
+"""Trivial baseline codes: single parity (detect-only) and repetition.
+
+These exist to frame the SECDED results: single parity detects any odd
+number of flips but corrects nothing (every detection is a DUE), and
+the (3, 1) repetition code corrects one flip at a 200% storage
+overhead.  Both reuse the generic :class:`~repro.ecc.code.LinearBlockCode`
+machinery, which doubles as a test of its edge cases (duplicate H
+columns, k = 1).
+"""
+
+from __future__ import annotations
+
+from repro.ecc.code import LinearBlockCode, systematic_pair
+from repro.ecc.gf2 import GF2Matrix
+from repro.errors import CodeConstructionError
+
+__all__ = ["single_parity_code", "repetition_code"]
+
+
+def single_parity_code(k: int) -> LinearBlockCode:
+    """Return the (k + 1, k) even-parity code (d = 2, detect-only).
+
+    Every column of H is 1, so no syndrome identifies a bit position:
+    the decoder reports any odd-weight error as a DUE and silently
+    accepts any even-weight error, the classic parity failure mode.
+    """
+    if k < 1:
+        raise CodeConstructionError(f"message length must be >= 1, got {k}")
+    p_matrix = GF2Matrix((1 for _ in range(k)), 1)
+    generator, parity_check = systematic_pair(p_matrix)
+    return LinearBlockCode(
+        generator,
+        parity_check,
+        name=f"single parity ({k + 1},{k})",
+        allow_ambiguous_columns=True,
+    )
+
+
+def repetition_code(copies: int) -> LinearBlockCode:
+    """Return the (copies, 1) repetition code.
+
+    With ``copies = 2t + 1`` the code has distance ``copies`` and could
+    correct t errors under majority vote; the generic syndrome decoder
+    here is bounded-distance t = 1, which is all the SWD-ECC framework
+    requires of its substrate codes.
+    """
+    if copies < 3 or copies % 2 == 0:
+        raise CodeConstructionError(
+            f"repetition code needs an odd number of copies >= 3, got {copies}"
+        )
+    # Systematic form: message bit, then copies-1 parity bits each equal
+    # to the message bit, so P is a single all-ones row.
+    p_matrix = GF2Matrix(((1 << (copies - 1)) - 1,), copies - 1)
+    generator, parity_check = systematic_pair(p_matrix)
+    return LinearBlockCode(
+        generator, parity_check, name=f"repetition ({copies},1)"
+    )

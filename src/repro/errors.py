@@ -1,0 +1,126 @@
+"""Exception hierarchy for the SWD-ECC reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CodeConstructionError",
+    "DecodingError",
+    "EncodingError",
+    "IsaError",
+    "IllegalInstructionError",
+    "AssemblerError",
+    "ProgramImageError",
+    "ElfFormatError",
+    "MemoryFaultError",
+    "UncorrectableError",
+    "RecoveryError",
+    "SimulationError",
+    "CpuFault",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class CodeConstructionError(ReproError):
+    """An error-correcting code could not be constructed as requested.
+
+    Raised, for example, when the requested (n, k) parameters are
+    infeasible for the code family, or when a user-supplied parity-check
+    matrix is rank deficient.
+    """
+
+
+class EncodingError(ReproError):
+    """A message could not be encoded (e.g. it does not fit in k bits)."""
+
+
+class DecodingError(ReproError):
+    """A received word could not be processed by a decoder.
+
+    This signals *API misuse* (wrong word width, corrupt decoder state),
+    not a channel error: detected-but-uncorrectable channel errors are
+    reported through :class:`repro.ecc.code.DecodeResult`, never through
+    exceptions, because they are an expected outcome.
+    """
+
+
+class IsaError(ReproError):
+    """Base class for instruction-set-architecture errors."""
+
+
+class IllegalInstructionError(IsaError):
+    """A 32-bit word does not decode to any legal MIPS-I instruction."""
+
+    def __init__(self, word: int, reason: str = "") -> None:
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"illegal instruction word 0x{word:08x}{detail}")
+        self.word = word
+        self.reason = reason
+
+
+class AssemblerError(IsaError):
+    """Assembly source text could not be translated to machine code."""
+
+
+class ProgramImageError(ReproError):
+    """A program image is malformed or an operation on it is invalid."""
+
+
+class ElfFormatError(ProgramImageError):
+    """Bytes presented as an ELF object violate the ELF32 format."""
+
+
+class MemoryFaultError(ReproError):
+    """Base class for faults surfaced by the ECC memory model."""
+
+
+class UncorrectableError(MemoryFaultError):
+    """A DUE escalated to the caller (e.g. under the crash policy).
+
+    Mirrors the machine-check / kernel-panic path of conventional
+    systems described in Sec. III of the paper.
+    """
+
+    def __init__(self, address: int, syndrome: int) -> None:
+        super().__init__(
+            f"detected-but-uncorrectable error at address 0x{address:x} "
+            f"(syndrome 0x{syndrome:x})"
+        )
+        self.address = address
+        self.syndrome = syndrome
+
+
+class RecoveryError(ReproError):
+    """Heuristic recovery could not produce any candidate at all."""
+
+
+class SimulationError(ReproError):
+    """The MIPS functional simulator entered an unrecoverable state."""
+
+
+class CpuFault(SimulationError):
+    """An architectural fault raised while simulating a program.
+
+    Carries the symptom classification used by the forked-execution use
+    model (Sec. III-C) to prune incorrect recovery candidates.
+    """
+
+    def __init__(self, symptom: str, pc: int, detail: str = "") -> None:
+        extra = f" ({detail})" if detail else ""
+        super().__init__(f"{symptom} at pc=0x{pc:08x}{extra}")
+        self.symptom = symptom
+        self.pc = pc
+        self.detail = detail
+
+
+class AnalysisError(ReproError):
+    """An experiment driver was configured inconsistently."""

@@ -1,0 +1,71 @@
+"""MIPS-I ISA substrate: decoder (legality oracle), encoder, assembler.
+
+The decoder here reproduces the role of the gem5-derived legality
+checker in the paper's evaluation pipeline (Sec. IV-A): given a 32-bit
+value, report whether it is a legal instruction and which operation it
+performs.
+"""
+
+from repro.isa.assembler import AssembledProgram, assemble
+from repro.isa.decoder import decode, is_legal, mnemonic_of, try_decode
+from repro.isa.disassembler import (
+    disassemble,
+    disassemble_words,
+    render_instruction,
+)
+from repro.isa.encoder import encode
+from repro.isa.fields import (
+    DECODING_FIELD_POSITIONS,
+    FIELDS,
+    Field,
+    InstructionFormat,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    COP1_FMTS,
+    INSTRUCTION_SPECS,
+    InstructionSpec,
+    LEGAL_OPCODES,
+    OperandStyle,
+    REGIMM_SELECTORS,
+    SPECIAL_FUNCTS,
+    spec_for_mnemonic,
+)
+from repro.isa.registers import (
+    ABI_CLASSES,
+    NUM_REGISTERS,
+    REGISTER_NAMES,
+    register_name,
+    register_number,
+)
+
+__all__ = [
+    "AssembledProgram",
+    "assemble",
+    "decode",
+    "is_legal",
+    "mnemonic_of",
+    "try_decode",
+    "disassemble",
+    "disassemble_words",
+    "render_instruction",
+    "encode",
+    "DECODING_FIELD_POSITIONS",
+    "FIELDS",
+    "Field",
+    "InstructionFormat",
+    "Instruction",
+    "COP1_FMTS",
+    "INSTRUCTION_SPECS",
+    "InstructionSpec",
+    "LEGAL_OPCODES",
+    "OperandStyle",
+    "REGIMM_SELECTORS",
+    "SPECIAL_FUNCTS",
+    "spec_for_mnemonic",
+    "ABI_CLASSES",
+    "NUM_REGISTERS",
+    "REGISTER_NAMES",
+    "register_name",
+    "register_number",
+]

@@ -1,0 +1,125 @@
+"""Rendering decoded instructions back to assembly text.
+
+Mirrors what the paper obtained from ``readelf`` disassembly: one text
+line per instruction, from which the per-mnemonic statistics were
+computed.  :func:`disassemble` is the bulk entry point used by
+:mod:`repro.program.stats`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.isa.decoder import try_decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OperandStyle
+from repro.isa.registers import register_name
+
+__all__ = ["render_instruction", "disassemble", "disassemble_words"]
+
+
+def _fp(register: int) -> str:
+    return f"$f{register}"
+
+
+def render_instruction(instruction: Instruction, pc: int | None = None) -> str:
+    """Render one instruction as assembly text.
+
+    When *pc* is given, branch and jump destinations are rendered as
+    absolute addresses; otherwise branches show their raw word offsets.
+    """
+    mnemonic = instruction.mnemonic
+    style = instruction.style
+    rs = register_name(instruction.rs)
+    rt = register_name(instruction.rt)
+    rd = register_name(instruction.rd)
+
+    if instruction.is_nop:
+        return "nop"
+    if style is OperandStyle.THREE_REG:
+        return f"{mnemonic} {rd}, {rs}, {rt}"
+    if style is OperandStyle.SHIFT_IMMEDIATE:
+        return f"{mnemonic} {rd}, {rt}, {instruction.shamt}"
+    if style is OperandStyle.SHIFT_VARIABLE:
+        return f"{mnemonic} {rd}, {rt}, {rs}"
+    if style is OperandStyle.JUMP_REGISTER:
+        return f"{mnemonic} {rs}"
+    if style is OperandStyle.JUMP_LINK_REGISTER:
+        return f"{mnemonic} {rd}, {rs}"
+    if style is OperandStyle.MOVE_FROM_HILO:
+        return f"{mnemonic} {rd}"
+    if style is OperandStyle.MOVE_TO_HILO:
+        return f"{mnemonic} {rs}"
+    if style in (OperandStyle.MULT_DIV, OperandStyle.TRAP_TWO_REG):
+        return f"{mnemonic} {rs}, {rt}"
+    if style is OperandStyle.NO_OPERANDS:
+        return mnemonic
+    if style is OperandStyle.IMMEDIATE_ARITH:
+        return f"{mnemonic} {rt}, {rs}, {instruction.signed_immediate}"
+    if style is OperandStyle.IMMEDIATE_LOGIC:
+        return f"{mnemonic} {rt}, {rs}, 0x{instruction.immediate:x}"
+    if style is OperandStyle.LOAD_UPPER:
+        return f"{mnemonic} {rt}, 0x{instruction.immediate:x}"
+    if style is OperandStyle.LOAD_STORE:
+        return f"{mnemonic} {rt}, {instruction.signed_immediate}({rs})"
+    if style is OperandStyle.COP_LOAD_STORE:
+        return f"{mnemonic} {_fp(instruction.rt)}, {instruction.signed_immediate}({rs})"
+    if style is OperandStyle.CACHE_OP:
+        return f"{mnemonic} 0x{instruction.rt:x}, {instruction.signed_immediate}({rs})"
+    if style is OperandStyle.BRANCH_TWO_REG:
+        destination = _branch_destination(instruction, pc)
+        return f"{mnemonic} {rs}, {rt}, {destination}"
+    if style is OperandStyle.BRANCH_ONE_REG:
+        destination = _branch_destination(instruction, pc)
+        return f"{mnemonic} {rs}, {destination}"
+    if style is OperandStyle.TRAP_IMMEDIATE:
+        return f"{mnemonic} {rs}, {instruction.signed_immediate}"
+    if style is OperandStyle.JUMP_TARGET:
+        if pc is not None:
+            address = ((pc + 4) & 0xF0000000) | (instruction.target << 2)
+            return f"{mnemonic} 0x{address:x}"
+        return f"{mnemonic} 0x{instruction.target:x}"
+    if style is OperandStyle.FP_THREE_REG:
+        return (
+            f"{mnemonic} {_fp(instruction.shamt)}, {_fp(instruction.rd)}, "
+            f"{_fp(instruction.rt)}"
+        )
+    if style is OperandStyle.FP_TWO_REG:
+        return f"{mnemonic} {_fp(instruction.shamt)}, {_fp(instruction.rd)}"
+    if style is OperandStyle.FP_COMPARE:
+        return f"{mnemonic} {_fp(instruction.rd)}, {_fp(instruction.rt)}"
+    if style is OperandStyle.COP_TRANSFER:
+        return f"{mnemonic} {rt}, {rd}"
+    if style is OperandStyle.COP_OPERATION:
+        return mnemonic
+    raise AssertionError(f"unhandled operand style {style}")
+
+
+def _branch_destination(instruction: Instruction, pc: int | None) -> str:
+    offset = instruction.signed_immediate
+    if pc is None:
+        return str(offset)
+    return f"0x{(pc + 4 + (offset << 2)) & 0xFFFFFFFF:x}"
+
+
+def disassemble_words(
+    words: Iterable[int], base_address: int = 0
+) -> Iterator[tuple[int, int, str]]:
+    """Yield (address, word, text) for each word; illegal words render
+    as ``.word 0x...`` the way binutils does."""
+    for index, word in enumerate(words):
+        address = base_address + 4 * index
+        instruction = try_decode(word)
+        if instruction is None:
+            yield address, word, f".word 0x{word:08x}"
+        else:
+            yield address, word, render_instruction(instruction, pc=address)
+
+
+def disassemble(words: Iterable[int], base_address: int = 0) -> str:
+    """Return a full text disassembly, one line per word."""
+    lines = [
+        f"{address:08x}:  {word:08x}  {text}"
+        for address, word, text in disassemble_words(words, base_address)
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Programmatic instruction encoding: mnemonic + operands -> 32-bit word.
+
+The inverse of :mod:`repro.isa.decoder`; every word this module emits
+decodes back to the same mnemonic and operands (a property test in the
+suite).  The encoder is used by the assembler, the mini compiler, and
+the synthetic workload generator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+from repro.isa.fields import FIELDS
+from repro.isa.opcodes import (
+    InstructionSpec,
+    OperandStyle,
+    spec_for_mnemonic,
+)
+
+__all__ = ["encode", "encode_fields"]
+
+
+def _check_register(value: int, role: str) -> int:
+    if not 0 <= value < 32:
+        raise AssemblerError(f"{role} register {value} out of range 0..31")
+    return value
+
+
+def _check_unsigned(value: int, width: int, role: str) -> int:
+    if not 0 <= value < (1 << width):
+        raise AssemblerError(
+            f"{role} value {value} does not fit in {width} unsigned bits"
+        )
+    return value
+
+
+def _to_signed_16(value: int, role: str) -> int:
+    """Accept -32768..65535 and return the 16-bit two's-complement image."""
+    if -0x8000 <= value < 0:
+        return value + 0x10000
+    if 0 <= value <= 0xFFFF:
+        return value
+    raise AssemblerError(f"{role} value {value} does not fit in 16 bits")
+
+
+def encode_fields(
+    spec: InstructionSpec,
+    rs: int = 0,
+    rt: int = 0,
+    rd: int = 0,
+    shamt: int = 0,
+    imm: int = 0,
+    target: int = 0,
+) -> int:
+    """Assemble a word from a spec and raw field values.
+
+    Fixed discriminator fields from the spec (funct, fmt, REGIMM rt,
+    coprocessor rs) override the corresponding arguments.
+    """
+    word = spec.opcode << 26
+    if spec.style is OperandStyle.JUMP_TARGET:
+        word |= _check_unsigned(target, 26, "jump target")
+        return word
+    word = FIELDS["rs"].insert(word, _check_register(rs, "rs"))
+    word = FIELDS["rt"].insert(word, _check_register(rt, "rt"))
+    word = FIELDS["rd"].insert(word, _check_register(rd, "rd"))
+    word = FIELDS["shamt"].insert(word, _check_unsigned(shamt, 5, "shamt"))
+    if spec.format.value == "R" or spec.funct is not None:
+        word = FIELDS["funct"].insert(word, spec.funct or 0)
+    else:
+        word = FIELDS["immediate"].insert(
+            word, _check_unsigned(imm, 16, "immediate")
+        )
+    if spec.fmt is not None:
+        word = FIELDS["fmt"].insert(word, spec.fmt)
+    if spec.cop_rs is not None:
+        word = FIELDS["rs"].insert(word, spec.cop_rs)
+    if spec.regimm_rt is not None:
+        word = FIELDS["rt"].insert(word, spec.regimm_rt)
+    return word
+
+
+def encode(
+    mnemonic: str,
+    rs: int = 0,
+    rt: int = 0,
+    rd: int = 0,
+    shamt: int = 0,
+    imm: int = 0,
+    target: int = 0,
+    fd: int = 0,
+    fs: int = 0,
+    ft: int = 0,
+) -> int:
+    """Encode an instruction from its mnemonic and operand values.
+
+    Operands follow the architectural roles for the mnemonic's operand
+    style (see :class:`~repro.isa.opcodes.OperandStyle`): e.g.
+    ``encode("addu", rd=8, rs=9, rt=10)``,
+    ``encode("lw", rt=8, rs=29, imm=4)``,
+    ``encode("add.s", fd=0, fs=2, ft=4)``.
+    Signed immediates (arithmetic, branches, load/store offsets) accept
+    negative values down to -32768.
+    """
+    spec = spec_for_mnemonic(mnemonic)
+    style = spec.style
+
+    if style in (
+        OperandStyle.IMMEDIATE_ARITH,
+        OperandStyle.LOAD_STORE,
+        OperandStyle.COP_LOAD_STORE,
+        OperandStyle.BRANCH_TWO_REG,
+        OperandStyle.BRANCH_ONE_REG,
+        OperandStyle.TRAP_IMMEDIATE,
+        OperandStyle.CACHE_OP,
+    ):
+        imm = _to_signed_16(imm, "immediate")
+    elif style in (OperandStyle.IMMEDIATE_LOGIC, OperandStyle.LOAD_UPPER):
+        imm = _check_unsigned(imm, 16, "immediate")
+
+    if style in (
+        OperandStyle.FP_THREE_REG,
+        OperandStyle.FP_TWO_REG,
+        OperandStyle.FP_COMPARE,
+    ):
+        # FP register roles map onto the integer field slots:
+        # ft -> rt, fs -> rd, fd -> shamt.
+        rt = _check_register(ft, "ft")
+        rd = _check_register(fs, "fs")
+        shamt = _check_register(fd, "fd")
+
+    # Only the roles the operand style actually uses are encoded; the
+    # rest are forced to zero so every encoding is canonical and the
+    # render -> assemble roundtrip is exact.
+    used = _USED_ROLES[style]
+    return encode_fields(
+        spec,
+        rs=rs if "rs" in used else 0,
+        rt=rt if "rt" in used else 0,
+        rd=rd if "rd" in used else 0,
+        shamt=shamt if "shamt" in used else 0,
+        imm=imm if "imm" in used else 0,
+        target=target,
+    )
+
+
+_USED_ROLES: dict[OperandStyle, frozenset[str]] = {
+    OperandStyle.THREE_REG: frozenset({"rd", "rs", "rt"}),
+    OperandStyle.SHIFT_IMMEDIATE: frozenset({"rd", "rt", "shamt"}),
+    OperandStyle.SHIFT_VARIABLE: frozenset({"rd", "rt", "rs"}),
+    OperandStyle.JUMP_REGISTER: frozenset({"rs"}),
+    OperandStyle.JUMP_LINK_REGISTER: frozenset({"rd", "rs"}),
+    OperandStyle.MOVE_FROM_HILO: frozenset({"rd"}),
+    OperandStyle.MOVE_TO_HILO: frozenset({"rs"}),
+    OperandStyle.MULT_DIV: frozenset({"rs", "rt"}),
+    OperandStyle.TRAP_TWO_REG: frozenset({"rs", "rt"}),
+    OperandStyle.NO_OPERANDS: frozenset(),
+    OperandStyle.IMMEDIATE_ARITH: frozenset({"rt", "rs", "imm"}),
+    OperandStyle.IMMEDIATE_LOGIC: frozenset({"rt", "rs", "imm"}),
+    OperandStyle.LOAD_UPPER: frozenset({"rt", "imm"}),
+    OperandStyle.LOAD_STORE: frozenset({"rt", "rs", "imm"}),
+    OperandStyle.BRANCH_TWO_REG: frozenset({"rs", "rt", "imm"}),
+    OperandStyle.BRANCH_ONE_REG: frozenset({"rs", "imm"}),
+    OperandStyle.TRAP_IMMEDIATE: frozenset({"rs", "imm"}),
+    OperandStyle.JUMP_TARGET: frozenset({"target"}),
+    OperandStyle.COP_LOAD_STORE: frozenset({"rt", "rs", "imm"}),
+    OperandStyle.FP_THREE_REG: frozenset({"rt", "rd", "shamt"}),
+    OperandStyle.FP_TWO_REG: frozenset({"rd", "shamt"}),
+    OperandStyle.FP_COMPARE: frozenset({"rt", "rd"}),
+    OperandStyle.COP_TRANSFER: frozenset({"rt", "rd"}),
+    OperandStyle.COP_OPERATION: frozenset(),
+    OperandStyle.CACHE_OP: frozenset({"rt", "rs", "imm"}),
+}

@@ -1,0 +1,168 @@
+"""MIPS instruction bit-field layouts and classification of bit ranges.
+
+MIPS instructions are 32 bits, numbered 31 (MSB) down to 0 per the
+architecture manuals.  Three base formats share the opcode field:
+
+====== =====================================================
+R-type ``opcode[31:26] rs[25:21] rt[20:16] rd[15:11] shamt[10:6] funct[5:0]``
+I-type ``opcode[31:26] rs[25:21] rt[20:16] immediate[15:0]``
+J-type ``opcode[31:26] target[25:0]``
+====== =====================================================
+
+The *decoding fields* — opcode, funct (R-type), fmt (COP1, aliased to
+rs), and the REGIMM selector (aliased to rt) — determine instruction
+legality; the paper's key observation (Fig. 8) is that DUEs landing in
+those fields are the most recoverable because illegal encodings prune
+the candidate list hardest.
+
+This module also maps between the instruction's bit positions and the
+codeword bit positions of a systematic ECC code, which the analysis
+harness uses to label heatmap axes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.bits import extract_field, insert_field
+
+__all__ = [
+    "InstructionFormat",
+    "Field",
+    "FIELDS",
+    "opcode_of",
+    "rs_of",
+    "rt_of",
+    "rd_of",
+    "shamt_of",
+    "funct_of",
+    "immediate_of",
+    "target_of",
+    "signed_immediate",
+    "with_field",
+    "DECODING_FIELD_POSITIONS",
+    "message_bit_positions",
+]
+
+
+class InstructionFormat(enum.Enum):
+    """The base encoding format of a MIPS instruction."""
+
+    R_TYPE = "R"
+    I_TYPE = "I"
+    J_TYPE = "J"
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named instruction bit field, bits ``high..low`` (LSB-numbered)."""
+
+    name: str
+    high: int
+    low: int
+
+    @property
+    def width(self) -> int:
+        """Width of the field in bits."""
+        return self.high - self.low + 1
+
+    def extract(self, word: int) -> int:
+        """Read this field from a 32-bit instruction word."""
+        return extract_field(word, self.high, self.low)
+
+    def insert(self, word: int, value: int) -> int:
+        """Return *word* with this field replaced by *value*."""
+        return insert_field(word, self.high, self.low, value)
+
+    def msb_first_positions(self) -> tuple[int, ...]:
+        """The field's bit positions in MSB-first numbering (0 = bit 31)."""
+        return tuple(31 - bit for bit in range(self.high, self.low - 1, -1))
+
+
+FIELDS: dict[str, Field] = {
+    "opcode": Field("opcode", 31, 26),
+    "rs": Field("rs", 25, 21),
+    "rt": Field("rt", 20, 16),
+    "rd": Field("rd", 15, 11),
+    "shamt": Field("shamt", 10, 6),
+    "funct": Field("funct", 5, 0),
+    "immediate": Field("immediate", 15, 0),
+    "target": Field("target", 25, 0),
+    # COP1 aliases: fmt occupies the rs field, ft the rt field, fs the
+    # rd field, fd the shamt field.
+    "fmt": Field("fmt", 25, 21),
+    "ft": Field("ft", 20, 16),
+    "fs": Field("fs", 15, 11),
+    "fd": Field("fd", 10, 6),
+}
+
+
+def opcode_of(word: int) -> int:
+    """The 6-bit major opcode (bits 31..26)."""
+    return FIELDS["opcode"].extract(word)
+
+
+def rs_of(word: int) -> int:
+    """The 5-bit rs register field (bits 25..21)."""
+    return FIELDS["rs"].extract(word)
+
+
+def rt_of(word: int) -> int:
+    """The 5-bit rt register field (bits 20..16)."""
+    return FIELDS["rt"].extract(word)
+
+
+def rd_of(word: int) -> int:
+    """The 5-bit rd register field (bits 15..11)."""
+    return FIELDS["rd"].extract(word)
+
+
+def shamt_of(word: int) -> int:
+    """The 5-bit shift-amount field (bits 10..6)."""
+    return FIELDS["shamt"].extract(word)
+
+
+def funct_of(word: int) -> int:
+    """The 6-bit funct field (bits 5..0) of R-type instructions."""
+    return FIELDS["funct"].extract(word)
+
+
+def immediate_of(word: int) -> int:
+    """The 16-bit immediate field (bits 15..0), unsigned."""
+    return FIELDS["immediate"].extract(word)
+
+
+def target_of(word: int) -> int:
+    """The 26-bit jump target field (bits 25..0)."""
+    return FIELDS["target"].extract(word)
+
+
+def signed_immediate(word: int) -> int:
+    """The 16-bit immediate interpreted as two's complement."""
+    value = immediate_of(word)
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def with_field(word: int, name: str, value: int) -> int:
+    """Return *word* with the named field set to *value*."""
+    return FIELDS[name].insert(word, value)
+
+
+# MSB-first positions (0 = instruction bit 31) of the fields that steer
+# instruction decoding; Fig. 8's high-recovery region.
+DECODING_FIELD_POSITIONS: frozenset[int] = frozenset(
+    FIELDS["opcode"].msb_first_positions()
+    + FIELDS["funct"].msb_first_positions()
+    + FIELDS["fmt"].msb_first_positions()
+)
+
+
+def message_bit_positions(field_name: str) -> tuple[int, ...]:
+    """MSB-first message-bit positions covered by the named field.
+
+    With the systematic codes in :mod:`repro.ecc`, message bit *i*
+    (MSB-first) sits at codeword position *i*, so these positions are
+    valid codeword positions as well.
+    """
+    return FIELDS[field_name].msb_first_positions()

@@ -1,0 +1,98 @@
+"""The :class:`Instruction` value type produced by the decoder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import fields
+from repro.isa.fields import InstructionFormat
+from repro.isa.opcodes import InstructionSpec, OperandStyle
+
+__all__ = ["Instruction"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded 32-bit MIPS instruction.
+
+    Wraps the raw word together with the matched
+    :class:`~repro.isa.opcodes.InstructionSpec`; field accessors read
+    straight from the word so they are always consistent with it.
+    """
+
+    word: int
+    spec: InstructionSpec
+
+    @property
+    def mnemonic(self) -> str:
+        """The instruction mnemonic, e.g. ``"lw"`` or ``"add.s"``.
+
+        This is the unit of the paper's frequency statistics (Fig. 7)
+        and of the filtering-and-ranking recovery strategy.
+        """
+        return self.spec.mnemonic
+
+    @property
+    def format(self) -> InstructionFormat:
+        """The base encoding format (R / I / J)."""
+        return self.spec.format
+
+    @property
+    def style(self) -> OperandStyle:
+        """The operand style used for rendering and assembly."""
+        return self.spec.style
+
+    @property
+    def opcode(self) -> int:
+        """The 6-bit major opcode."""
+        return fields.opcode_of(self.word)
+
+    @property
+    def rs(self) -> int:
+        """The rs register field (also fmt for COP1)."""
+        return fields.rs_of(self.word)
+
+    @property
+    def rt(self) -> int:
+        """The rt register field (also the REGIMM selector)."""
+        return fields.rt_of(self.word)
+
+    @property
+    def rd(self) -> int:
+        """The rd register field."""
+        return fields.rd_of(self.word)
+
+    @property
+    def shamt(self) -> int:
+        """The shift-amount field."""
+        return fields.shamt_of(self.word)
+
+    @property
+    def funct(self) -> int:
+        """The funct field."""
+        return fields.funct_of(self.word)
+
+    @property
+    def immediate(self) -> int:
+        """The 16-bit immediate, unsigned."""
+        return fields.immediate_of(self.word)
+
+    @property
+    def signed_immediate(self) -> int:
+        """The 16-bit immediate, sign-extended."""
+        return fields.signed_immediate(self.word)
+
+    @property
+    def target(self) -> int:
+        """The 26-bit jump target field."""
+        return fields.target_of(self.word)
+
+    @property
+    def is_nop(self) -> bool:
+        """True for the canonical ``nop`` encoding (all-zero word)."""
+        return self.word == 0
+
+    def __str__(self) -> str:
+        from repro.isa.disassembler import render_instruction
+
+        return render_instruction(self)

@@ -1,0 +1,88 @@
+"""MIPS register file names and the o32 ABI conventions.
+
+Register numbers are architectural (0..31); names follow the o32 ABI
+used by the gcc MIPS cross-compilers the paper compiled SPEC with.  The
+ABI usage classes also drive the synthetic workload generator, which
+skews register choices toward the registers compilers actually allocate
+($sp, $a0..$a3, $v0/$v1, $t*/$s* pools) rather than uniform noise.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "REGISTER_NAMES",
+    "REGISTER_NUMBERS",
+    "NUM_REGISTERS",
+    "register_name",
+    "register_number",
+    "ABI_CLASSES",
+    "ZERO",
+    "AT",
+    "V0",
+    "V1",
+    "A0",
+    "A1",
+    "A2",
+    "A3",
+    "T0",
+    "S0",
+    "GP",
+    "SP",
+    "FP",
+    "RA",
+]
+
+NUM_REGISTERS = 32
+
+REGISTER_NAMES: tuple[str, ...] = (
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+)
+
+REGISTER_NUMBERS: dict[str, int] = {
+    name: number for number, name in enumerate(REGISTER_NAMES)
+}
+# Numeric aliases ($0..$31) and bare fp/s8 alias.
+REGISTER_NUMBERS.update({f"${i}": i for i in range(NUM_REGISTERS)})
+REGISTER_NUMBERS["$s8"] = 30
+
+# Usage classes for the workload synthesizer: ABI role -> registers.
+ABI_CLASSES: dict[str, tuple[int, ...]] = {
+    "zero": (0,),
+    "assembler_temp": (1,),
+    "return_value": (2, 3),
+    "arguments": (4, 5, 6, 7),
+    "temporaries": (8, 9, 10, 11, 12, 13, 14, 15, 24, 25),
+    "saved": (16, 17, 18, 19, 20, 21, 22, 23),
+    "kernel": (26, 27),
+    "pointers": (28, 29, 30),
+    "link": (31,),
+}
+
+# Frequently referenced registers, exported as constants.
+ZERO, AT, V0, V1, A0, A1, A2, A3 = range(8)
+T0 = 8
+S0 = 16
+GP, SP, FP, RA = 28, 29, 30, 31
+
+
+def register_name(number: int) -> str:
+    """Return the ABI name of register *number* (0..31)."""
+    if not 0 <= number < NUM_REGISTERS:
+        raise ValueError(f"register number {number} out of range")
+    return REGISTER_NAMES[number]
+
+
+def register_number(name: str) -> int:
+    """Return the register number for an ABI or numeric name.
+
+    Accepts ``$t0`` style ABI names, ``$8`` numeric aliases, and the
+    same without the leading ``$``.
+    """
+    key = name if name.startswith("$") else f"${name}"
+    try:
+        return REGISTER_NUMBERS[key]
+    except KeyError:
+        raise ValueError(f"unknown register name {name!r}") from None

@@ -1,0 +1,18 @@
+"""RV32I legality oracle and workload synthesis (cross-ISA extension)."""
+
+from repro.isa_rv.decoder import (
+    RV32I_MNEMONICS,
+    is_legal,
+    mnemonic_of,
+    try_mnemonic,
+)
+from repro.isa_rv.synth import RV32I_MIX, generate_rv32i_words
+
+__all__ = [
+    "RV32I_MNEMONICS",
+    "is_legal",
+    "mnemonic_of",
+    "try_mnemonic",
+    "RV32I_MIX",
+    "generate_rv32i_words",
+]

@@ -1,0 +1,233 @@
+"""RV32I legality oracle: SWD-ECC on "other ISAs" (paper future work).
+
+The paper's conclusion proposes applying the technique to other
+instruction sets.  RISC-V's RV32I base is the interesting contrast to
+MIPS-I: its encoding is much *sparser* —
+
+- bits [1:0] must be ``11`` for any 32-bit instruction (3/4 of the
+  space is gone immediately);
+- only 11 of the 32 major opcodes are populated;
+- most opcodes constrain funct3, and the register-register group
+  additionally constrains funct7;
+
+so a random 32-bit word is far less likely to be a legal instruction
+than under MIPS (~9 % vs ~58 %), which makes legality filtering a far
+sharper knife.  The comparison is quantified in
+``benchmarks/bench_ext_riscv.py``.
+
+This module mirrors the :mod:`repro.isa.decoder` surface at the level
+SWD-ECC needs: :func:`is_legal`, :func:`mnemonic_of` /
+:func:`try_mnemonic`, plus per-format encoders for the workload
+synthesizer.  (It is a legality-and-statistics oracle, not a full
+toolchain like the MIPS package.)
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import IllegalInstructionError
+
+__all__ = [
+    "is_legal",
+    "try_mnemonic",
+    "mnemonic_of",
+    "encode_r",
+    "encode_i",
+    "encode_s",
+    "encode_b",
+    "encode_u",
+    "encode_j",
+    "RV32I_MNEMONICS",
+]
+
+# Major opcodes (bits 6..0, with [1:0] = 0b11).
+_LUI = 0b0110111
+_AUIPC = 0b0010111
+_JAL = 0b1101111
+_JALR = 0b1100111
+_BRANCH = 0b1100011
+_LOAD = 0b0000011
+_STORE = 0b0100011
+_OP_IMM = 0b0010011
+_OP = 0b0110011
+_MISC_MEM = 0b0001111
+_SYSTEM = 0b1110011
+
+_BRANCH_FUNCT3 = {
+    0b000: "beq", 0b001: "bne", 0b100: "blt", 0b101: "bge",
+    0b110: "bltu", 0b111: "bgeu",
+}
+_LOAD_FUNCT3 = {
+    0b000: "lb", 0b001: "lh", 0b010: "lw", 0b100: "lbu", 0b101: "lhu",
+}
+_STORE_FUNCT3 = {0b000: "sb", 0b001: "sh", 0b010: "sw"}
+_OP_IMM_FUNCT3 = {
+    0b000: "addi", 0b010: "slti", 0b011: "sltiu", 0b100: "xori",
+    0b110: "ori", 0b111: "andi",
+    # 001 (slli) and 101 (srli/srai) are funct7 constrained, handled below.
+}
+_OP_FUNCT = {
+    (0b000, 0b0000000): "add", (0b000, 0b0100000): "sub",
+    (0b001, 0b0000000): "sll",
+    (0b010, 0b0000000): "slt", (0b011, 0b0000000): "sltu",
+    (0b100, 0b0000000): "xor",
+    (0b101, 0b0000000): "srl", (0b101, 0b0100000): "sra",
+    (0b110, 0b0000000): "or", (0b111, 0b0000000): "and",
+}
+_CSR_FUNCT3 = {
+    0b001: "csrrw", 0b010: "csrrs", 0b011: "csrrc",
+    0b101: "csrrwi", 0b110: "csrrsi", 0b111: "csrrci",
+}
+
+RV32I_MNEMONICS: frozenset[str] = frozenset(
+    {"lui", "auipc", "jal", "jalr", "fence", "fence.i", "ecall", "ebreak",
+     "slli", "srli", "srai"}
+    | set(_BRANCH_FUNCT3.values())
+    | set(_LOAD_FUNCT3.values())
+    | set(_STORE_FUNCT3.values())
+    | set(_OP_IMM_FUNCT3.values())
+    | set(_OP_FUNCT.values())
+    | set(_CSR_FUNCT3.values())
+)
+
+
+def _fields(word: int) -> tuple[int, int, int]:
+    """(opcode, funct3, funct7) of a 32-bit word."""
+    return word & 0x7F, (word >> 12) & 0x7, (word >> 25) & 0x7F
+
+
+@lru_cache(maxsize=1 << 16)
+def try_mnemonic(word: int) -> str | None:
+    """The RV32I mnemonic of *word*, or ``None`` when illegal."""
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise ValueError(f"instruction word 0x{word:x} is not 32 bits")
+    if word & 0b11 != 0b11:
+        return None  # compressed/reserved encoding space
+    opcode, funct3, funct7 = _fields(word)
+    if opcode == _LUI:
+        return "lui"
+    if opcode == _AUIPC:
+        return "auipc"
+    if opcode == _JAL:
+        return "jal"
+    if opcode == _JALR:
+        return "jalr" if funct3 == 0 else None
+    if opcode == _BRANCH:
+        return _BRANCH_FUNCT3.get(funct3)
+    if opcode == _LOAD:
+        return _LOAD_FUNCT3.get(funct3)
+    if opcode == _STORE:
+        return _STORE_FUNCT3.get(funct3)
+    if opcode == _OP_IMM:
+        if funct3 == 0b001:
+            return "slli" if funct7 == 0 else None
+        if funct3 == 0b101:
+            if funct7 == 0:
+                return "srli"
+            if funct7 == 0b0100000:
+                return "srai"
+            return None
+        return _OP_IMM_FUNCT3.get(funct3)
+    if opcode == _OP:
+        return _OP_FUNCT.get((funct3, funct7))
+    if opcode == _MISC_MEM:
+        if funct3 == 0b000:
+            return "fence"
+        if funct3 == 0b001:
+            return "fence.i"
+        return None
+    if opcode == _SYSTEM:
+        if funct3 == 0b000:
+            # ECALL/EBREAK: rd, rs1 must be zero; imm selects which.
+            if word >> 7 == 0:
+                return "ecall"
+            if word >> 7 == (1 << 13):  # imm=1 in bits 31..20
+                return "ebreak"
+            return None
+        return _CSR_FUNCT3.get(funct3)
+    return None
+
+
+def is_legal(word: int) -> bool:
+    """True when *word* is a legal RV32I instruction."""
+    return try_mnemonic(word) is not None
+
+
+def mnemonic_of(word: int) -> str:
+    """The mnemonic of a legal word (raises for illegal encodings)."""
+    mnemonic = try_mnemonic(word)
+    if mnemonic is None:
+        raise IllegalInstructionError(word, "not a legal RV32I encoding")
+    return mnemonic
+
+
+# ---------------------------------------------------------------------------
+# Format encoders (for the synthetic workload generator).
+# ---------------------------------------------------------------------------
+
+
+def _check_reg(value: int) -> int:
+    if not 0 <= value < 32:
+        raise ValueError(f"register x{value} out of range")
+    return value
+
+
+def encode_r(opcode: int, funct3: int, funct7: int, rd: int, rs1: int, rs2: int) -> int:
+    """R-type: funct7 | rs2 | rs1 | funct3 | rd | opcode."""
+    return (
+        (funct7 << 25) | (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15)
+        | (funct3 << 12) | (_check_reg(rd) << 7) | opcode
+    )
+
+
+def encode_i(opcode: int, funct3: int, rd: int, rs1: int, imm: int) -> int:
+    """I-type with a 12-bit signed immediate."""
+    if not -2048 <= imm <= 2047:
+        raise ValueError(f"I-immediate {imm} out of 12-bit range")
+    return (
+        ((imm & 0xFFF) << 20) | (_check_reg(rs1) << 15) | (funct3 << 12)
+        | (_check_reg(rd) << 7) | opcode
+    )
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """S-type (stores): immediate split across bits 31..25 and 11..7."""
+    if not -2048 <= imm <= 2047:
+        raise ValueError(f"S-immediate {imm} out of 12-bit range")
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25) | (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15)
+        | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+    )
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, offset: int) -> int:
+    """B-type (branches): 13-bit signed, even byte offset."""
+    if offset % 2 or not -4096 <= offset <= 4094:
+        raise ValueError(f"branch offset {offset} invalid")
+    imm = offset & 0x1FFF
+    return (
+        (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25)
+        | (_check_reg(rs2) << 20) | (_check_reg(rs1) << 15) | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | opcode
+    )
+
+
+def encode_u(opcode: int, rd: int, imm20: int) -> int:
+    """U-type (lui/auipc): 20-bit upper immediate."""
+    if not 0 <= imm20 < (1 << 20):
+        raise ValueError(f"U-immediate {imm20} out of 20-bit range")
+    return (imm20 << 12) | (_check_reg(rd) << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, offset: int) -> int:
+    """J-type (jal): 21-bit signed, even byte offset."""
+    if offset % 2 or not -(1 << 20) <= offset <= (1 << 20) - 2:
+        raise ValueError(f"jump offset {offset} invalid")
+    imm = offset & 0x1FFFFF
+    return (
+        (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12)
+        | (_check_reg(rd) << 7) | opcode
+    )

@@ -1,0 +1,55 @@
+"""ECC memory model, fault injection, policies, and system baselines."""
+
+from repro.memory.backing import CleanPageStore
+from repro.memory.checkpoint import CheckpointStore, memory_checkpointer
+from repro.memory.compression import (
+    CompressedWord,
+    FpcClass,
+    compress_word,
+    compressed_bits,
+    decompress_word,
+    fits_stronger_code,
+)
+from repro.memory.context import MemoryContextProvider, TextRegion
+from repro.memory.faults import FaultInjector
+from repro.memory.hybrid import HybridEccMemory, HybridStats, dected_39_26
+from repro.memory.model import EccMemory, MemoryReadResult, MemoryStats
+from repro.memory.policy import (
+    CrashPolicy,
+    DueOutcome,
+    DuePolicy,
+    HeuristicPolicy,
+    PoisonPolicy,
+    PoisonedRead,
+)
+from repro.memory.scrub import PageRetirement, ScrubReport, Scrubber
+
+__all__ = [
+    "CleanPageStore",
+    "CheckpointStore",
+    "memory_checkpointer",
+    "CompressedWord",
+    "FpcClass",
+    "compress_word",
+    "compressed_bits",
+    "decompress_word",
+    "fits_stronger_code",
+    "MemoryContextProvider",
+    "TextRegion",
+    "FaultInjector",
+    "HybridEccMemory",
+    "HybridStats",
+    "dected_39_26",
+    "EccMemory",
+    "MemoryReadResult",
+    "MemoryStats",
+    "CrashPolicy",
+    "DueOutcome",
+    "DuePolicy",
+    "HeuristicPolicy",
+    "PoisonPolicy",
+    "PoisonedRead",
+    "PageRetirement",
+    "ScrubReport",
+    "Scrubber",
+]

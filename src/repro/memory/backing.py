@@ -1,0 +1,67 @@
+"""Backing store for clean pages (the page-fault rung of Fig. 3).
+
+A DUE in a *clean* page — one whose contents still match the executable
+or a file on disk — needs no heuristics: the OS can discard the frame
+and refetch it.  :class:`CleanPageStore` models that by retaining the
+pristine words of read-only regions (e.g. ``.text`` loaded from an ELF)
+and satisfying the :class:`~repro.core.recovery.PageSource` protocol.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import MemoryFaultError
+
+__all__ = ["CleanPageStore"]
+
+
+class CleanPageStore:
+    """Pristine copies of file-backed words, with dirty tracking.
+
+    Parameters
+    ----------
+    page_bytes:
+        Page granularity for dirtiness; writes dirty the whole page,
+        as real virtual memory does.
+    """
+
+    def __init__(self, page_bytes: int = 4096) -> None:
+        if page_bytes < 4 or page_bytes % 4:
+            raise MemoryFaultError(
+                f"page size {page_bytes} is not a multiple of the word size"
+            )
+        self._page_bytes = page_bytes
+        self._pristine: dict[int, int] = {}
+        self._dirty_pages: set[int] = set()
+
+    def _page_of(self, address: int) -> int:
+        return address // self._page_bytes
+
+    def register_region(self, base_address: int, words: Iterable[int]) -> None:
+        """Record the pristine words of a file-backed region."""
+        if base_address % 4:
+            raise MemoryFaultError(
+                f"base address 0x{base_address:x} is not word aligned"
+            )
+        for index, word in enumerate(words):
+            self._pristine[base_address + 4 * index] = word
+
+    def mark_dirty(self, address: int) -> None:
+        """A store hit this page: its frames no longer match the file."""
+        self._dirty_pages.add(self._page_of(address))
+
+    def is_dirty(self, address: int) -> bool:
+        """True when *address* lies in a dirtied page."""
+        return self._page_of(address) in self._dirty_pages
+
+    def clean_copy(self, address: int) -> int | None:
+        """PageSource protocol: the pristine word, or ``None``.
+
+        Returns ``None`` for unmapped addresses and for pages dirtied
+        since load — exactly the cases where Fig. 3 falls through to
+        the next recovery rung.
+        """
+        if self.is_dirty(address):
+            return None
+        return self._pristine.get(address)

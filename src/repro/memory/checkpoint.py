@@ -1,0 +1,103 @@
+"""Checkpoint/rollback support (Sec. II-B's system-level baseline).
+
+:class:`CheckpointStore` snapshots opaque state via caller-supplied
+capture/restore callables and satisfies the
+:class:`~repro.core.recovery.CheckpointSource` protocol, so it plugs
+straight into the Fig. 3 recovery ladder.  For an
+:class:`~repro.memory.model.EccMemory`, :func:`memory_checkpointer`
+builds a store that snapshots the raw codeword array — including any
+latent (not yet read) errors, which is faithful: checkpointing DRAM
+contents copies whatever charge is in the cells.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Generic, TypeVar
+
+from repro.errors import MemoryFaultError
+from repro.memory.model import EccMemory
+
+__all__ = ["CheckpointStore", "memory_checkpointer"]
+
+StateT = TypeVar("StateT")
+
+
+class CheckpointStore(Generic[StateT]):
+    """Bounded stack of state snapshots with rollback.
+
+    Parameters
+    ----------
+    capture:
+        Returns a deep snapshot of the protected state.
+    restore:
+        Reinstates a snapshot.
+    capacity:
+        Maximum retained checkpoints; the oldest is discarded first
+        (checkpoint storage is a real cost, Sec. II-B).
+    """
+
+    def __init__(
+        self,
+        capture: Callable[[], StateT],
+        restore: Callable[[StateT], None],
+        capacity: int = 4,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capture = capture
+        self._restore = restore
+        self._capacity = capacity
+        self._snapshots: list[StateT] = []
+        self._rollbacks = 0
+
+    @property
+    def depth(self) -> int:
+        """Number of retained checkpoints."""
+        return len(self._snapshots)
+
+    @property
+    def rollback_count(self) -> int:
+        """How many rollbacks have been performed."""
+        return self._rollbacks
+
+    def checkpoint(self) -> None:
+        """Take a snapshot, evicting the oldest beyond capacity."""
+        self._snapshots.append(self._capture())
+        if len(self._snapshots) > self._capacity:
+            self._snapshots.pop(0)
+
+    def has_checkpoint(self) -> bool:
+        """CheckpointSource protocol: is rollback possible?"""
+        return bool(self._snapshots)
+
+    def rollback(self) -> None:
+        """CheckpointSource protocol: restore the latest snapshot.
+
+        The snapshot is consumed: repeated DUEs at the same state fall
+        through to the next recovery rung instead of looping.
+        """
+        if not self._snapshots:
+            raise MemoryFaultError("rollback requested with no checkpoint")
+        self._restore(self._snapshots.pop())
+        self._rollbacks += 1
+
+
+def memory_checkpointer(
+    memory: EccMemory, capacity: int = 4
+) -> CheckpointStore[dict[int, int]]:
+    """A checkpoint store over a memory's raw codeword contents."""
+
+    def capture() -> dict[int, int]:
+        return {
+            address: memory.raw_codeword(address)
+            for address in memory.addresses()
+        }
+
+    def restore(snapshot: dict[int, int]) -> None:
+        # Reinstate via the private store to preserve exact codewords
+        # (write() would re-encode and lose injected-but-unread faults).
+        memory._store.clear()  # noqa: SLF001 - deliberate model coupling
+        memory._store.update(snapshot)
+
+    return CheckpointStore(capture=capture, restore=restore, capacity=capacity)

@@ -1,0 +1,168 @@
+"""Frequent-pattern compression: the Sec. III-C alternative to SWD-ECC.
+
+The paper notes that instead of heuristically recovering DUEs, one
+could losslessly compress message contents (its refs. [35]-[37]) so
+that spare bits fund *stronger* channel coding, and leaves the
+trade-off to future work.  This module makes it concrete:
+
+- :func:`compress_word` implements Frequent Pattern Compression
+  (Alameldeen & Wood, the paper's ref. [36]) at word granularity: a
+  3-bit prefix selects one of eight patterns (zero, sign-extended
+  4/8/16-bit, halfword-padded, two sign-extended halfwords, repeated
+  byte, uncompressed);
+- a word whose FPC image fits in **26 bits** can be stored, inside the
+  same 39-bit DRAM footprint as the (39, 32) SECDED codeword, under a
+  (39, 26) *DECTED* code (13 check bits) — turning every 2-bit DUE on
+  that word into a plain corrected error.
+
+The benchmark ``bench_ext_compression.py`` measures what fraction of
+realistic data and instruction words get that free upgrade, i.e. how
+much of the DUE problem compression alone removes, and therefore how
+much remains for SWD-ECC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryFaultError
+
+__all__ = [
+    "FpcClass",
+    "CompressedWord",
+    "compress_word",
+    "decompress_word",
+    "compressed_bits",
+    "fits_stronger_code",
+    "DECTED_PAYLOAD_BITS",
+]
+
+# A (39, 26) shortened DECTED code (13 check bits: shortened (44,31)
+# DEC BCH + overall parity) fits a 26-bit payload in the SECDED
+# footprint.  3 prefix bits + 23 payload bits <= 26 --> FPC classes
+# with <= 23 data bits qualify.
+DECTED_PAYLOAD_BITS = 26
+
+
+@dataclass(frozen=True)
+class FpcClass:
+    """One FPC pattern class."""
+
+    prefix: int
+    name: str
+    data_bits: int
+
+
+# Prefix encoding follows the FPC paper's word-level classes.
+_CLASSES: tuple[FpcClass, ...] = (
+    FpcClass(0b000, "zero", 0),
+    FpcClass(0b001, "sign-extended-4", 4),
+    FpcClass(0b010, "sign-extended-8", 8),
+    FpcClass(0b011, "sign-extended-16", 16),
+    FpcClass(0b100, "halfword-low-zero", 16),
+    FpcClass(0b101, "two-sign-extended-halves", 16),
+    FpcClass(0b110, "repeated-byte", 8),
+    FpcClass(0b111, "uncompressed", 32),
+)
+_BY_PREFIX = {cls.prefix: cls for cls in _CLASSES}
+
+
+@dataclass(frozen=True)
+class CompressedWord:
+    """A word after FPC classification.
+
+    Attributes
+    ----------
+    pattern:
+        The matched FPC class.
+    payload:
+        The class's data bits, packed low.
+    """
+
+    pattern: FpcClass
+    payload: int
+
+    @property
+    def total_bits(self) -> int:
+        """Stored size: 3 prefix bits + the class's data bits."""
+        return 3 + self.pattern.data_bits
+
+
+def _sign_extends(value: int, bits: int) -> bool:
+    """True when the 32-bit value is the sign extension of its low *bits*."""
+    low = value & ((1 << bits) - 1)
+    sign = (low >> (bits - 1)) & 1
+    extended = low - (1 << bits) if sign else low
+    return (extended & 0xFFFF_FFFF) == value
+
+
+def compress_word(word: int) -> CompressedWord:
+    """Classify *word* into its smallest FPC class."""
+    if not 0 <= word <= 0xFFFF_FFFF:
+        raise MemoryFaultError(f"0x{word:x} is not a 32-bit word")
+    if word == 0:
+        return CompressedWord(_BY_PREFIX[0b000], 0)
+    if _sign_extends(word, 4):
+        return CompressedWord(_BY_PREFIX[0b001], word & 0xF)
+    if _sign_extends(word, 8):
+        return CompressedWord(_BY_PREFIX[0b010], word & 0xFF)
+    if _sign_extends(word, 16):
+        return CompressedWord(_BY_PREFIX[0b011], word & 0xFFFF)
+    if word & 0xFFFF == 0:
+        return CompressedWord(_BY_PREFIX[0b100], word >> 16)
+    high = word >> 16
+    low = word & 0xFFFF
+    if _sign_extends_half(high) and _sign_extends_half(low):
+        return CompressedWord(
+            _BY_PREFIX[0b101], ((high & 0xFF) << 8) | (low & 0xFF)
+        )
+    byte = word & 0xFF
+    if word == byte * 0x0101_0101:
+        return CompressedWord(_BY_PREFIX[0b110], byte)
+    return CompressedWord(_BY_PREFIX[0b111], word)
+
+
+def _sign_extends_half(half: int) -> bool:
+    """True when a 16-bit value sign-extends from its low 8 bits."""
+    low = half & 0xFF
+    sign = (low >> 7) & 1
+    extended = (low - 0x100) if sign else low
+    return (extended & 0xFFFF) == half
+
+
+def decompress_word(compressed: CompressedWord) -> int:
+    """Invert :func:`compress_word` (lossless for every class)."""
+    prefix = compressed.pattern.prefix
+    payload = compressed.payload
+    if prefix == 0b000:
+        return 0
+    if prefix in (0b001, 0b010, 0b011):
+        bits = compressed.pattern.data_bits
+        sign = (payload >> (bits - 1)) & 1
+        value = payload - (1 << bits) if sign else payload
+        return value & 0xFFFF_FFFF
+    if prefix == 0b100:
+        return payload << 16
+    if prefix == 0b101:
+        high = (payload >> 8) & 0xFF
+        low = payload & 0xFF
+        high_half = (high - 0x100 if high & 0x80 else high) & 0xFFFF
+        low_half = (low - 0x100 if low & 0x80 else low) & 0xFFFF
+        return (high_half << 16) | low_half
+    if prefix == 0b110:
+        return payload * 0x0101_0101
+    return payload
+
+
+def compressed_bits(word: int) -> int:
+    """Stored size of *word* under FPC (prefix + data bits)."""
+    return compress_word(word).total_bits
+
+
+def fits_stronger_code(word: int, budget_bits: int = DECTED_PAYLOAD_BITS) -> bool:
+    """Can *word* be stored under the in-footprint DECTED upgrade?
+
+    True when the FPC image fits the (39, 26) DECTED payload — such
+    words never produce 2-bit DUEs at all (DECTED corrects them).
+    """
+    return compressed_bits(word) <= budget_bits

@@ -1,0 +1,113 @@
+"""Deriving recovery contexts from live memory state.
+
+Sec. III-B's side information "arises through the cooperation of
+hardware and software": the OS knows which addresses hold code, the
+memory itself holds the cache-line neighbours of a faulting word.
+:class:`MemoryContextProvider` packages that cooperation for
+:class:`~repro.memory.policy.HeuristicPolicy` — given a DUE address it
+builds the right :class:`~repro.core.sideinfo.RecoveryContext`:
+
+- inside a registered text region: instruction context with the
+  program's frequency table;
+- elsewhere: data context whose neighbourhood is the *readable* words
+  of the surrounding cache line (the DUE word itself, and any other
+  corrupted neighbours, are excluded — recovery can only lean on
+  known-good data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sideinfo import RecoveryContext
+from repro.ecc.code import DecodeStatus
+from repro.errors import MemoryFaultError
+from repro.memory.model import EccMemory
+from repro.program.stats import FrequencyTable
+
+__all__ = ["TextRegion", "MemoryContextProvider"]
+
+
+@dataclass(frozen=True)
+class TextRegion:
+    """A code region and the statistics that describe it."""
+
+    base_address: int
+    size_bytes: int
+    frequency_table: FrequencyTable | None = None
+
+    def contains(self, address: int) -> bool:
+        """True when *address* lies inside the region."""
+        return self.base_address <= address < self.base_address + self.size_bytes
+
+
+class MemoryContextProvider:
+    """Builds :class:`RecoveryContext` objects from memory state.
+
+    Parameters
+    ----------
+    memory:
+        The memory the DUEs occur in (neighbourhoods are read from it).
+    line_bytes:
+        Cache-line size used for data neighbourhoods.
+    pointer_range:
+        Optional application address range for pointer filtering.
+    value_bound:
+        Optional global bound for small-integer filtering.
+    """
+
+    def __init__(
+        self,
+        memory: EccMemory,
+        line_bytes: int = 64,
+        pointer_range: tuple[int, int] | None = None,
+        value_bound: int | None = None,
+    ) -> None:
+        if line_bytes < 8 or line_bytes % 4:
+            raise MemoryFaultError(
+                f"cache line size {line_bytes} is not a multiple of 2 words"
+            )
+        self._memory = memory
+        self._line_bytes = line_bytes
+        self._pointer_range = pointer_range
+        self._value_bound = value_bound
+        self._text_regions: list[TextRegion] = []
+
+    def register_text_region(self, region: TextRegion) -> None:
+        """Declare an address range as code (with optional statistics)."""
+        self._text_regions.append(region)
+
+    def _neighborhood(self, address: int) -> tuple[int, ...]:
+        """Known-good words of the cache line containing *address*."""
+        line_base = address - (address % self._line_bytes)
+        neighbours = []
+        code = self._memory.code
+        for offset in range(0, self._line_bytes, 4):
+            neighbour_address = line_base + offset
+            if neighbour_address == address:
+                continue
+            try:
+                stored = self._memory.raw_codeword(neighbour_address)
+            except MemoryFaultError:
+                continue
+            # Decode WITHOUT triggering the DUE policy: a corrupted
+            # neighbour is simply not usable side information.
+            result = code.decode(stored)
+            if result.status is not DecodeStatus.DUE:
+                assert result.message is not None
+                neighbours.append(result.message)
+        return tuple(neighbours)
+
+    def __call__(self, address: int) -> RecoveryContext:
+        """The context for a DUE at *address* (HeuristicPolicy hook)."""
+        for region in self._text_regions:
+            if region.contains(address):
+                return RecoveryContext.for_instructions(
+                    region.frequency_table, address=address
+                )
+        return RecoveryContext.for_data(
+            neighborhood=self._neighborhood(address),
+            value_bound=self._value_bound,
+            pointer_range=self._pointer_range,
+            address=address,
+        )

@@ -1,0 +1,91 @@
+"""Fault injection into ECC memory: BSC sampling and targeted flips.
+
+The evaluation's fault model is the binary symmetric channel
+conditioned on a double-bit error (Sec. IV-A): every C(n, 2) position
+pair is equally likely.  :class:`FaultInjector` provides that, plus raw
+BSC sampling for end-to-end soak tests and targeted injection for
+deterministic unit tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.ecc.channel import (
+    BinarySymmetricChannel,
+    ErrorPattern,
+    pattern_from_positions,
+)
+from repro.errors import MemoryFaultError
+from repro.memory.model import EccMemory
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Injects bit flips into the stored codewords of a memory.
+
+    Parameters
+    ----------
+    memory:
+        The target memory.
+    rng:
+        Seeded RNG for reproducible campaigns.
+    """
+
+    def __init__(self, memory: EccMemory, rng: random.Random | None = None) -> None:
+        self._memory = memory
+        self._rng = rng if rng is not None else random.Random()
+        self._injected: list[tuple[int, ErrorPattern]] = []
+
+    @property
+    def injection_log(self) -> list[tuple[int, ErrorPattern]]:
+        """(address, pattern) pairs injected so far, in order."""
+        return list(self._injected)
+
+    def _mapped_addresses(self) -> list[int]:
+        addresses = sorted(self._memory.addresses())
+        if not addresses:
+            raise MemoryFaultError("cannot inject faults into an empty memory")
+        return addresses
+
+    def inject_at(self, address: int, positions: Sequence[int]) -> ErrorPattern:
+        """Flip the given codeword bit positions at *address*."""
+        pattern = pattern_from_positions(tuple(positions), self._memory.code.n)
+        self._memory.corrupt(address, pattern)
+        self._injected.append((address, pattern))
+        return pattern
+
+    def inject_double_bit(self, address: int | None = None) -> tuple[int, ErrorPattern]:
+        """Inject a uniformly random 2-bit error (the paper's DUE model).
+
+        Picks a random mapped address when *address* is ``None``.
+        """
+        if address is None:
+            address = self._rng.choice(self._mapped_addresses())
+        n = self._memory.code.n
+        positions = tuple(sorted(self._rng.sample(range(n), 2)))
+        pattern = self.inject_at(address, positions)
+        return address, pattern
+
+    def inject_bsc(
+        self, flip_probability: float, addresses: Sequence[int] | None = None
+    ) -> int:
+        """Pass every stored codeword through a BSC; return flips made.
+
+        Models a burst of radiation/retention faults across the whole
+        array rather than a single localised event.
+        """
+        channel = BinarySymmetricChannel(
+            flip_probability, self._memory.code.n, rng=self._rng
+        )
+        targets = list(addresses) if addresses is not None else self._mapped_addresses()
+        total_flips = 0
+        for address in targets:
+            error = channel.sample_error()
+            if error.weight:
+                self._memory.corrupt(address, error)
+                self._injected.append((address, error))
+                total_flips += error.weight
+        return total_flips

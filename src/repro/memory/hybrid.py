@@ -1,0 +1,166 @@
+"""A hybrid compressed/SECDED memory: E7's composition as a system.
+
+Sec. III-C's compression alternative and SWD-ECC compose: store each
+word under the strongest protection its content affords, *within the
+same 39-bit DRAM footprint*:
+
+- words whose FPC image fits 26 bits are stored under a (39, 26)
+  DECTED code (d = 6): every double-bit error is deterministically
+  corrected, no heuristics involved;
+- dense words keep the (39, 32) SECDED code, and their DUEs flow
+  through the configured policy (crash / poison / SWD-ECC heuristic
+  recovery) exactly like :class:`~repro.memory.model.EccMemory`.
+
+The per-word format tag lives in controller metadata (as real
+compressed-memory proposals keep per-line tags); the model tracks it in
+a side table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits import bit_mask
+from repro.ecc.bch import BCHCode
+from repro.ecc.channel import ErrorPattern
+from repro.ecc.code import DecodeStatus, LinearBlockCode
+from repro.errors import MemoryFaultError
+from repro.memory.compression import (
+    CompressedWord,
+    compress_word,
+    decompress_word,
+    fits_stronger_code,
+)
+from repro.memory.model import EccMemory, MemoryReadResult
+from repro.memory.policy import DuePolicy
+
+__all__ = ["HybridEccMemory", "HybridStats", "dected_39_26"]
+
+
+def dected_39_26() -> BCHCode:
+    """The in-footprint upgrade code: (39, 26) shortened DECTED, d = 6."""
+    return BCHCode(m=6, t=2, k=26, extended=True)
+
+
+@dataclass
+class HybridStats:
+    """Counters specific to the hybrid format decisions."""
+
+    compressed_writes: int = 0
+    dense_writes: int = 0
+    dected_corrections: int = 0
+
+    @property
+    def compressed_fraction(self) -> float:
+        """Share of writes that earned the DECTED upgrade."""
+        total = self.compressed_writes + self.dense_writes
+        return self.compressed_writes / total if total else 0.0
+
+
+class HybridEccMemory(EccMemory):
+    """ECC memory that upgrades compressible words to DECTED.
+
+    The public interface is identical to :class:`EccMemory`: 32-bit
+    writes, 32-bit reads, DUEs through the policy.  Internally each
+    word picks its format at write time.
+    """
+
+    def __init__(
+        self,
+        code: LinearBlockCode | None = None,
+        policy: DuePolicy | None = None,
+    ) -> None:
+        from repro.ecc.matrices import canonical_secded_39_32
+
+        secded = code if code is not None else canonical_secded_39_32()
+        super().__init__(secded, policy)
+        self._dected = dected_39_26()
+        if self._dected.n != secded.n:
+            raise MemoryFaultError(
+                f"footprint mismatch: SECDED n={secded.n}, "
+                f"DECTED n={self._dected.n}"
+            )
+        self._formats: dict[int, str] = {}  # address -> "secded" | "dected"
+        self._hybrid_stats = HybridStats()
+
+    @property
+    def hybrid_stats(self) -> HybridStats:
+        """Format-decision counters."""
+        return self._hybrid_stats
+
+    def format_of(self, address: int) -> str:
+        """The storage format of the word at *address*."""
+        self._check_address(address)
+        try:
+            return self._formats[address]
+        except KeyError:
+            raise MemoryFaultError(
+                f"no word stored at 0x{address:x}"
+            ) from None
+
+    @staticmethod
+    def _pack_payload(compressed: CompressedWord) -> int:
+        """26-bit payload: 3-bit prefix, then data bits, zero padded."""
+        return (compressed.pattern.prefix << 23) | (
+            compressed.payload << (23 - compressed.pattern.data_bits)
+        )
+
+    @staticmethod
+    def _unpack_payload(payload: int) -> int:
+        from repro.memory.compression import _BY_PREFIX  # noqa: PLC0415
+
+        prefix = payload >> 23
+        pattern = _BY_PREFIX[prefix]
+        data = (payload >> (23 - pattern.data_bits)) & bit_mask(pattern.data_bits)
+        return decompress_word(CompressedWord(pattern, data))
+
+    def write(self, address: int, word: int) -> None:
+        self._check_address(address)
+        if word < 0 or word > bit_mask(32):
+            raise MemoryFaultError(f"word 0x{word:x} does not fit in 32 bits")
+        if fits_stronger_code(word):
+            payload = self._pack_payload(compress_word(word))
+            self._store[address] = self._dected.encode(payload)
+            self._formats[address] = "dected"
+            self._hybrid_stats.compressed_writes += 1
+        else:
+            self._store[address] = self.code.encode(word)
+            self._formats[address] = "secded"
+            self._hybrid_stats.dense_writes += 1
+        self.stats.writes += 1
+
+    def read(self, address: int) -> MemoryReadResult:
+        self._check_address(address)
+        if self._formats.get(address) != "dected":
+            return super().read(address)
+        try:
+            stored = self._store[address]
+        except KeyError:
+            raise MemoryFaultError(
+                f"read from unmapped address 0x{address:x}"
+            ) from None
+        self.stats.reads += 1
+        result = self._dected.decode(stored)
+        if result.status is DecodeStatus.DUE:
+            # >= 3-bit error on a compressed word: beyond even DECTED.
+            self.stats.detected_uncorrectable += 1
+            outcome = self.policy.handle(address, stored, self)
+            return MemoryReadResult(
+                word=outcome.word, status=result.status,
+                recovery=outcome.recovery,
+            )
+        assert result.codeword is not None and result.message is not None
+        if result.status is DecodeStatus.CORRECTED:
+            self.stats.corrected_errors += 1
+            if len(result.corrected_positions) == 2:
+                self._hybrid_stats.dected_corrections += 1
+            self._store[address] = result.codeword  # in-line scrub
+        else:
+            self.stats.clean_reads += 1
+        return MemoryReadResult(
+            word=self._unpack_payload(result.message), status=result.status
+        )
+
+    def corrupt(self, address: int, pattern: ErrorPattern) -> None:
+        # Same footprint for both formats, so the base check applies.
+        super().corrupt(address, pattern)

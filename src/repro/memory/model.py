@@ -1,0 +1,207 @@
+"""A word-granular ECC-protected memory model.
+
+Models the hardware side of Fig. 1: every stored 32-bit word is
+encoded to an n-bit codeword on write and decoded on read; the decoder
+reports OK / CE / DUE exactly like memory-controller ECC hardware.  On
+a DUE the configured :class:`~repro.memory.policy.DuePolicy` decides
+what the "system" does — crash, poison, or hand the received word to
+SWD-ECC.
+
+The model is deliberately functional rather than cycle accurate: the
+paper's evaluation is offline, and what matters is the *information
+flow* between decoder, policy, and recovery engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.bits import bit_mask
+from repro.ecc.channel import ErrorPattern
+from repro.ecc.code import DecodeStatus, LinearBlockCode
+from repro.errors import MemoryFaultError
+from repro.memory.policy import DuePolicy, PoisonedRead
+from repro.core.swdecc import RecoveryResult
+
+__all__ = ["EccMemory", "MemoryReadResult", "MemoryStats"]
+
+
+@dataclass
+class MemoryStats:
+    """Event counters accumulated by an :class:`EccMemory`."""
+
+    writes: int = 0
+    reads: int = 0
+    clean_reads: int = 0
+    corrected_errors: int = 0
+    detected_uncorrectable: int = 0
+    heuristic_recoveries: int = 0
+    poisoned_reads: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict (for reports)."""
+        return {
+            "writes": self.writes,
+            "reads": self.reads,
+            "clean_reads": self.clean_reads,
+            "corrected_errors": self.corrected_errors,
+            "detected_uncorrectable": self.detected_uncorrectable,
+            "heuristic_recoveries": self.heuristic_recoveries,
+            "poisoned_reads": self.poisoned_reads,
+        }
+
+
+@dataclass(frozen=True)
+class MemoryReadResult:
+    """Outcome of one ECC-protected read.
+
+    Attributes
+    ----------
+    word:
+        The k-bit message delivered to the consumer.
+    status:
+        The hardware decode status (OK / CORRECTED / DUE).
+    poisoned:
+        True when the word was delivered under the poison policy and
+        must not be architecturally consumed.
+    recovery:
+        The SWD-ECC trace when heuristic recovery produced the word.
+    """
+
+    word: int
+    status: DecodeStatus
+    poisoned: bool = False
+    recovery: RecoveryResult | None = None
+
+
+class EccMemory:
+    """Sparse ECC-protected word memory.
+
+    Parameters
+    ----------
+    code:
+        The ECC code (message width = memory word width).
+    policy:
+        DUE-handling policy; defaults to
+        :class:`~repro.memory.policy.CrashPolicy` (the conventional
+        system of Fig. 3).
+    """
+
+    def __init__(self, code: LinearBlockCode, policy: DuePolicy | None = None) -> None:
+        from repro.memory.policy import CrashPolicy
+
+        self._code = code
+        self._policy = policy if policy is not None else CrashPolicy()
+        self._store: dict[int, int] = {}
+        self._stats = MemoryStats()
+
+    @property
+    def code(self) -> LinearBlockCode:
+        """The protecting ECC code."""
+        return self._code
+
+    @property
+    def policy(self) -> DuePolicy:
+        """The configured DUE-handling policy."""
+        return self._policy
+
+    def set_policy(self, policy: DuePolicy) -> None:
+        """Replace the DUE-handling policy.
+
+        Needed when the policy's context provider reads from this very
+        memory (provider wants the memory, policy wants the provider,
+        memory wants the policy): construct the memory with a default
+        policy, then install the real one.
+        """
+        self._policy = policy
+
+    @property
+    def stats(self) -> MemoryStats:
+        """Event counters (live object, not a copy)."""
+        return self._stats
+
+    def addresses(self) -> Iterable[int]:
+        """All currently mapped word addresses."""
+        return self._store.keys()
+
+    def _check_address(self, address: int) -> None:
+        if address < 0 or address % 4:
+            raise MemoryFaultError(
+                f"address 0x{address:x} is not a valid word address"
+            )
+
+    def write(self, address: int, word: int) -> None:
+        """Encode and store a k-bit word."""
+        self._check_address(address)
+        if word < 0 or word > bit_mask(self._code.k):
+            raise MemoryFaultError(
+                f"word 0x{word:x} does not fit in {self._code.k} bits"
+            )
+        self._store[address] = self._code.encode(word)
+        self._stats.writes += 1
+
+    def load_image(self, words: Iterable[int], base_address: int) -> None:
+        """Bulk-write a program image starting at *base_address*."""
+        for index, word in enumerate(words):
+            self.write(base_address + 4 * index, word)
+
+    def read(self, address: int) -> MemoryReadResult:
+        """Read with ECC decode; DUEs are routed through the policy."""
+        self._check_address(address)
+        try:
+            stored = self._store[address]
+        except KeyError:
+            raise MemoryFaultError(
+                f"read from unmapped address 0x{address:x}"
+            ) from None
+        self._stats.reads += 1
+        result = self._code.decode(stored)
+        if result.status is DecodeStatus.OK:
+            self._stats.clean_reads += 1
+            assert result.message is not None
+            return MemoryReadResult(word=result.message, status=result.status)
+        if result.status is DecodeStatus.CORRECTED:
+            self._stats.corrected_errors += 1
+            assert result.codeword is not None and result.message is not None
+            # Write back the corrected codeword (in-line scrubbing),
+            # preventing the single error from later pairing into a DUE.
+            self._store[address] = result.codeword
+            return MemoryReadResult(word=result.message, status=result.status)
+        self._stats.detected_uncorrectable += 1
+        outcome = self._policy.handle(address, stored, self)
+        if isinstance(outcome, PoisonedRead):
+            self._stats.poisoned_reads += 1
+            return MemoryReadResult(
+                word=outcome.placeholder, status=result.status, poisoned=True
+            )
+        if outcome.recovery is not None:
+            self._stats.heuristic_recoveries += 1
+            # Re-encode the chosen message so subsequent reads are clean.
+            self._store[address] = self._code.encode(outcome.word)
+        return MemoryReadResult(
+            word=outcome.word, status=result.status, recovery=outcome.recovery
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection hooks (used by repro.memory.faults)
+    # ------------------------------------------------------------------
+
+    def raw_codeword(self, address: int) -> int:
+        """The stored n-bit codeword (possibly corrupted), no decode."""
+        self._check_address(address)
+        try:
+            return self._store[address]
+        except KeyError:
+            raise MemoryFaultError(
+                f"no codeword stored at 0x{address:x}"
+            ) from None
+
+    def corrupt(self, address: int, pattern: ErrorPattern) -> None:
+        """XOR an error pattern into the stored codeword at *address*."""
+        if pattern.width != self._code.n:
+            raise MemoryFaultError(
+                f"error pattern width {pattern.width} != codeword length "
+                f"{self._code.n}"
+            )
+        self._store[address] = pattern.apply(self.raw_codeword(address))

@@ -1,0 +1,154 @@
+"""DUE-handling policies: the system choices of Figs. 1 and 3.
+
+When ECC hardware reports a DUE, the system chooses among:
+
+- :class:`CrashPolicy` — kernel panic (conventional systems);
+- :class:`PoisonPolicy` — deliver a poisoned word so the consumer can
+  contain the error (high-end mainframes);
+- :class:`HeuristicPolicy` — run the full Fig. 3 ladder ending in
+  SWD-ECC heuristic recovery.
+
+Policies receive the raw received codeword and the owning memory, and
+return a :class:`DueOutcome` (or raise, for the crash policy).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.recovery import RecoveryAction, RecoveryPipeline
+from repro.core.sideinfo import RecoveryContext
+from repro.core.swdecc import RecoveryResult
+from repro.errors import UncorrectableError
+
+if TYPE_CHECKING:
+    from repro.memory.model import EccMemory
+
+__all__ = [
+    "DueOutcome",
+    "PoisonedRead",
+    "DuePolicy",
+    "CrashPolicy",
+    "PoisonPolicy",
+    "HeuristicPolicy",
+]
+
+
+@dataclass(frozen=True)
+class DueOutcome:
+    """What a policy delivered for a DUE read.
+
+    Attributes
+    ----------
+    word:
+        The k-bit message handed to the consumer.
+    recovery:
+        The SWD-ECC trace when heuristic recovery chose the word.
+    """
+
+    word: int
+    recovery: RecoveryResult | None = None
+
+
+@dataclass(frozen=True)
+class PoisonedRead(DueOutcome):
+    """A poison-policy outcome: *placeholder* must not be consumed."""
+
+    @property
+    def placeholder(self) -> int:
+        """The poison placeholder value (same as ``word``)."""
+        return self.word
+
+
+class DuePolicy(ABC):
+    """Interface for DUE handling."""
+
+    #: Name used in reports.
+    name: str = "policy"
+
+    @abstractmethod
+    def handle(
+        self, address: int, received: int, memory: "EccMemory"
+    ) -> DueOutcome:
+        """Handle a DUE; return the delivered word or raise."""
+
+
+class CrashPolicy(DuePolicy):
+    """Conventional behaviour: raise (kernel panic / machine check)."""
+
+    name = "crash"
+
+    def handle(
+        self, address: int, received: int, memory: "EccMemory"
+    ) -> DueOutcome:
+        raise UncorrectableError(address, memory.code.syndrome(received))
+
+
+class PoisonPolicy(DuePolicy):
+    """Mainframe behaviour: deliver a marked poison word.
+
+    The consumer is expected to propagate the poison and contain the
+    error (e.g. kill only the affected process).
+    """
+
+    name = "poison"
+
+    def __init__(self, placeholder: int = 0xDEAD_BEEF) -> None:
+        self._placeholder = placeholder
+
+    def handle(
+        self, address: int, received: int, memory: "EccMemory"
+    ) -> DueOutcome:
+        return PoisonedRead(word=self._placeholder & ((1 << memory.code.k) - 1))
+
+
+class HeuristicPolicy(DuePolicy):
+    """SWD-ECC behaviour: run the Fig. 3 recovery ladder.
+
+    Parameters
+    ----------
+    pipeline:
+        The :class:`~repro.core.recovery.RecoveryPipeline` (page-fault
+        reload, rollback, then heuristic recovery).
+    context_provider:
+        Callback mapping a faulting address to the
+        :class:`~repro.core.sideinfo.RecoveryContext` available there
+        (e.g. instruction context inside .text, data context
+        elsewhere).  Defaults to an empty context.
+    """
+
+    name = "heuristic"
+
+    def __init__(
+        self,
+        pipeline: RecoveryPipeline,
+        context_provider: Callable[[int], RecoveryContext] | None = None,
+    ) -> None:
+        self._pipeline = pipeline
+        self._context_provider = context_provider
+
+    def handle(
+        self, address: int, received: int, memory: "EccMemory"
+    ) -> DueOutcome:
+        context = (
+            self._context_provider(address)
+            if self._context_provider is not None
+            else None
+        )
+        outcome = self._pipeline.handle_due(address, received, context)
+        if outcome.action is RecoveryAction.CRASH:
+            raise UncorrectableError(address, memory.code.syndrome(received))
+        if outcome.action is RecoveryAction.ROLLBACK:
+            # After a rollback the read is re-satisfied from the
+            # restored state; model that as re-reading the clean word.
+            restored = memory.code.decode(memory.raw_codeword(address))
+            if restored.message is None:
+                raise UncorrectableError(
+                    address, memory.code.syndrome(received)
+                )
+            return DueOutcome(word=restored.message)
+        assert outcome.word is not None
+        return DueOutcome(word=outcome.word, recovery=outcome.heuristic)

@@ -1,0 +1,122 @@
+"""Scrubbing and page retirement: the opportunistic baselines of Sec. II-B.
+
+These reliability-management techniques "can only speculate on the
+occurrence of future DUEs, not recover from existing ones" — the
+contrast the paper draws with SWD-ECC.  They are implemented here so
+the extension benchmarks can quantify that complementarity: scrubbing
+reduces how often single errors *accumulate into* DUEs, while SWD-ECC
+handles the DUEs that still happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecc.code import DecodeStatus
+from repro.errors import MemoryFaultError
+from repro.memory.model import EccMemory
+
+__all__ = ["ScrubReport", "Scrubber", "PageRetirement"]
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Result of one scrub pass over a memory."""
+
+    words_scanned: int
+    errors_corrected: int
+    dues_found: int
+
+    @property
+    def clean(self) -> bool:
+        """True when the pass found nothing wrong."""
+        return self.errors_corrected == 0 and self.dues_found == 0
+
+
+class Scrubber:
+    """Demand scrubber: walks memory, rewriting correctable words.
+
+    A scrub pass decodes every stored codeword *without* invoking the
+    DUE policy: hardware scrubbers log uncorrectable locations rather
+    than crash the machine.  Correctable words are rewritten clean,
+    which is exactly how scrubbing prevents two independent single-bit
+    faults from meeting in one word.
+    """
+
+    def __init__(self, memory: EccMemory) -> None:
+        self._memory = memory
+        self._due_addresses: list[int] = []
+
+    @property
+    def due_addresses(self) -> list[int]:
+        """Addresses flagged uncorrectable by past passes."""
+        return list(self._due_addresses)
+
+    def scrub(self) -> ScrubReport:
+        """Run one full pass; return what it found and fixed."""
+        code = self._memory.code
+        corrected = 0
+        dues = 0
+        scanned = 0
+        for address in sorted(self._memory.addresses()):
+            scanned += 1
+            result = code.decode(self._memory.raw_codeword(address))
+            if result.status is DecodeStatus.CORRECTED:
+                assert result.message is not None
+                self._memory.write(address, result.message)
+                corrected += 1
+            elif result.status is DecodeStatus.DUE:
+                dues += 1
+                if address not in self._due_addresses:
+                    self._due_addresses.append(address)
+        return ScrubReport(
+            words_scanned=scanned, errors_corrected=corrected, dues_found=dues
+        )
+
+
+class PageRetirement:
+    """Retire pages whose words keep faulting (BadRAM-style, ref. [30]).
+
+    Tracks corrected-error counts per page; when a page crosses the
+    threshold it is retired and its addresses reported so the OS layer
+    can remap them.  Retirement is advisory in this model — the memory
+    keeps serving the page — because what the experiments need is the
+    *decision stream*, not an MMU.
+    """
+
+    def __init__(self, page_bytes: int = 4096, threshold: int = 3) -> None:
+        if page_bytes < 4 or page_bytes % 4:
+            raise MemoryFaultError(
+                f"page size {page_bytes} is not a multiple of the word size"
+            )
+        if threshold < 1:
+            raise MemoryFaultError(f"threshold must be >= 1, got {threshold}")
+        self._page_bytes = page_bytes
+        self._threshold = threshold
+        self._error_counts: dict[int, int] = {}
+        self._retired: set[int] = set()
+
+    def _page_of(self, address: int) -> int:
+        return address // self._page_bytes
+
+    @property
+    def retired_pages(self) -> set[int]:
+        """Page numbers that crossed the threshold."""
+        return set(self._retired)
+
+    def is_retired(self, address: int) -> bool:
+        """True when *address* lies in a retired page."""
+        return self._page_of(address) in self._retired
+
+    def record_error(self, address: int) -> bool:
+        """Record a corrected error at *address*; True if this retires
+        the page (idempotent once retired)."""
+        page = self._page_of(address)
+        if page in self._retired:
+            return False
+        count = self._error_counts.get(page, 0) + 1
+        self._error_counts[page] = count
+        if count >= self._threshold:
+            self._retired.add(page)
+            return True
+        return False

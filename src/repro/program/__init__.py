@@ -1,0 +1,41 @@
+"""Program images, ELF I/O, statistics, and synthetic SPEC-like workloads."""
+
+from repro.program.compiler import (
+    CompileError,
+    compile_source,
+    compile_to_assembly,
+)
+from repro.program.elf import read_elf, write_elf
+from repro.program.image import ProgramImage
+from repro.program.profiles import (
+    BENCHMARK_NAMES,
+    BenchmarkProfile,
+    SPEC_PROFILES,
+    profile_for,
+)
+from repro.program.stats import (
+    BigramTable,
+    FrequencyTable,
+    mnemonic_histogram,
+    power_law_fit,
+)
+from repro.program.synth import SyntheticProgramGenerator, synthesize_benchmark
+
+__all__ = [
+    "CompileError",
+    "compile_source",
+    "compile_to_assembly",
+    "read_elf",
+    "write_elf",
+    "ProgramImage",
+    "BENCHMARK_NAMES",
+    "BenchmarkProfile",
+    "SPEC_PROFILES",
+    "profile_for",
+    "BigramTable",
+    "FrequencyTable",
+    "mnemonic_histogram",
+    "power_law_fit",
+    "SyntheticProgramGenerator",
+    "synthesize_benchmark",
+]

@@ -1,0 +1,685 @@
+"""A tiny structured-language compiler targeting MIPS-I.
+
+The evaluation pipeline only needs instruction *images*, but the
+forked-execution use model (Sec. III-C) and the end-to-end examples
+need programs that actually run.  This module compiles "MiniLang" — a
+C-like toy language with functions, integers, control flow, and raw
+word memory access — into real MIPS assembly, which
+:func:`repro.isa.assembler.assemble` turns into machine code.
+
+Language sketch::
+
+    fn fib(n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    fn main() {
+        print(fib(10));
+        return fib(10);
+    }
+
+Grammar (expressions use C precedence)::
+
+    program   := function*
+    function  := "fn" name "(" params? ")" block
+    block     := "{" statement* "}"
+    statement := "let" name "=" expr ";"
+               | name "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "return" expr ";"
+               | "print" "(" expr ")" ";"
+               | "store" "(" expr "," expr ")" ";"
+               | expr ";"
+    expr      := binary/unary over: integers, variables, calls,
+                 "load" "(" expr ")"
+
+Codegen is a straightforward stack machine: every expression leaves its
+value in ``$v0``; binary operators stash the left operand on the stack.
+Correct, unoptimised, and — usefully for this project — it produces the
+load/store/branch-heavy code real compilers emit at ``-O0``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError, ReproError
+from repro.isa.assembler import AssembledProgram, assemble
+
+__all__ = ["CompileError", "compile_source", "compile_to_assembly"]
+
+
+class CompileError(ReproError):
+    """MiniLang source could not be compiled."""
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>0x[0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^~!<>=(){},;])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset(
+    {"fn", "let", "if", "else", "while", "return", "print", "load", "store"}
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "num", "name", "kw", or the operator text
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise CompileError(
+                f"unexpected character {source[index]!r} at offset {index}"
+            )
+        index = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "num":
+            tokens.append(_Token("num", text, match.start()))
+        elif match.lastgroup == "name":
+            kind = "kw" if text in _KEYWORDS else "name"
+            tokens.append(_Token(kind, text, match.start()))
+        else:
+            tokens.append(_Token(text, text, match.start()))
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class _Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class _Unary:
+    op: str
+    operand: object
+
+
+@dataclass(frozen=True)
+class _Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class _Call:
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class _Load:
+    address: object
+
+
+@dataclass(frozen=True)
+class _Let:
+    name: str
+    value: object
+
+
+@dataclass(frozen=True)
+class _Assign:
+    name: str
+    value: object
+
+
+@dataclass(frozen=True)
+class _If:
+    condition: object
+    then_body: tuple
+    else_body: tuple
+
+
+@dataclass(frozen=True)
+class _While:
+    condition: object
+    body: tuple
+
+
+@dataclass(frozen=True)
+class _Return:
+    value: object
+
+
+@dataclass(frozen=True)
+class _Print:
+    value: object
+
+
+@dataclass(frozen=True)
+class _Store:
+    address: object
+    value: object
+
+
+@dataclass(frozen=True)
+class _ExprStatement:
+    value: object
+
+
+@dataclass(frozen=True)
+class _Function:
+    name: str
+    params: tuple[str, ...]
+    body: tuple
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent, C-style precedence climbing)
+# ---------------------------------------------------------------------------
+
+_BINARY_PRECEDENCE: dict[str, int] = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise CompileError(
+                f"expected {kind!r} but found {token.text!r} "
+                f"at offset {token.position}"
+            )
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._advance()
+        if token.kind != "kw" or token.text != word:
+            raise CompileError(
+                f"expected keyword {word!r} but found {token.text!r} "
+                f"at offset {token.position}"
+            )
+
+    def parse_program(self) -> list[_Function]:
+        functions = []
+        while self._peek().kind != "eof":
+            functions.append(self._parse_function())
+        if not functions:
+            raise CompileError("source defines no functions")
+        return functions
+
+    def _parse_function(self) -> _Function:
+        self._expect_keyword("fn")
+        name = self._expect("name").text
+        self._expect("(")
+        params: list[str] = []
+        if self._peek().kind != ")":
+            params.append(self._expect("name").text)
+            while self._peek().kind == ",":
+                self._advance()
+                params.append(self._expect("name").text)
+        self._expect(")")
+        if len(params) > 4:
+            raise CompileError(
+                f"function {name!r} has {len(params)} parameters; "
+                "the o32-style calling convention here allows 4"
+            )
+        body = self._parse_block()
+        return _Function(name=name, params=tuple(params), body=body)
+
+    def _parse_block(self) -> tuple:
+        self._expect("{")
+        statements = []
+        while self._peek().kind != "}":
+            statements.append(self._parse_statement())
+        self._expect("}")
+        return tuple(statements)
+
+    def _parse_statement(self):
+        token = self._peek()
+        if token.kind == "kw":
+            if token.text == "let":
+                self._advance()
+                name = self._expect("name").text
+                self._expect("=")
+                value = self._parse_expression()
+                self._expect(";")
+                return _Let(name=name, value=value)
+            if token.text == "if":
+                self._advance()
+                self._expect("(")
+                condition = self._parse_expression()
+                self._expect(")")
+                then_body = self._parse_block()
+                else_body: tuple = ()
+                if self._peek().kind == "kw" and self._peek().text == "else":
+                    self._advance()
+                    else_body = self._parse_block()
+                return _If(condition=condition, then_body=then_body,
+                           else_body=else_body)
+            if token.text == "while":
+                self._advance()
+                self._expect("(")
+                condition = self._parse_expression()
+                self._expect(")")
+                body = self._parse_block()
+                return _While(condition=condition, body=body)
+            if token.text == "return":
+                self._advance()
+                value = self._parse_expression()
+                self._expect(";")
+                return _Return(value=value)
+            if token.text == "print":
+                self._advance()
+                self._expect("(")
+                value = self._parse_expression()
+                self._expect(")")
+                self._expect(";")
+                return _Print(value=value)
+            if token.text == "store":
+                self._advance()
+                self._expect("(")
+                address = self._parse_expression()
+                self._expect(",")
+                value = self._parse_expression()
+                self._expect(")")
+                self._expect(";")
+                return _Store(address=address, value=value)
+        if (
+            token.kind == "name"
+            and self._tokens[self._index + 1].kind == "="
+        ):
+            name = self._advance().text
+            self._advance()  # '='
+            value = self._parse_expression()
+            self._expect(";")
+            return _Assign(name=name, value=value)
+        value = self._parse_expression()
+        self._expect(";")
+        return _ExprStatement(value=value)
+
+    def _parse_expression(self, min_precedence: int = 1):
+        left = self._parse_unary()
+        while True:
+            op = self._peek().kind
+            precedence = _BINARY_PRECEDENCE.get(op)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_expression(precedence + 1)
+            left = _Binary(op=op, left=left, right=right)
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token.kind in ("-", "!", "~"):
+            self._advance()
+            return _Unary(op=token.kind, operand=self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self._advance()
+        if token.kind == "num":
+            return _Num(value=int(token.text, 0))
+        if token.kind == "kw" and token.text == "load":
+            self._expect("(")
+            address = self._parse_expression()
+            self._expect(")")
+            return _Load(address=address)
+        if token.kind == "name":
+            if self._peek().kind == "(":
+                self._advance()
+                args = []
+                if self._peek().kind != ")":
+                    args.append(self._parse_expression())
+                    while self._peek().kind == ",":
+                        self._advance()
+                        args.append(self._parse_expression())
+                self._expect(")")
+                if len(args) > 4:
+                    raise CompileError(
+                        f"call to {token.text!r} passes {len(args)} arguments; "
+                        "at most 4 are supported"
+                    )
+                return _Call(name=token.text, args=tuple(args))
+            return _Var(name=token.text)
+        if token.kind == "(":
+            inner = self._parse_expression()
+            self._expect(")")
+            return inner
+        raise CompileError(
+            f"unexpected token {token.text!r} at offset {token.position}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _FunctionContext:
+    name: str
+    locals: dict[str, int] = field(default_factory=dict)  # name -> $fp offset
+
+    def slot(self, name: str) -> int:
+        try:
+            return self.locals[name]
+        except KeyError:
+            raise CompileError(
+                f"use of undefined variable {name!r} in function {self.name!r}"
+            ) from None
+
+    def define(self, name: str) -> int:
+        if name not in self.locals:
+            self.locals[name] = 4 * len(self.locals)
+        return self.locals[name]
+
+
+class _CodeGenerator:
+    """Emits assembly text for a parsed program."""
+
+    def __init__(self, functions: list[_Function]) -> None:
+        self._functions = {f.name: f for f in functions}
+        if len(self._functions) != len(functions):
+            duplicates = [
+                f.name for f in functions
+                if sum(1 for g in functions if g.name == f.name) > 1
+            ]
+            raise CompileError(f"duplicate function names: {sorted(set(duplicates))}")
+        if "main" not in self._functions:
+            raise CompileError("program has no 'main' function")
+        self._lines: list[str] = []
+        self._label_counter = 0
+
+    def _emit(self, line: str) -> None:
+        self._lines.append(f"    {line}")
+
+    def _label(self, text: str) -> None:
+        self._lines.append(f"{text}:")
+
+    def _fresh_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"L{stem}_{self._label_counter}"
+
+    def _push_v0(self) -> None:
+        self._emit("addiu $sp, $sp, -4")
+        self._emit("sw $v0, 0($sp)")
+
+    def _pop_t1(self) -> None:
+        self._emit("lw $t1, 0($sp)")
+        self._emit("addiu $sp, $sp, 4")
+
+    # -- program / function layout --------------------------------------
+
+    def generate(self) -> str:
+        # Entry stub: call main, then exit2(main's return value).
+        self._label("__start")
+        self._emit("jal main")
+        self._emit("nop")
+        self._emit("move $a0, $v0")
+        self._emit("li $v0, 17")
+        self._emit("syscall")
+        self._emit("break")  # unreachable guard
+        for function in self._functions.values():
+            self._generate_function(function)
+        return "\n".join(self._lines) + "\n"
+
+    def _collect_locals(self, body: tuple, context: _FunctionContext) -> None:
+        for statement in body:
+            if isinstance(statement, _Let):
+                context.define(statement.name)
+            elif isinstance(statement, _If):
+                self._collect_locals(statement.then_body, context)
+                self._collect_locals(statement.else_body, context)
+            elif isinstance(statement, _While):
+                self._collect_locals(statement.body, context)
+
+    def _generate_function(self, function: _Function) -> None:
+        context = _FunctionContext(name=function.name)
+        for param in function.params:
+            context.define(param)
+        self._collect_locals(function.body, context)
+        locals_bytes = 4 * len(context.locals)
+        frame = locals_bytes + 8  # locals + saved $ra + saved $fp
+
+        self._label(function.name)
+        self._emit(f"addiu $sp, $sp, -{frame}")
+        self._emit(f"sw $ra, {frame - 4}($sp)")
+        self._emit(f"sw $fp, {frame - 8}($sp)")
+        self._emit("move $fp, $sp")
+        for index, param in enumerate(function.params):
+            self._emit(f"sw $a{index}, {context.slot(param)}($fp)")
+
+        epilogue = self._fresh_label(f"ret_{function.name}")
+        for statement in function.body:
+            self._generate_statement(statement, context, epilogue, frame)
+        # Implicit `return 0` at the end of a function body.
+        self._emit("li $v0, 0")
+        self._label(epilogue)
+        self._emit("move $sp, $fp")
+        self._emit(f"lw $ra, {frame - 4}($sp)")
+        self._emit(f"lw $fp, {frame - 8}($sp)")
+        self._emit(f"addiu $sp, $sp, {frame}")
+        self._emit("jr $ra")
+        self._emit("nop")
+
+    # -- statements -------------------------------------------------------
+
+    def _generate_statement(
+        self, statement, context: _FunctionContext, epilogue: str, frame: int
+    ) -> None:
+        if isinstance(statement, (_Let, _Assign)):
+            self._generate_expression(statement.value, context)
+            self._emit(f"sw $v0, {context.slot(statement.name)}($fp)")
+            return
+        if isinstance(statement, _If):
+            else_label = self._fresh_label("else")
+            end_label = self._fresh_label("endif")
+            self._generate_expression(statement.condition, context)
+            self._emit(f"beqz $v0, {else_label}")
+            self._emit("nop")
+            for inner in statement.then_body:
+                self._generate_statement(inner, context, epilogue, frame)
+            self._emit(f"b {end_label}")
+            self._emit("nop")
+            self._label(else_label)
+            for inner in statement.else_body:
+                self._generate_statement(inner, context, epilogue, frame)
+            self._label(end_label)
+            return
+        if isinstance(statement, _While):
+            head_label = self._fresh_label("while")
+            end_label = self._fresh_label("endwhile")
+            self._label(head_label)
+            self._generate_expression(statement.condition, context)
+            self._emit(f"beqz $v0, {end_label}")
+            self._emit("nop")
+            for inner in statement.body:
+                self._generate_statement(inner, context, epilogue, frame)
+            self._emit(f"b {head_label}")
+            self._emit("nop")
+            self._label(end_label)
+            return
+        if isinstance(statement, _Return):
+            self._generate_expression(statement.value, context)
+            self._emit(f"b {epilogue}")
+            self._emit("nop")
+            return
+        if isinstance(statement, _Print):
+            self._generate_expression(statement.value, context)
+            self._emit("move $a0, $v0")
+            self._emit("li $v0, 1")
+            self._emit("syscall")
+            return
+        if isinstance(statement, _Store):
+            self._generate_expression(statement.address, context)
+            self._push_v0()
+            self._generate_expression(statement.value, context)
+            self._pop_t1()
+            self._emit("sw $v0, 0($t1)")
+            return
+        if isinstance(statement, _ExprStatement):
+            self._generate_expression(statement.value, context)
+            return
+        raise CompileError(f"cannot generate code for statement {statement!r}")
+
+    # -- expressions --------------------------------------------------------
+
+    def _generate_expression(self, expr, context: _FunctionContext) -> None:
+        if isinstance(expr, _Num):
+            if not -0x8000_0000 <= expr.value <= 0xFFFF_FFFF:
+                raise CompileError(f"literal {expr.value} exceeds 32 bits")
+            self._emit(f"li $v0, {expr.value}")
+            return
+        if isinstance(expr, _Var):
+            self._emit(f"lw $v0, {context.slot(expr.name)}($fp)")
+            return
+        if isinstance(expr, _Load):
+            self._generate_expression(expr.address, context)
+            self._emit("lw $v0, 0($v0)")
+            return
+        if isinstance(expr, _Unary):
+            self._generate_expression(expr.operand, context)
+            if expr.op == "-":
+                self._emit("subu $v0, $zero, $v0")
+            elif expr.op == "~":
+                self._emit("nor $v0, $v0, $zero")
+            elif expr.op == "!":
+                self._emit("sltiu $v0, $v0, 1")
+            return
+        if isinstance(expr, _Call):
+            function = self._functions.get(expr.name)
+            if function is None:
+                raise CompileError(f"call to undefined function {expr.name!r}")
+            if len(expr.args) != len(function.params):
+                raise CompileError(
+                    f"{expr.name!r} takes {len(function.params)} arguments, "
+                    f"got {len(expr.args)}"
+                )
+            for argument in expr.args:
+                self._generate_expression(argument, context)
+                self._push_v0()
+            for index in reversed(range(len(expr.args))):
+                self._emit(f"lw $a{index}, 0($sp)")
+                self._emit("addiu $sp, $sp, 4")
+            self._emit(f"jal {expr.name}")
+            self._emit("nop")
+            return
+        if isinstance(expr, _Binary):
+            self._generate_expression(expr.left, context)
+            self._push_v0()
+            self._generate_expression(expr.right, context)
+            self._pop_t1()  # $t1 = left, $v0 = right
+            self._generate_binary_op(expr.op)
+            return
+        raise CompileError(f"cannot generate code for expression {expr!r}")
+
+    def _generate_binary_op(self, op: str) -> None:
+        if op == "+":
+            self._emit("addu $v0, $t1, $v0")
+        elif op == "-":
+            self._emit("subu $v0, $t1, $v0")
+        elif op == "*":
+            self._emit("mult $t1, $v0")
+            self._emit("mflo $v0")
+        elif op == "/":
+            self._emit("div $t1, $v0")
+            self._emit("mflo $v0")
+        elif op == "%":
+            self._emit("div $t1, $v0")
+            self._emit("mfhi $v0")
+        elif op == "&":
+            self._emit("and $v0, $t1, $v0")
+        elif op == "|":
+            self._emit("or $v0, $t1, $v0")
+        elif op == "^":
+            self._emit("xor $v0, $t1, $v0")
+        elif op == "<<":
+            self._emit("sllv $v0, $t1, $v0")
+        elif op == ">>":
+            self._emit("srav $v0, $t1, $v0")
+        elif op == "<":
+            self._emit("slt $v0, $t1, $v0")
+        elif op == ">":
+            self._emit("slt $v0, $v0, $t1")
+        elif op == "<=":
+            self._emit("slt $v0, $v0, $t1")
+            self._emit("xori $v0, $v0, 1")
+        elif op == ">=":
+            self._emit("slt $v0, $t1, $v0")
+            self._emit("xori $v0, $v0, 1")
+        elif op == "==":
+            self._emit("xor $v0, $t1, $v0")
+            self._emit("sltiu $v0, $v0, 1")
+        elif op == "!=":
+            self._emit("xor $v0, $t1, $v0")
+            self._emit("sltu $v0, $zero, $v0")
+        elif op == "&&":
+            self._emit("sltu $t1, $zero, $t1")
+            self._emit("sltu $v0, $zero, $v0")
+            self._emit("and $v0, $t1, $v0")
+        elif op == "||":
+            self._emit("or $v0, $t1, $v0")
+            self._emit("sltu $v0, $zero, $v0")
+        else:
+            raise CompileError(f"no code generator for operator {op!r}")
+
+
+def compile_to_assembly(source: str) -> str:
+    """Compile MiniLang *source* to MIPS assembly text."""
+    functions = _Parser(_tokenize(source)).parse_program()
+    return _CodeGenerator(functions).generate()
+
+
+def compile_source(source: str, base_address: int = 0x0040_0000) -> AssembledProgram:
+    """Compile MiniLang *source* straight to machine code.
+
+    Entry point is the image base (the ``__start`` stub), so the result
+    can be handed to :class:`repro.sim.cpu.Cpu` directly.
+    """
+    assembly = compile_to_assembly(source)
+    try:
+        return assemble(assembly, base_address=base_address)
+    except AssemblerError as exc:  # pragma: no cover - compiler bug guard
+        raise CompileError(f"generated assembly failed to assemble: {exc}") from exc

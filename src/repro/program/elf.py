@@ -1,0 +1,183 @@
+"""Minimal ELF32 (big-endian MIPS) object reader and writer.
+
+The paper's pipeline is ``gcc -> ELF binary -> readelf -> .text words``.
+We replace the proprietary SPEC binaries with synthetic ones, but keep
+the container format real: images round-trip through genuine ELF32
+files that external tools (``readelf``, ``objdump``) can inspect.  Only
+the pieces of the format the pipeline touches are implemented: the ELF
+header, the section header table, ``.text``, and ``.shstrtab``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ElfFormatError
+from repro.program.image import ProgramImage
+
+__all__ = ["write_elf", "read_elf"]
+
+_ELF_MAGIC = b"\x7fELF"
+_ELFCLASS32 = 1
+_ELFDATA2MSB = 2  # big-endian, as MIPS executables are
+_EV_CURRENT = 1
+_ET_EXEC = 2
+_EM_MIPS = 8
+
+_EHDR_FORMAT = ">16sHHIIIIIHHHHHH"
+_EHDR_SIZE = struct.calcsize(_EHDR_FORMAT)
+_SHDR_FORMAT = ">IIIIIIIIII"
+_SHDR_SIZE = struct.calcsize(_SHDR_FORMAT)
+
+_SHT_NULL = 0
+_SHT_PROGBITS = 1
+_SHT_STRTAB = 3
+_SHF_ALLOC_EXECINSTR = 0x2 | 0x4
+
+
+def write_elf(image: ProgramImage) -> bytes:
+    """Serialize *image* as a big-endian ELF32 MIPS executable.
+
+    Layout: ELF header, ``.text`` payload, ``.shstrtab`` payload,
+    section header table (null / .text / .shstrtab).
+    """
+    text_payload = b"".join(struct.pack(">I", word) for word in image.words)
+    shstrtab = b"\x00.text\x00.shstrtab\x00"
+    text_name_offset = 1
+    shstrtab_name_offset = 7
+
+    text_offset = _EHDR_SIZE
+    shstrtab_offset = text_offset + len(text_payload)
+    shoff = shstrtab_offset + len(shstrtab)
+
+    header = struct.pack(
+        _EHDR_FORMAT,
+        _ELF_MAGIC + bytes([_ELFCLASS32, _ELFDATA2MSB, _EV_CURRENT]) + b"\x00" * 9,
+        _ET_EXEC,
+        _EM_MIPS,
+        _EV_CURRENT,
+        image.base_address,  # e_entry
+        0,                   # e_phoff (no program headers: offline analysis only)
+        shoff,               # e_shoff
+        0,                   # e_flags
+        _EHDR_SIZE,
+        0,                   # e_phentsize
+        0,                   # e_phnum
+        _SHDR_SIZE,
+        3,                   # e_shnum
+        2,                   # e_shstrndx
+    )
+
+    null_shdr = struct.pack(_SHDR_FORMAT, 0, _SHT_NULL, 0, 0, 0, 0, 0, 0, 0, 0)
+    text_shdr = struct.pack(
+        _SHDR_FORMAT,
+        text_name_offset,
+        _SHT_PROGBITS,
+        _SHF_ALLOC_EXECINSTR,
+        image.base_address,
+        text_offset,
+        len(text_payload),
+        0,
+        0,
+        4,  # alignment
+        0,
+    )
+    shstrtab_shdr = struct.pack(
+        _SHDR_FORMAT,
+        shstrtab_name_offset,
+        _SHT_STRTAB,
+        0,
+        0,
+        shstrtab_offset,
+        len(shstrtab),
+        0,
+        0,
+        1,
+        0,
+    )
+    return header + text_payload + shstrtab + null_shdr + text_shdr + shstrtab_shdr
+
+
+def read_elf(data: bytes, name: str = "elf") -> ProgramImage:
+    """Parse an ELF32 big-endian MIPS binary and extract its ``.text``.
+
+    Raises :class:`ElfFormatError` on any malformed structure; a parser
+    used on fault-injection experiments cannot afford to guess.
+    """
+    if len(data) < _EHDR_SIZE:
+        raise ElfFormatError(f"file is {len(data)} bytes, smaller than an ELF header")
+    (
+        ident,
+        e_type,
+        e_machine,
+        e_version,
+        e_entry,
+        _e_phoff,
+        e_shoff,
+        _e_flags,
+        _e_ehsize,
+        _e_phentsize,
+        _e_phnum,
+        e_shentsize,
+        e_shnum,
+        e_shstrndx,
+    ) = struct.unpack_from(_EHDR_FORMAT, data, 0)
+    if ident[:4] != _ELF_MAGIC:
+        raise ElfFormatError(f"bad ELF magic {ident[:4]!r}")
+    if ident[4] != _ELFCLASS32:
+        raise ElfFormatError(f"not a 32-bit ELF (class {ident[4]})")
+    if ident[5] != _ELFDATA2MSB:
+        raise ElfFormatError(f"not big-endian (data encoding {ident[5]})")
+    if e_machine != _EM_MIPS:
+        raise ElfFormatError(f"not a MIPS binary (machine {e_machine})")
+    if e_version != _EV_CURRENT or e_type != _ET_EXEC:
+        raise ElfFormatError(
+            f"unsupported ELF type/version ({e_type}/{e_version})"
+        )
+    if e_shentsize != _SHDR_SIZE:
+        raise ElfFormatError(f"unexpected section header size {e_shentsize}")
+    if e_shnum < 1 or e_shstrndx >= e_shnum:
+        raise ElfFormatError(
+            f"inconsistent section counts (shnum={e_shnum}, shstrndx={e_shstrndx})"
+        )
+    if e_shoff + e_shnum * _SHDR_SIZE > len(data):
+        raise ElfFormatError("section header table extends past end of file")
+
+    def section_header(index: int) -> tuple[int, ...]:
+        return struct.unpack_from(_SHDR_FORMAT, data, e_shoff + index * _SHDR_SIZE)
+
+    str_header = section_header(e_shstrndx)
+    str_offset, str_size = str_header[4], str_header[5]
+    if str_offset + str_size > len(data):
+        raise ElfFormatError("string table extends past end of file")
+    strtab = data[str_offset : str_offset + str_size]
+
+    def section_name(name_offset: int) -> str:
+        end = strtab.find(b"\x00", name_offset)
+        if end < 0:
+            raise ElfFormatError("unterminated section name")
+        return strtab[name_offset:end].decode("ascii", errors="replace")
+
+    for index in range(e_shnum):
+        shdr = section_header(index)
+        sh_name, sh_type, _flags, sh_addr, sh_offset, sh_size = shdr[:6]
+        if sh_type == _SHT_PROGBITS and section_name(sh_name) == ".text":
+            if sh_size % 4:
+                raise ElfFormatError(
+                    f".text size {sh_size} is not a multiple of 4"
+                )
+            if sh_offset + sh_size > len(data):
+                raise ElfFormatError(".text extends past end of file")
+            words = [
+                struct.unpack_from(">I", data, sh_offset + 4 * i)[0]
+                for i in range(sh_size // 4)
+            ]
+            base = sh_addr if sh_addr else e_entry
+            if base % 4:
+                raise ElfFormatError(
+                    f".text load address 0x{base:x} is not word aligned"
+                )
+            if not words:
+                raise ElfFormatError(".text section is empty")
+            return ProgramImage.from_words(name, words, base_address=base)
+    raise ElfFormatError("no .text section found")

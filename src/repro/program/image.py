@@ -1,0 +1,111 @@
+"""Program images: the unit of analysis for the paper's evaluation.
+
+A :class:`ProgramImage` is a named ``.text`` section — a base address
+plus a sequence of 32-bit instruction words — mirroring what the paper
+extracted from SPEC CPU2006 binaries with ``readelf``.  The evaluation
+operates on "the first 100 instructions of each program's .text
+section" and on whole-image mnemonic statistics; both views live here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import ProgramImageError
+from repro.isa.decoder import try_decode
+from repro.isa.disassembler import disassemble
+from repro.isa.instruction import Instruction
+
+__all__ = ["ProgramImage"]
+
+
+@dataclass(frozen=True)
+class ProgramImage:
+    """An immutable program text section.
+
+    Attributes
+    ----------
+    name:
+        Benchmark-style name, e.g. ``"bzip2"``.
+    words:
+        Instruction words in address order.
+    base_address:
+        Byte address of ``words[0]``.
+    """
+
+    name: str
+    words: tuple[int, ...]
+    base_address: int = 0x0040_0000
+
+    def __post_init__(self) -> None:
+        if not self.words:
+            raise ProgramImageError(f"image {self.name!r} has no instructions")
+        if self.base_address % 4:
+            raise ProgramImageError(
+                f"image {self.name!r} base address 0x{self.base_address:x} "
+                "is not word aligned"
+            )
+        for index, word in enumerate(self.words):
+            if not 0 <= word <= 0xFFFFFFFF:
+                raise ProgramImageError(
+                    f"image {self.name!r} word {index} = 0x{word:x} is not 32 bits"
+                )
+
+    @classmethod
+    def from_words(
+        cls, name: str, words: Iterable[int], base_address: int = 0x0040_0000
+    ) -> ProgramImage:
+        """Build an image from any iterable of words."""
+        return cls(name=name, words=tuple(words), base_address=base_address)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.words)
+
+    def address_of(self, index: int) -> int:
+        """Byte address of the instruction at *index*."""
+        if not 0 <= index < len(self.words):
+            raise ProgramImageError(
+                f"instruction index {index} out of range for {self.name!r}"
+            )
+        return self.base_address + 4 * index
+
+    def word_at_address(self, address: int) -> int:
+        """The instruction word stored at byte *address*."""
+        offset = address - self.base_address
+        if offset % 4 or not 0 <= offset // 4 < len(self.words):
+            raise ProgramImageError(
+                f"address 0x{address:x} is not a word of image {self.name!r}"
+            )
+        return self.words[offset // 4]
+
+    def instruction_at(self, index: int) -> Instruction | None:
+        """Decode the instruction at *index* (``None`` when illegal)."""
+        self.address_of(index)  # bounds check
+        return try_decode(self.words[index])
+
+    def first(self, count: int) -> ProgramImage:
+        """The image restricted to its first *count* instructions.
+
+        This is the paper's evaluation window ("the first 100
+        instructions from each program's .text section").
+        """
+        if count < 1:
+            raise ProgramImageError(f"count must be >= 1, got {count}")
+        return ProgramImage(
+            name=self.name,
+            words=self.words[:count],
+            base_address=self.base_address,
+        )
+
+    def legal_fraction(self) -> float:
+        """Fraction of words that decode as legal instructions."""
+        legal = sum(1 for word in self.words if try_decode(word) is not None)
+        return legal / len(self.words)
+
+    def disassembly(self) -> str:
+        """Full text disassembly of the image."""
+        return disassemble(self.words, self.base_address)

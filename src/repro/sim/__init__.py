@@ -1,0 +1,26 @@
+"""Functional MIPS-I simulation: CPU, memory interfaces, forked execution."""
+
+from repro.sim.cpu import Cpu, CpuState, ExecutionResult
+from repro.sim.fork import ForkedExecution, ForkOutcome, ForkVerdict, JoinRule
+from repro.sim.mem_iface import (
+    EccBackedMemory,
+    FlatMemory,
+    PoisonError,
+    WordMemory,
+)
+from repro.sim.symptoms import Symptom
+
+__all__ = [
+    "Cpu",
+    "CpuState",
+    "ExecutionResult",
+    "ForkedExecution",
+    "ForkOutcome",
+    "ForkVerdict",
+    "JoinRule",
+    "EccBackedMemory",
+    "FlatMemory",
+    "PoisonError",
+    "WordMemory",
+    "Symptom",
+]

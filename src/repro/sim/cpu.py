@@ -1,0 +1,615 @@
+"""A functional MIPS-I CPU simulator with branch delay slots.
+
+Executes the integer MIPS-I subset our compiler and synthesizer emit,
+with architectural fidelity where it matters for fault experiments:
+
+- big-endian memory, including the unaligned-access pair
+  lwl/lwr/swl/swr;
+- branch *delay slots* (the instruction after a branch always runs);
+- trapping arithmetic (``add``/``addi``/``sub`` overflow) — compilers
+  emit the non-trapping ``u`` forms, so a trap firing is a strong
+  symptom that a recovery candidate was wrong;
+- SPIM-style syscalls (print_int = 1, print_char = 11, exit = 10,
+  exit2 = 17) plus the Linux ``exit`` number the crt0 stub uses.
+
+Abnormal events do not raise: they end the run with a
+:class:`~repro.sim.symptoms.Symptom`, which is what the forked-
+execution arbiter consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryFaultError, UncorrectableError
+from repro.isa.decoder import try_decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    COP0_OPCODE,
+    COP1_OPCODE,
+    COP2_OPCODE,
+    COP3_OPCODE,
+)
+from repro.sim.mem_iface import PoisonError, WordMemory
+from repro.sim.symptoms import Symptom
+
+__all__ = ["Cpu", "ExecutionResult", "CpuState"]
+
+_WORD_MASK = 0xFFFFFFFF
+_SIGN_BIT = 0x80000000
+
+
+def _signed(value: int) -> int:
+    """Interpret a 32-bit value as two's complement."""
+    return value - 0x1_0000_0000 if value & _SIGN_BIT else value
+
+
+@dataclass
+class CpuState:
+    """Architectural state: registers, HI/LO, PC."""
+
+    registers: list[int] = field(default_factory=lambda: [0] * 32)
+    hi: int = 0
+    lo: int = 0
+    pc: int = 0
+
+    def snapshot(self) -> tuple[int, ...]:
+        """A hashable image of the state (fork-join comparison)."""
+        return (*self.registers, self.hi, self.lo, self.pc)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """How a simulated run ended.
+
+    Attributes
+    ----------
+    exit_code:
+        The program's exit status when it terminated normally, else
+        ``None``.
+    symptom:
+        The abnormal-execution symptom when it did not.
+    steps:
+        Instructions retired.
+    output:
+        Values emitted through print syscalls, in order.
+    pc:
+        Final program counter.
+    state:
+        Final architectural snapshot.
+    """
+
+    exit_code: int | None
+    symptom: Symptom | None
+    steps: int
+    output: tuple[object, ...]
+    pc: int
+    state: tuple[int, ...]
+
+    @property
+    def crashed(self) -> bool:
+        """True when the run ended with a symptom."""
+        return self.symptom is not None
+
+
+class _Halt(Exception):
+    """Internal control flow: the program ended (normally or not)."""
+
+    def __init__(self, exit_code: int | None, symptom: Symptom | None) -> None:
+        super().__init__(symptom.value if symptom else f"exit {exit_code}")
+        self.exit_code = exit_code
+        self.symptom = symptom
+
+
+class Cpu:
+    """The simulator.
+
+    Parameters
+    ----------
+    memory:
+        Instruction and data memory (see :mod:`repro.sim.mem_iface`).
+    entry_pc:
+        Initial program counter.
+    text_range:
+        Valid [low, high) byte range for the PC; leaving it is the
+        OUT_OF_RANGE_PC symptom.
+    stack_pointer:
+        Initial $sp (also $fp).
+    """
+
+    def __init__(
+        self,
+        memory: WordMemory,
+        entry_pc: int,
+        text_range: tuple[int, int],
+        stack_pointer: int = 0x7FFF_FFF0,
+    ) -> None:
+        self._memory = memory
+        self._text_low, self._text_high = text_range
+        self.state = CpuState()
+        self.state.pc = entry_pc
+        self.state.registers[29] = stack_pointer
+        self.state.registers[30] = stack_pointer
+        self._next_pc = entry_pc + 4
+        self._output: list[object] = []
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Register and memory plumbing
+    # ------------------------------------------------------------------
+
+    def _read_reg(self, index: int) -> int:
+        return self.state.registers[index]
+
+    def _write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.state.registers[index] = value & _WORD_MASK
+
+    def _load_word(self, address: int) -> int:
+        if address % 4:
+            raise _Halt(None, Symptom.UNALIGNED_ACCESS)
+        try:
+            return self._memory.read_word(address)
+        except PoisonError as exc:
+            raise _Halt(None, Symptom.POISON_CONSUMED) from exc
+        except UncorrectableError:
+            # A machine check under the crash policy is not a symptom
+            # the program can contain: it propagates (kernel panic).
+            raise
+        except MemoryFaultError as exc:
+            raise _Halt(None, Symptom.UNMAPPED_MEMORY) from exc
+
+    def _store_word(self, address: int, value: int) -> None:
+        if address % 4:
+            raise _Halt(None, Symptom.UNALIGNED_ACCESS)
+        try:
+            self._memory.write_word(address, value & _WORD_MASK)
+        except UncorrectableError:
+            raise
+        except MemoryFaultError as exc:
+            raise _Halt(None, Symptom.UNMAPPED_MEMORY) from exc
+
+    def _load_aligned(self, address: int) -> int:
+        """Load the aligned word containing *address* (for sub-word ops)."""
+        return self._load_word(address & ~3)
+
+    def _load_byte(self, address: int) -> int:
+        word = self._load_aligned(address)
+        shift = (3 - (address & 3)) * 8  # big-endian byte order
+        return (word >> shift) & 0xFF
+
+    def _store_byte(self, address: int, value: int) -> None:
+        aligned = address & ~3
+        word = self._load_aligned(address)
+        shift = (3 - (address & 3)) * 8
+        word = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self._store_word(aligned, word)
+
+    def _load_half(self, address: int) -> int:
+        if address % 2:
+            raise _Halt(None, Symptom.UNALIGNED_ACCESS)
+        word = self._load_aligned(address)
+        shift = (2 - (address & 3)) * 8
+        return (word >> shift) & 0xFFFF
+
+    def _store_half(self, address: int, value: int) -> None:
+        if address % 2:
+            raise _Halt(None, Symptom.UNALIGNED_ACCESS)
+        aligned = address & ~3
+        word = self._load_aligned(address)
+        shift = (2 - (address & 3)) * 8
+        word = (word & ~(0xFFFF << shift)) | ((value & 0xFFFF) << shift)
+        self._store_word(aligned, word)
+
+    # ------------------------------------------------------------------
+    # Execution loop
+    # ------------------------------------------------------------------
+
+    @property
+    def output(self) -> tuple[object, ...]:
+        """Values printed so far."""
+        return tuple(self._output)
+
+    def run(self, max_steps: int = 1_000_000) -> ExecutionResult:
+        """Run until exit, a symptom, or the watchdog expires."""
+        exit_code: int | None = None
+        symptom: Symptom | None = None
+        try:
+            while self._steps < max_steps:
+                self._step()
+            symptom = Symptom.WATCHDOG_TIMEOUT
+        except _Halt as halt:
+            exit_code = halt.exit_code
+            symptom = halt.symptom
+        return ExecutionResult(
+            exit_code=exit_code,
+            symptom=symptom,
+            steps=self._steps,
+            output=tuple(self._output),
+            pc=self.state.pc,
+            state=self.state.snapshot(),
+        )
+
+    def _step(self) -> None:
+        pc = self.state.pc
+        if pc % 4 or not self._text_low <= pc < self._text_high:
+            raise _Halt(None, Symptom.OUT_OF_RANGE_PC)
+        word = self._load_word(pc)
+        instruction = try_decode(word)
+        if instruction is None:
+            raise _Halt(None, Symptom.ILLEGAL_INSTRUCTION)
+        # Delay-slot sequencing: the instruction at next_pc always
+        # executes; a taken branch redirects the one after it.
+        self.state.pc = self._next_pc
+        self._next_pc = self.state.pc + 4
+        self._steps += 1
+        self._execute(instruction, pc)
+
+    def _branch(self, taken: bool, offset: int, branch_pc: int) -> None:
+        if taken:
+            self._next_pc = (branch_pc + 4 + (offset << 2)) & _WORD_MASK
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+
+    def _execute(self, instruction: Instruction, pc: int) -> None:
+        mnemonic = instruction.mnemonic
+        handler = _HANDLERS.get(mnemonic)
+        if handler is not None:
+            handler(self, instruction, pc)
+            return
+        if instruction.opcode in (
+            COP0_OPCODE, COP1_OPCODE, COP2_OPCODE, COP3_OPCODE,
+        ) or mnemonic.startswith(("lwc", "swc")) or mnemonic == "cache":
+            raise _Halt(None, Symptom.UNSUPPORTED_INSTRUCTION)
+        raise _Halt(None, Symptom.UNSUPPORTED_INSTRUCTION)
+
+    # -- arithmetic ----------------------------------------------------
+
+    def _op_addu(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self._read_reg(i.rs) + self._read_reg(i.rt))
+
+    def _op_add(self, i: Instruction, pc: int) -> None:
+        a = _signed(self._read_reg(i.rs))
+        b = _signed(self._read_reg(i.rt))
+        if not -0x8000_0000 <= a + b <= 0x7FFF_FFFF:
+            raise _Halt(None, Symptom.OVERFLOW_TRAP)
+        self._write_reg(i.rd, a + b)
+
+    def _op_subu(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self._read_reg(i.rs) - self._read_reg(i.rt))
+
+    def _op_sub(self, i: Instruction, pc: int) -> None:
+        a = _signed(self._read_reg(i.rs))
+        b = _signed(self._read_reg(i.rt))
+        if not -0x8000_0000 <= a - b <= 0x7FFF_FFFF:
+            raise _Halt(None, Symptom.OVERFLOW_TRAP)
+        self._write_reg(i.rd, a - b)
+
+    def _op_addiu(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rt, self._read_reg(i.rs) + i.signed_immediate)
+
+    def _op_addi(self, i: Instruction, pc: int) -> None:
+        a = _signed(self._read_reg(i.rs))
+        if not -0x8000_0000 <= a + i.signed_immediate <= 0x7FFF_FFFF:
+            raise _Halt(None, Symptom.OVERFLOW_TRAP)
+        self._write_reg(i.rt, a + i.signed_immediate)
+
+    def _op_and(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self._read_reg(i.rs) & self._read_reg(i.rt))
+
+    def _op_or(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self._read_reg(i.rs) | self._read_reg(i.rt))
+
+    def _op_xor(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self._read_reg(i.rs) ^ self._read_reg(i.rt))
+
+    def _op_nor(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, ~(self._read_reg(i.rs) | self._read_reg(i.rt)))
+
+    def _op_slt(self, i: Instruction, pc: int) -> None:
+        self._write_reg(
+            i.rd,
+            1 if _signed(self._read_reg(i.rs)) < _signed(self._read_reg(i.rt)) else 0,
+        )
+
+    def _op_sltu(self, i: Instruction, pc: int) -> None:
+        self._write_reg(
+            i.rd, 1 if self._read_reg(i.rs) < self._read_reg(i.rt) else 0
+        )
+
+    def _op_slti(self, i: Instruction, pc: int) -> None:
+        self._write_reg(
+            i.rt, 1 if _signed(self._read_reg(i.rs)) < i.signed_immediate else 0
+        )
+
+    def _op_sltiu(self, i: Instruction, pc: int) -> None:
+        self._write_reg(
+            i.rt,
+            1 if self._read_reg(i.rs) < (i.signed_immediate & _WORD_MASK) else 0,
+        )
+
+    def _op_andi(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rt, self._read_reg(i.rs) & i.immediate)
+
+    def _op_ori(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rt, self._read_reg(i.rs) | i.immediate)
+
+    def _op_xori(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rt, self._read_reg(i.rs) ^ i.immediate)
+
+    def _op_lui(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rt, i.immediate << 16)
+
+    # -- shifts ----------------------------------------------------------
+
+    def _op_sll(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self._read_reg(i.rt) << i.shamt)
+
+    def _op_srl(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self._read_reg(i.rt) >> i.shamt)
+
+    def _op_sra(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, _signed(self._read_reg(i.rt)) >> i.shamt)
+
+    def _op_sllv(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self._read_reg(i.rt) << (self._read_reg(i.rs) & 31))
+
+    def _op_srlv(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self._read_reg(i.rt) >> (self._read_reg(i.rs) & 31))
+
+    def _op_srav(self, i: Instruction, pc: int) -> None:
+        self._write_reg(
+            i.rd, _signed(self._read_reg(i.rt)) >> (self._read_reg(i.rs) & 31)
+        )
+
+    # -- multiply / divide ------------------------------------------------
+
+    def _op_mult(self, i: Instruction, pc: int) -> None:
+        product = _signed(self._read_reg(i.rs)) * _signed(self._read_reg(i.rt))
+        self.state.lo = product & _WORD_MASK
+        self.state.hi = (product >> 32) & _WORD_MASK
+
+    def _op_multu(self, i: Instruction, pc: int) -> None:
+        product = self._read_reg(i.rs) * self._read_reg(i.rt)
+        self.state.lo = product & _WORD_MASK
+        self.state.hi = (product >> 32) & _WORD_MASK
+
+    def _op_div(self, i: Instruction, pc: int) -> None:
+        divisor = _signed(self._read_reg(i.rt))
+        if divisor == 0:
+            raise _Halt(None, Symptom.DIVISION_BY_ZERO)
+        dividend = _signed(self._read_reg(i.rs))
+        quotient = int(dividend / divisor)  # C-style truncation
+        self.state.lo = quotient & _WORD_MASK
+        self.state.hi = (dividend - quotient * divisor) & _WORD_MASK
+
+    def _op_divu(self, i: Instruction, pc: int) -> None:
+        divisor = self._read_reg(i.rt)
+        if divisor == 0:
+            raise _Halt(None, Symptom.DIVISION_BY_ZERO)
+        dividend = self._read_reg(i.rs)
+        self.state.lo = dividend // divisor
+        self.state.hi = dividend % divisor
+
+    def _op_mfhi(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self.state.hi)
+
+    def _op_mflo(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, self.state.lo)
+
+    def _op_mthi(self, i: Instruction, pc: int) -> None:
+        self.state.hi = self._read_reg(i.rs)
+
+    def _op_mtlo(self, i: Instruction, pc: int) -> None:
+        self.state.lo = self._read_reg(i.rs)
+
+    # -- conditional moves / sync ------------------------------------------
+
+    def _op_movz(self, i: Instruction, pc: int) -> None:
+        if self._read_reg(i.rt) == 0:
+            self._write_reg(i.rd, self._read_reg(i.rs))
+
+    def _op_movn(self, i: Instruction, pc: int) -> None:
+        if self._read_reg(i.rt) != 0:
+            self._write_reg(i.rd, self._read_reg(i.rs))
+
+    def _op_sync(self, i: Instruction, pc: int) -> None:
+        pass  # memory ordering is trivially satisfied here
+
+    # -- control flow ---------------------------------------------------
+
+    def _op_j(self, i: Instruction, pc: int) -> None:
+        self._next_pc = ((pc + 4) & 0xF000_0000) | (i.target << 2)
+
+    def _op_jal(self, i: Instruction, pc: int) -> None:
+        self._write_reg(31, pc + 8)
+        self._next_pc = ((pc + 4) & 0xF000_0000) | (i.target << 2)
+
+    def _op_jr(self, i: Instruction, pc: int) -> None:
+        self._next_pc = self._read_reg(i.rs)
+
+    def _op_jalr(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rd, pc + 8)
+        self._next_pc = self._read_reg(i.rs)
+
+    def _op_beq(self, i: Instruction, pc: int) -> None:
+        self._branch(
+            self._read_reg(i.rs) == self._read_reg(i.rt), i.signed_immediate, pc
+        )
+
+    def _op_bne(self, i: Instruction, pc: int) -> None:
+        self._branch(
+            self._read_reg(i.rs) != self._read_reg(i.rt), i.signed_immediate, pc
+        )
+
+    def _op_blez(self, i: Instruction, pc: int) -> None:
+        self._branch(_signed(self._read_reg(i.rs)) <= 0, i.signed_immediate, pc)
+
+    def _op_bgtz(self, i: Instruction, pc: int) -> None:
+        self._branch(_signed(self._read_reg(i.rs)) > 0, i.signed_immediate, pc)
+
+    def _op_bltz(self, i: Instruction, pc: int) -> None:
+        self._branch(_signed(self._read_reg(i.rs)) < 0, i.signed_immediate, pc)
+
+    def _op_bgez(self, i: Instruction, pc: int) -> None:
+        self._branch(_signed(self._read_reg(i.rs)) >= 0, i.signed_immediate, pc)
+
+    def _op_bltzal(self, i: Instruction, pc: int) -> None:
+        self._write_reg(31, pc + 8)
+        self._branch(_signed(self._read_reg(i.rs)) < 0, i.signed_immediate, pc)
+
+    def _op_bgezal(self, i: Instruction, pc: int) -> None:
+        self._write_reg(31, pc + 8)
+        self._branch(_signed(self._read_reg(i.rs)) >= 0, i.signed_immediate, pc)
+
+    # -- traps ------------------------------------------------------------
+
+    def _trap_if(self, condition: bool) -> None:
+        if condition:
+            raise _Halt(None, Symptom.TRAP_INSTRUCTION)
+
+    def _op_teq(self, i: Instruction, pc: int) -> None:
+        self._trap_if(self._read_reg(i.rs) == self._read_reg(i.rt))
+
+    def _op_tne(self, i: Instruction, pc: int) -> None:
+        self._trap_if(self._read_reg(i.rs) != self._read_reg(i.rt))
+
+    def _op_tge(self, i: Instruction, pc: int) -> None:
+        self._trap_if(
+            _signed(self._read_reg(i.rs)) >= _signed(self._read_reg(i.rt))
+        )
+
+    def _op_tgeu(self, i: Instruction, pc: int) -> None:
+        self._trap_if(self._read_reg(i.rs) >= self._read_reg(i.rt))
+
+    def _op_tlt(self, i: Instruction, pc: int) -> None:
+        self._trap_if(
+            _signed(self._read_reg(i.rs)) < _signed(self._read_reg(i.rt))
+        )
+
+    def _op_tltu(self, i: Instruction, pc: int) -> None:
+        self._trap_if(self._read_reg(i.rs) < self._read_reg(i.rt))
+
+    def _op_tgei(self, i: Instruction, pc: int) -> None:
+        self._trap_if(_signed(self._read_reg(i.rs)) >= i.signed_immediate)
+
+    def _op_tgeiu(self, i: Instruction, pc: int) -> None:
+        self._trap_if(self._read_reg(i.rs) >= (i.signed_immediate & _WORD_MASK))
+
+    def _op_tlti(self, i: Instruction, pc: int) -> None:
+        self._trap_if(_signed(self._read_reg(i.rs)) < i.signed_immediate)
+
+    def _op_tltiu(self, i: Instruction, pc: int) -> None:
+        self._trap_if(self._read_reg(i.rs) < (i.signed_immediate & _WORD_MASK))
+
+    def _op_teqi(self, i: Instruction, pc: int) -> None:
+        self._trap_if(_signed(self._read_reg(i.rs)) == i.signed_immediate)
+
+    def _op_tnei(self, i: Instruction, pc: int) -> None:
+        self._trap_if(_signed(self._read_reg(i.rs)) != i.signed_immediate)
+
+    def _op_break(self, i: Instruction, pc: int) -> None:
+        raise _Halt(None, Symptom.BREAKPOINT)
+
+    # -- loads / stores -----------------------------------------------------
+
+    def _effective_address(self, i: Instruction) -> int:
+        return (self._read_reg(i.rs) + i.signed_immediate) & _WORD_MASK
+
+    def _op_lw(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rt, self._load_word(self._effective_address(i)))
+
+    def _op_sw(self, i: Instruction, pc: int) -> None:
+        self._store_word(self._effective_address(i), self._read_reg(i.rt))
+
+    def _op_lb(self, i: Instruction, pc: int) -> None:
+        value = self._load_byte(self._effective_address(i))
+        self._write_reg(i.rt, value - 0x100 if value & 0x80 else value)
+
+    def _op_lbu(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rt, self._load_byte(self._effective_address(i)))
+
+    def _op_sb(self, i: Instruction, pc: int) -> None:
+        self._store_byte(self._effective_address(i), self._read_reg(i.rt))
+
+    def _op_lh(self, i: Instruction, pc: int) -> None:
+        value = self._load_half(self._effective_address(i))
+        self._write_reg(i.rt, value - 0x10000 if value & 0x8000 else value)
+
+    def _op_lhu(self, i: Instruction, pc: int) -> None:
+        self._write_reg(i.rt, self._load_half(self._effective_address(i)))
+
+    def _op_sh(self, i: Instruction, pc: int) -> None:
+        self._store_half(self._effective_address(i), self._read_reg(i.rt))
+
+    def _op_lwl(self, i: Instruction, pc: int) -> None:
+        address = self._effective_address(i)
+        k = address & 3
+        word = self._load_aligned(address)
+        keep_mask = (1 << (8 * k)) - 1
+        merged = ((word << (8 * k)) & _WORD_MASK) | (
+            self._read_reg(i.rt) & keep_mask
+        )
+        self._write_reg(i.rt, merged)
+
+    def _op_lwr(self, i: Instruction, pc: int) -> None:
+        address = self._effective_address(i)
+        k = address & 3
+        word = self._load_aligned(address)
+        take_mask = (1 << (8 * (k + 1))) - 1
+        merged = (self._read_reg(i.rt) & ~take_mask & _WORD_MASK) | (
+            (word >> (8 * (3 - k))) & take_mask
+        )
+        self._write_reg(i.rt, merged)
+
+    def _op_swl(self, i: Instruction, pc: int) -> None:
+        address = self._effective_address(i)
+        k = address & 3
+        aligned = address & ~3
+        word = self._load_aligned(address)
+        low_mask = (1 << (8 * (4 - k))) - 1  # bytes k..3 of the word
+        merged = (word & ~low_mask & _WORD_MASK) | (self._read_reg(i.rt) >> (8 * k))
+        self._store_word(aligned, merged)
+
+    def _op_swr(self, i: Instruction, pc: int) -> None:
+        address = self._effective_address(i)
+        k = address & 3
+        aligned = address & ~3
+        word = self._load_aligned(address)
+        high_mask = (_WORD_MASK << (8 * (3 - k))) & _WORD_MASK
+        merged = (word & ~high_mask & _WORD_MASK) | (
+            (self._read_reg(i.rt) << (8 * (3 - k))) & high_mask
+        )
+        self._store_word(aligned, merged)
+
+    # -- system calls ---------------------------------------------------
+
+    def _op_syscall(self, i: Instruction, pc: int) -> None:
+        number = self._read_reg(2)  # $v0
+        a0 = self._read_reg(4)
+        if number == 1:  # print_int
+            self._output.append(_signed(a0))
+            return
+        if number == 11:  # print_char
+            self._output.append(chr(a0 & 0xFF))
+            return
+        if number == 10:  # exit
+            raise _Halt(0, None)
+        if number == 17:  # exit2(code)
+            raise _Halt(_signed(a0), None)
+        if number == 4001:  # Linux o32 exit
+            raise _Halt(_signed(a0), None)
+        raise _Halt(None, Symptom.BAD_SYSCALL)
+
+
+def _build_handlers() -> dict:
+    handlers = {}
+    for attribute in dir(Cpu):
+        if attribute.startswith("_op_"):
+            handlers[attribute[4:]] = getattr(Cpu, attribute)
+    return handlers
+
+
+_HANDLERS = _build_handlers()

@@ -1,0 +1,155 @@
+"""Speculative forked execution over recovery candidates (Sec. III-C).
+
+When the heuristic cannot be trusted outright, the paper proposes
+forking execution once per candidate message and letting the forks
+race: crashes and abnormal symptoms prune wrong candidates, identical
+surviving states can be joined, and if ambiguity persists the system
+forfeits and rolls back.  :class:`ForkedExecution` implements that
+arbitration over the functional CPU simulator:
+
+- **SOLE_SURVIVOR** — every fork but one crashed (rule i);
+- **CONVERGED** — several forks survived with identical architectural
+  outcomes, so the error was masked or immaterial (rules ii/iii);
+- **ALL_CRASHED** — nothing survived: fall back to rollback (rule v);
+- **AMBIGUOUS** — survivors disagree: forfeiting is safer than
+  guessing (rule v).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.cpu import Cpu, ExecutionResult
+from repro.sim.mem_iface import FlatMemory
+
+__all__ = ["JoinRule", "ForkOutcome", "ForkVerdict", "ForkedExecution"]
+
+
+class JoinRule(enum.Enum):
+    """How the arbitration concluded."""
+
+    SOLE_SURVIVOR = "sole-survivor"
+    CONVERGED = "converged"
+    ALL_CRASHED = "all-crashed"
+    AMBIGUOUS = "ambiguous"
+
+
+@dataclass(frozen=True)
+class ForkOutcome:
+    """One fork: the candidate it ran with and how the run ended."""
+
+    candidate: int
+    result: ExecutionResult
+
+    @property
+    def survived(self) -> bool:
+        """True when the fork terminated normally (no symptom)."""
+        return not self.result.crashed
+
+
+@dataclass(frozen=True)
+class ForkVerdict:
+    """Arbitration result over all forks.
+
+    Attributes
+    ----------
+    outcomes:
+        Per-fork results, in candidate order.
+    rule:
+        Which join rule concluded the race.
+    chosen:
+        The accepted candidate message, or ``None`` when the system
+        should forfeit (roll back / restart).
+    """
+
+    outcomes: tuple[ForkOutcome, ...]
+    rule: JoinRule
+    chosen: int | None
+
+    @property
+    def survivors(self) -> tuple[ForkOutcome, ...]:
+        """Forks that terminated normally."""
+        return tuple(o for o in self.outcomes if o.survived)
+
+
+class ForkedExecution:
+    """Runs one fork per candidate message and arbitrates.
+
+    Parameters
+    ----------
+    words:
+        The program image (one fork-local copy is made per candidate).
+    base_address:
+        Load address of ``words``.
+    due_word_index:
+        Index of the instruction word the DUE corrupted; each fork
+        substitutes its candidate there.
+    entry_pc:
+        Start PC (defaults to the image base).
+    max_steps:
+        Per-fork watchdog budget.
+    """
+
+    def __init__(
+        self,
+        words: Sequence[int],
+        base_address: int,
+        due_word_index: int,
+        entry_pc: int | None = None,
+        max_steps: int = 200_000,
+    ) -> None:
+        if not 0 <= due_word_index < len(words):
+            raise SimulationError(
+                f"DUE word index {due_word_index} outside image of "
+                f"{len(words)} words"
+            )
+        self._words = list(words)
+        self._base_address = base_address
+        self._due_word_index = due_word_index
+        self._entry_pc = entry_pc if entry_pc is not None else base_address
+        self._max_steps = max_steps
+
+    def run_fork(self, candidate: int) -> ForkOutcome:
+        """Execute one fork with *candidate* patched over the DUE."""
+        memory = FlatMemory()
+        patched = list(self._words)
+        patched[self._due_word_index] = candidate
+        memory.load_image(patched, self._base_address)
+        text_range = (
+            self._base_address,
+            self._base_address + 4 * len(patched),
+        )
+        cpu = Cpu(memory, entry_pc=self._entry_pc, text_range=text_range)
+        result = cpu.run(max_steps=self._max_steps)
+        return ForkOutcome(candidate=candidate, result=result)
+
+    def run(self, candidates: Sequence[int]) -> ForkVerdict:
+        """Race all candidates and arbitrate per the Sec. III-C rules."""
+        if not candidates:
+            raise SimulationError("forked execution needs at least one candidate")
+        outcomes = tuple(self.run_fork(candidate) for candidate in candidates)
+        survivors = [o for o in outcomes if o.survived]
+        if not survivors:
+            return ForkVerdict(outcomes=outcomes, rule=JoinRule.ALL_CRASHED, chosen=None)
+        if len(survivors) == 1:
+            return ForkVerdict(
+                outcomes=outcomes,
+                rule=JoinRule.SOLE_SURVIVOR,
+                chosen=survivors[0].candidate,
+            )
+        # Milestone comparison: exit status plus everything the program
+        # externalized.  Identical observable behaviour means the forks
+        # can be joined regardless of which candidate was "really" right.
+        signatures = {
+            (o.result.exit_code, o.result.output) for o in survivors
+        }
+        if len(signatures) == 1:
+            return ForkVerdict(
+                outcomes=outcomes,
+                rule=JoinRule.CONVERGED,
+                chosen=min(o.candidate for o in survivors),
+            )
+        return ForkVerdict(outcomes=outcomes, rule=JoinRule.AMBIGUOUS, chosen=None)

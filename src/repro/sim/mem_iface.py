@@ -1,0 +1,95 @@
+"""Memory interfaces for the CPU simulator.
+
+The simulator fetches and loads through a small protocol so it can run
+over a plain word store (:class:`FlatMemory`) or over the ECC-protected
+model (:class:`EccBackedMemory`), in which case DUEs flow through the
+configured policy — including SWD-ECC heuristic recovery — *during
+execution*, which is what the end-to-end examples demonstrate.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import MemoryFaultError
+from repro.memory.model import EccMemory
+
+__all__ = ["WordMemory", "FlatMemory", "EccBackedMemory", "PoisonError"]
+
+
+class PoisonError(MemoryFaultError):
+    """A poisoned word reached an architectural consumer."""
+
+
+@runtime_checkable
+class WordMemory(Protocol):
+    """Word-granular memory as seen by the CPU."""
+
+    def read_word(self, address: int) -> int:
+        """Load the aligned 32-bit word at *address*."""
+
+    def write_word(self, address: int, value: int) -> None:
+        """Store an aligned 32-bit word."""
+
+    def is_mapped(self, address: int) -> bool:
+        """True when the aligned word at *address* exists."""
+
+
+class FlatMemory:
+    """A plain sparse word store (no ECC) for fast golden runs."""
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+
+    def read_word(self, address: int) -> int:
+        try:
+            return self._words[address]
+        except KeyError:
+            raise MemoryFaultError(
+                f"read from unmapped address 0x{address:x}"
+            ) from None
+
+    def write_word(self, address: int, value: int) -> None:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise MemoryFaultError(f"value 0x{value:x} is not a 32-bit word")
+        self._words[address] = value
+
+    def is_mapped(self, address: int) -> bool:
+        return address in self._words
+
+    def load_image(self, words: list[int] | tuple[int, ...], base_address: int) -> None:
+        """Bulk-store a program image."""
+        for index, word in enumerate(words):
+            self.write_word(base_address + 4 * index, word)
+
+
+class EccBackedMemory:
+    """Adapter running CPU traffic through an :class:`EccMemory`.
+
+    Poisoned reads surface as :class:`MemoryFaultError` so the CPU can
+    convert them into the POISON_CONSUMED symptom.
+    """
+
+    def __init__(self, memory: EccMemory) -> None:
+        self._memory = memory
+
+    @property
+    def ecc_memory(self) -> EccMemory:
+        """The wrapped ECC memory model."""
+        return self._memory
+
+    def read_word(self, address: int) -> int:
+        result = self._memory.read(address)
+        if result.poisoned:
+            raise PoisonError(f"poisoned word consumed at 0x{address:x}")
+        return result.word
+
+    def write_word(self, address: int, value: int) -> None:
+        self._memory.write(address, value)
+
+    def is_mapped(self, address: int) -> bool:
+        try:
+            self._memory.raw_codeword(address)
+        except MemoryFaultError:
+            return False
+        return True

@@ -1,0 +1,58 @@
+"""Symptom classification for abnormal execution (paper refs. [8], [9]).
+
+The forked-execution use model of Sec. III-C needs to tell "this fork
+consumed a wrong recovery candidate" from "this fork is fine".  The
+signals it uses are the *symptoms of abnormal execution* from
+ReStore-style detectors: illegal instructions, unaligned accesses, wild
+jumps, traps firing, watchdog expiry.  :class:`Symptom` enumerates the
+classes our CPU simulator can raise.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Symptom"]
+
+
+class Symptom(enum.Enum):
+    """Why a simulated program stopped abnormally."""
+
+    ILLEGAL_INSTRUCTION = "illegal-instruction"
+    """Fetch decoded to a reserved encoding (SIGILL)."""
+
+    UNALIGNED_ACCESS = "unaligned-access"
+    """A load/store address violated its natural alignment (SIGBUS)."""
+
+    UNMAPPED_MEMORY = "unmapped-memory"
+    """A data access touched an address with no backing (SIGSEGV)."""
+
+    OUT_OF_RANGE_PC = "out-of-range-pc"
+    """Control flow left the text segment (wild jump)."""
+
+    OVERFLOW_TRAP = "overflow-trap"
+    """A trapping arithmetic op (add/addi/sub) overflowed."""
+
+    TRAP_INSTRUCTION = "trap-instruction"
+    """A conditional trap (teq/tlt/...) fired."""
+
+    BREAKPOINT = "breakpoint"
+    """A break instruction executed outside a debugger."""
+
+    DIVISION_BY_ZERO = "division-by-zero"
+    """div/divu with a zero divisor (architecturally unpredictable;
+    flagged as a symptom because compiled code guards against it)."""
+
+    UNSUPPORTED_INSTRUCTION = "unsupported-instruction"
+    """A legal encoding the functional simulator does not model
+    (coprocessor operations); counts as abnormal for forked runs of
+    integer-only programs."""
+
+    POISON_CONSUMED = "poison-consumed"
+    """The program architecturally consumed a poisoned word."""
+
+    WATCHDOG_TIMEOUT = "watchdog-timeout"
+    """The step budget expired (livelock / runaway loop)."""
+
+    BAD_SYSCALL = "bad-syscall"
+    """An unknown or malformed system call."""

@@ -1,0 +1,143 @@
+"""Tests for sweep metrics and text rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.heatmap import (
+    render_heatmap,
+    render_histogram,
+    render_series,
+    render_table,
+)
+from repro.analysis.metrics import (
+    BitRegion,
+    PatternOutcome,
+    arithmetic_mean,
+    classify_positions,
+    mean_series,
+    rate_histogram,
+    region_means,
+)
+from repro.errors import AnalysisError
+
+
+def outcome(positions, rate):
+    return PatternOutcome(
+        index=0, positions=positions, success_rate=rate,
+        mean_candidates=12.0, mean_valid=10.0,
+    )
+
+
+class TestRegionClassification:
+    def test_opcode_pair_is_decode(self):
+        assert classify_positions((0, 5)) is BitRegion.DECODE_FIELDS
+
+    def test_funct_pair_is_decode(self):
+        assert classify_positions((26, 31)) is BitRegion.DECODE_FIELDS
+
+    def test_fmt_pair_is_decode(self):
+        assert classify_positions((6, 10)) is BitRegion.DECODE_FIELDS
+
+    def test_opcode_plus_funct_is_decode(self):
+        assert classify_positions((3, 28)) is BitRegion.DECODE_FIELDS
+
+    def test_immediate_pair_is_operand(self):
+        assert classify_positions((20, 25)) is BitRegion.OPERAND_FIELDS
+
+    def test_mixed(self):
+        assert classify_positions((2, 20)) is BitRegion.MIXED
+
+    def test_parity(self):
+        assert classify_positions((5, 35)) is BitRegion.PARITY_BITS
+        assert classify_positions((32, 38)) is BitRegion.PARITY_BITS
+
+    def test_region_means_aggregates(self):
+        outcomes = [
+            outcome((0, 1), 0.9),
+            outcome((0, 2), 0.7),
+            outcome((15, 20), 0.1),
+        ]
+        means = region_means(outcomes)
+        assert means[BitRegion.DECODE_FIELDS] == pytest.approx(0.8)
+        assert means[BitRegion.OPERAND_FIELDS] == pytest.approx(0.1)
+        assert BitRegion.PARITY_BITS not in means
+
+
+class TestHistogramAndAggregates:
+    def test_rate_histogram_fractions_sum_to_one(self):
+        bins = rate_histogram([0.0, 0.25, 0.5, 0.75, 1.0], num_bins=4)
+        assert sum(fraction for _, _, fraction in bins) == pytest.approx(1.0)
+
+    def test_rate_one_lands_in_last_bin(self):
+        bins = rate_histogram([1.0], num_bins=10)
+        assert bins[-1][2] == 1.0
+
+    def test_histogram_validates_inputs(self):
+        with pytest.raises(AnalysisError):
+            rate_histogram([], num_bins=4)
+        with pytest.raises(AnalysisError):
+            rate_histogram([1.5], num_bins=4)
+        with pytest.raises(AnalysisError):
+            rate_histogram([0.5], num_bins=0)
+
+    def test_mean_series(self):
+        assert mean_series([[1.0, 0.0], [0.0, 1.0]]) == [0.5, 0.5]
+
+    def test_mean_series_validates(self):
+        with pytest.raises(AnalysisError):
+            mean_series([])
+        with pytest.raises(AnalysisError):
+            mean_series([[1.0], [1.0, 2.0]])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([0.2, 0.4]) == pytest.approx(0.3)
+        with pytest.raises(AnalysisError):
+            arithmetic_mean([])
+
+
+class TestRendering:
+    def test_heatmap_renders_scale(self):
+        text = render_heatmap([[0, 1], [2, 3]], title="t")
+        assert text.startswith("t")
+        assert "light" in text
+
+    def test_heatmap_rejects_all_zero(self):
+        with pytest.raises(AnalysisError):
+            render_heatmap([[0, 0]])
+
+    def test_table_alignment_and_title(self):
+        text = render_table(["a", "bb"], [[1, 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.5000" in text
+
+    def test_table_validates_row_width(self):
+        with pytest.raises(AnalysisError):
+            render_table(["a"], [[1, 2]])
+        with pytest.raises(AnalysisError):
+            render_table([], [])
+
+    def test_histogram_bars_scale(self):
+        text = render_histogram([(0.0, 0.5, 0.75), (0.5, 1.0, 0.25)])
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_histogram_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            render_histogram([])
+
+    def test_series_renders_extremes(self):
+        # 60 points < default width: no down-sampling, extremes exact.
+        text = render_series([0.1, 0.9, 0.5] * 20, title="s")
+        assert "max=0.900" in text
+        assert "min=0.100" in text
+        assert "*" in text
+
+    def test_series_downsamples_long_inputs(self):
+        text = render_series([0.5] * 1000, width=50)
+        assert "1000" not in text.splitlines()[1]  # bucketed, not raw
+
+    def test_series_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            render_series([])

@@ -1,0 +1,105 @@
+"""Tests for the system-resilience survival simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.resilience import (
+    ResilienceConfig,
+    run_resilience_trial,
+    survival_study,
+)
+from repro.errors import AnalysisError
+from repro.program.synth import synthesize_benchmark
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synthesize_benchmark("bzip2", length=128)
+
+
+class TestSingleTrial:
+    def test_no_faults_means_full_survival(self, code, image):
+        config = ResilienceConfig(
+            epochs=5, reads_per_epoch=10, flip_probability=0.0, seed=1
+        )
+        outcome = run_resilience_trial(code, image, config)
+        assert outcome.survived_epochs == 5
+        assert not outcome.crashed
+        assert outcome.dues == 0
+        assert outcome.corrected_errors == 0
+
+    def test_crash_policy_stops_at_first_due_read(self, code, image):
+        config = ResilienceConfig(
+            epochs=30, reads_per_epoch=64, flip_probability=2e-3,
+            use_heuristic=False, seed=3,
+        )
+        outcome = run_resilience_trial(code, image, config)
+        assert outcome.crashed
+        assert outcome.survived_epochs < 30
+        assert outcome.heuristic_recoveries == 0
+
+    def test_heuristic_policy_survives_longer(self, code, image):
+        crash_config = ResilienceConfig(
+            epochs=30, reads_per_epoch=64, flip_probability=2e-3,
+            use_heuristic=False, seed=3,
+        )
+        heuristic_config = ResilienceConfig(
+            epochs=30, reads_per_epoch=64, flip_probability=2e-3,
+            use_heuristic=True, seed=3,
+        )
+        crash = run_resilience_trial(code, image, crash_config)
+        heuristic = run_resilience_trial(code, image, heuristic_config)
+        assert heuristic.survived_epochs >= crash.survived_epochs
+        assert not heuristic.crashed
+        assert heuristic.heuristic_recoveries > 0
+        assert (
+            heuristic.correct_recoveries + heuristic.silent_corruptions
+            == heuristic.heuristic_recoveries
+        )
+
+    def test_deterministic_for_fixed_seed(self, code, image):
+        config = ResilienceConfig(
+            epochs=10, reads_per_epoch=32, flip_probability=1e-3, seed=9
+        )
+        first = run_resilience_trial(code, image, config)
+        second = run_resilience_trial(code, image, config)
+        assert first == second
+
+    def test_scrubbing_pass_count(self, code, image):
+        config = ResilienceConfig(
+            epochs=10, reads_per_epoch=4, flip_probability=0.0,
+            scrub_interval=3, seed=0,
+        )
+        outcome = run_resilience_trial(code, image, config)
+        assert outcome.scrub_passes == 3  # epochs 3, 6, 9
+
+    def test_config_validation(self, code, image):
+        with pytest.raises(AnalysisError):
+            run_resilience_trial(code, image, ResilienceConfig(epochs=0))
+
+
+class TestSurvivalStudy:
+    def test_study_structure_and_ordering(self, code, image):
+        study = survival_study(
+            code,
+            image,
+            trials=2,
+            base_config=ResilienceConfig(
+                epochs=15, reads_per_epoch=48, flip_probability=1.5e-3
+            ),
+        )
+        assert set(study) == {
+            "crash, no scrub", "crash + scrubbing",
+            "SWD-ECC, no scrub", "SWD-ECC + scrubbing",
+        }
+        for metrics in study.values():
+            assert 0.0 <= metrics["completion_rate"] <= 1.0
+        assert (
+            study["SWD-ECC, no scrub"]["mean_survived_epochs"]
+            >= study["crash, no scrub"]["mean_survived_epochs"]
+        )
+
+    def test_trials_validated(self, code, image):
+        with pytest.raises(AnalysisError):
+            survival_study(code, image, trials=0)

@@ -1,0 +1,168 @@
+"""Tests for the analytical model vs the empirical machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    effective_mnemonics,
+    expected_filter_only_success,
+    expected_random_candidate_success,
+    mnemonic_entropy,
+    pair_xor_multiplicities,
+    predicted_candidate_counts,
+    predicted_count_distribution,
+)
+from repro.ecc.candidates import candidate_count_profile
+from repro.ecc.hsiao import hsiao_72_64
+from repro.errors import AnalysisError
+from repro.program.stats import FrequencyTable
+
+
+class TestCandidateCountPrediction:
+    def test_prediction_matches_enumeration_exactly(self, code):
+        """The central theoretical identity: the Fig. 4 heatmap equals
+        the column pair-XOR multiplicities, cell for cell."""
+        predicted = predicted_candidate_counts(code)
+        measured = candidate_count_profile(code).counts
+        assert predicted == measured
+
+    def test_prediction_matches_for_72_64(self):
+        code = hsiao_72_64()
+        predicted = predicted_candidate_counts(code)
+        measured = candidate_count_profile(code).counts
+        assert predicted == measured
+
+    def test_distribution_sums_to_pattern_count(self, code):
+        distribution = predicted_count_distribution(code)
+        assert sum(distribution.values()) == 741
+
+    def test_distribution_matches_profile_histogram(self, code):
+        from collections import Counter
+
+        profile = candidate_count_profile(code)
+        measured = Counter(profile.counts.values())
+        assert predicted_count_distribution(code) == dict(measured)
+
+    def test_multiplicities_cover_all_pairs(self, code):
+        multiplicities = pair_xor_multiplicities(code)
+        assert sum(multiplicities.values()) == 741
+        # Distance 4 guarantees no pair-XOR is zero and none collide
+        # into weight-1 columns... at minimum, all values non-zero.
+        assert 0 not in multiplicities
+
+
+class TestRandomBaselinePrediction:
+    def test_exact_value_for_canonical_code(self, code):
+        expected = expected_random_candidate_success(code)
+        # Must equal the mean of reciprocal counts over the profile.
+        profile = candidate_count_profile(code)
+        empirical = sum(
+            1.0 / count for count in profile.counts.values()
+        ) / len(profile.counts)
+        assert expected == pytest.approx(empirical)
+
+    def test_value_near_one_twelfth(self, code):
+        # The paper's baseline concentrates near 1/12.
+        assert 0.07 <= expected_random_candidate_success(code) <= 0.10
+
+
+class TestFilterOnlyModel:
+    def test_p_one_degenerates_to_random(self):
+        # Everything legal: filtering does nothing.
+        assert expected_filter_only_success(12, 1.0) == pytest.approx(1 / 12)
+
+    def test_p_zero_is_certain_recovery(self):
+        # No competitor survives: the original is always chosen.
+        assert expected_filter_only_success(12, 0.0) == 1.0
+
+    def test_monotone_decreasing_in_p(self):
+        values = [
+            expected_filter_only_success(12, p)
+            for p in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_closed_form_matches_binomial_sum(self):
+        # Cross-check the closed form against the explicit expectation.
+        count, p = 12, 0.58
+        explicit = sum(
+            math.comb(count - 1, k) * p**k * (1 - p) ** (count - 1 - k) / (1 + k)
+            for k in range(count)
+        )
+        assert expected_filter_only_success(count, p) == pytest.approx(explicit)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            expected_filter_only_success(0, 0.5)
+        with pytest.raises(AnalysisError):
+            expected_filter_only_success(12, 1.5)
+
+
+class TestSideInformationEntropy:
+    def test_uniform_distribution_entropy(self):
+        table = FrequencyTable.from_counts("u", {f"op{i}": 1 for i in range(8)})
+        assert mnemonic_entropy(table) == pytest.approx(3.0)
+        assert effective_mnemonics(table) == pytest.approx(8.0)
+
+    def test_degenerate_distribution_entropy(self):
+        table = FrequencyTable.from_counts("d", {"lw": 100})
+        assert mnemonic_entropy(table) == pytest.approx(0.0)
+        assert effective_mnemonics(table) == pytest.approx(1.0)
+
+    def test_spec_like_mix_is_concentrated(self, mcf_table):
+        entropy = mnemonic_entropy(mcf_table)
+        uniform_entropy = math.log2(len(mcf_table.counts))
+        assert entropy < 0.85 * uniform_entropy
+        assert effective_mnemonics(mcf_table) < len(mcf_table.counts)
+
+
+class TestTripleErrorOutcomes:
+    def test_partition_covers_all_patterns(self, code):
+        from math import comb
+
+        from repro.analysis.theory import triple_error_outcomes
+
+        outcomes = triple_error_outcomes(code)
+        assert outcomes["miscorrected"] + outcomes["detected"] == comb(39, 3)
+
+    def test_matches_decoder_behaviour_sampled(self, code):
+        import random
+
+        from repro.analysis.theory import triple_error_outcomes
+        from repro.ecc.code import DecodeStatus
+
+        outcomes = triple_error_outcomes(code)
+        # Cross-check the analytic classification against the actual
+        # decoder on a random sample of triples and codewords.
+        rng = random.Random(5)
+        miscorrected = 0
+        detected = 0
+        trials = 400
+        for _ in range(trials):
+            codeword = code.encode(rng.getrandbits(32))
+            positions = rng.sample(range(code.n), 3)
+            received = codeword
+            for position in positions:
+                received ^= 1 << (code.n - 1 - position)
+            status = code.decode(received).status
+            if status is DecodeStatus.CORRECTED:
+                miscorrected += 1
+            elif status is DecodeStatus.DUE:
+                detected += 1
+        empirical_rate = miscorrected / trials
+        analytic_rate = outcomes["miscorrected"] / (
+            outcomes["miscorrected"] + outcomes["detected"]
+        )
+        assert abs(empirical_rate - analytic_rate) < 0.1
+        assert miscorrected + detected == trials
+
+    def test_rejects_non_secded_codes(self):
+        from repro.analysis.theory import triple_error_outcomes
+        from repro.ecc.hamming import hamming_code
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            triple_error_outcomes(hamming_code(3))  # d = 3: has w-3 codewords

@@ -1,0 +1,155 @@
+"""Contract tests: every filter and ranker obeys the engine's rules.
+
+The SWD-ECC engine assumes properties of its pluggable pieces (see
+docs/extending.md).  These tests enforce them *generically* over every
+shipped implementation, so a new filter or ranker added to the library
+is automatically held to the same contract.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters import (
+    FilterChain,
+    InstructionLegalityFilter,
+    InstructionPairLegalityFilter,
+    IntegerMagnitudeFilter,
+    OracleLegalityFilter,
+    PointerRangeFilter,
+)
+from repro.core.rankers import (
+    BigramContextRanker,
+    BitwiseSimilarityRanker,
+    FrequencyRanker,
+    MagnitudeSimilarityRanker,
+    OracleFrequencyRanker,
+    PairFrequencyRanker,
+    UniformRanker,
+)
+from repro.core.sideinfo import RecoveryContext
+from repro.isa_rv import is_legal as rv_is_legal, try_mnemonic as rv_mnemonic
+from repro.program.stats import BigramTable, FrequencyTable
+from repro.program.image import ProgramImage
+from repro.isa.encoder import encode
+
+
+def _bigram_table():
+    words = [encode("lw", rt=8, rs=29, imm=4), encode("addu", rd=8, rs=8, rt=9)] * 8
+    return BigramTable.from_image(
+        ProgramImage.from_words("contract", words, base_address=0x400000)
+    )
+
+
+ALL_FILTERS = [
+    InstructionLegalityFilter(),
+    InstructionPairLegalityFilter(),
+    OracleLegalityFilter(rv_is_legal, "rv32i-legality"),
+    IntegerMagnitudeFilter(),
+    PointerRangeFilter(),
+    FilterChain([IntegerMagnitudeFilter(), PointerRangeFilter()]),
+    FilterChain([]),
+]
+
+ALL_RANKERS = [
+    FrequencyRanker(),
+    OracleFrequencyRanker(rv_mnemonic, "rv32i"),
+    BigramContextRanker(),
+    PairFrequencyRanker(),
+    UniformRanker(),
+    MagnitudeSimilarityRanker(),
+    BitwiseSimilarityRanker(),
+]
+
+RICH_CONTEXT = RecoveryContext(
+    frequency_table=FrequencyTable.from_counts("c", {"lw": 5, "sw": 2}),
+    bigram_table=_bigram_table(),
+    preceding_mnemonic="lw",
+    following_mnemonic="addu",
+    neighborhood=(100, 200, 300),
+    value_bound=1 << 20,
+    pointer_range=(0x1000, 0x20000),
+    address=0x1234,
+)
+
+CONTEXTS = [RecoveryContext(), RICH_CONTEXT]
+
+
+def message_lists():
+    return st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=12)
+
+
+class TestFilterContracts:
+    @pytest.mark.parametrize("candidate_filter", ALL_FILTERS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("context", CONTEXTS, ids=("empty", "rich"))
+    @given(messages=message_lists())
+    @settings(max_examples=25, deadline=None)
+    def test_returns_ordered_subsequence(self, candidate_filter, context, messages):
+        result = candidate_filter.apply(messages, context)
+        # Subsequence check: every output appears in the input, and
+        # relative order is preserved.
+        iterator = iter(messages)
+        for item in result:
+            for candidate in iterator:
+                if candidate == item:
+                    break
+            else:
+                pytest.fail(f"{candidate_filter.name} invented or reordered {item}")
+
+    @pytest.mark.parametrize("candidate_filter", ALL_FILTERS, ids=lambda f: f.name)
+    @given(messages=message_lists())
+    @settings(max_examples=25, deadline=None)
+    def test_noop_without_side_information(self, candidate_filter, messages):
+        """Filters keyed on context fields must pass everything through
+        when those fields are absent (legality filters are exempt:
+        their premise is the memory kind, not a context field)."""
+        if "legality" in candidate_filter.name or isinstance(
+            candidate_filter, FilterChain
+        ):
+            pytest.skip("legality filters carry their own oracle")
+        result = candidate_filter.apply(messages, RecoveryContext())
+        assert list(result) == list(messages)
+
+    @pytest.mark.parametrize("candidate_filter", ALL_FILTERS, ids=lambda f: f.name)
+    def test_idempotent(self, candidate_filter):
+        messages = [0, 1, 0x8FBF0018, 0xFFFFFFFF, 0x00112623, 0x1500]
+        once = candidate_filter.apply(messages, RICH_CONTEXT)
+        twice = candidate_filter.apply(once, RICH_CONTEXT)
+        assert once == twice
+
+    @pytest.mark.parametrize("candidate_filter", ALL_FILTERS, ids=lambda f: f.name)
+    def test_has_a_name(self, candidate_filter):
+        assert candidate_filter.name
+        assert candidate_filter.name != "filter"
+
+
+class TestRankerContracts:
+    @pytest.mark.parametrize("ranker", ALL_RANKERS, ids=lambda r: r.name)
+    @pytest.mark.parametrize("context", CONTEXTS, ids=("empty", "rich"))
+    @given(message=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_and_finite(self, ranker, context, message):
+        first = ranker.score(message, context)
+        second = ranker.score(message, context)
+        assert first == second
+        assert first == first  # not NaN
+        assert isinstance(first, (int, float))
+
+    @pytest.mark.parametrize("ranker", ALL_RANKERS, ids=lambda r: r.name)
+    def test_has_a_name(self, ranker):
+        assert ranker.name
+        assert ranker.name != "ranker"
+
+    @pytest.mark.parametrize("ranker", ALL_RANKERS, ids=lambda r: r.name)
+    def test_usable_by_the_engine_end_to_end(self, ranker, code):
+        """Every ranker must drive a full recover() without error."""
+        from repro.core.swdecc import SwdEcc
+
+        engine = SwdEcc(code, filters=(), ranker=ranker, rng=random.Random(0))
+        received = code.encode(0x8FBF0018) ^ (1 << 38) ^ (1 << 20)
+        result = engine.recover(received, RICH_CONTEXT)
+        assert result.chosen_message in result.candidate_messages

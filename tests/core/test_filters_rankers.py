@@ -1,0 +1,212 @@
+"""Tests for candidate filters and rankers (the side-information layer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filters import (
+    FilterChain,
+    InstructionLegalityFilter,
+    IntegerMagnitudeFilter,
+    PointerRangeFilter,
+)
+from repro.core.rankers import (
+    BitwiseSimilarityRanker,
+    FrequencyRanker,
+    MagnitudeSimilarityRanker,
+    UniformRanker,
+)
+from repro.core.sideinfo import MemoryKind, RecoveryContext
+from repro.isa.encoder import encode
+from repro.program.stats import FrequencyTable
+
+LW = encode("lw", rt=8, rs=29, imm=4)
+SW = encode("sw", rt=8, rs=29, imm=4)
+ILLEGAL = 0xFC000000
+
+
+class TestInstructionLegalityFilter:
+    def test_removes_illegal_messages(self):
+        result = InstructionLegalityFilter().apply(
+            [LW, ILLEGAL, SW], RecoveryContext()
+        )
+        assert result == (LW, SW)
+
+    def test_preserves_order(self):
+        result = InstructionLegalityFilter().apply([SW, LW], RecoveryContext())
+        assert result == (SW, LW)
+
+    def test_can_empty_the_list(self):
+        assert InstructionLegalityFilter().apply([ILLEGAL], RecoveryContext()) == ()
+
+
+class TestDataMemoryFilters:
+    def test_magnitude_filter(self):
+        context = RecoveryContext.for_data(value_bound=1000)
+        result = IntegerMagnitudeFilter().apply([5, 999, 1000, 70000], context)
+        assert result == (5, 999)
+
+    def test_magnitude_filter_noop_without_bound(self):
+        context = RecoveryContext.for_data()
+        assert IntegerMagnitudeFilter().apply([1, 2**31], context) == (1, 2**31)
+
+    def test_pointer_filter(self):
+        context = RecoveryContext.for_data(pointer_range=(0x400000, 0x500000))
+        result = PointerRangeFilter().apply(
+            [0x3FFFFF, 0x400000, 0x4FFFFC, 0x500000], context
+        )
+        assert result == (0x400000, 0x4FFFFC)
+
+    def test_pointer_filter_noop_without_range(self):
+        context = RecoveryContext.for_data()
+        assert PointerRangeFilter().apply([1, 2], context) == (1, 2)
+
+
+class TestFilterChain:
+    def test_composes_in_order(self):
+        context = RecoveryContext.for_data(
+            value_bound=0x500000, pointer_range=(0x400000, 0x500000)
+        )
+        chain = FilterChain([IntegerMagnitudeFilter(), PointerRangeFilter()])
+        assert chain.apply([0x100, 0x450000, 0x600000], context) == (0x450000,)
+
+    def test_empty_chain_is_identity(self):
+        chain = FilterChain([])
+        assert chain.apply([3, 2, 1], RecoveryContext()) == (3, 2, 1)
+        assert chain.name == "identity"
+
+    def test_name_concatenates(self):
+        chain = FilterChain([InstructionLegalityFilter(), PointerRangeFilter()])
+        assert chain.name == "instruction-legality+pointer-range"
+
+
+class TestFrequencyRanker:
+    def test_scores_by_mnemonic_frequency(self):
+        table = FrequencyTable.from_counts("t", {"lw": 8, "sw": 2})
+        context = RecoveryContext.for_instructions(table)
+        ranker = FrequencyRanker()
+        assert ranker.score(LW, context) == 0.8
+        assert ranker.score(SW, context) == 0.2
+
+    def test_illegal_messages_score_zero(self):
+        table = FrequencyTable.from_counts("t", {"lw": 1})
+        context = RecoveryContext.for_instructions(table)
+        assert FrequencyRanker().score(ILLEGAL, context) == 0.0
+
+    def test_unknown_mnemonic_scores_zero(self):
+        table = FrequencyTable.from_counts("t", {"lw": 1})
+        context = RecoveryContext.for_instructions(table)
+        assert FrequencyRanker().score(SW, context) == 0.0
+
+    def test_degrades_to_flat_without_table(self):
+        context = RecoveryContext(kind=MemoryKind.INSTRUCTION)
+        assert FrequencyRanker().score(LW, context) == 1.0
+
+
+class TestDataRankers:
+    def test_uniform_always_one(self):
+        assert UniformRanker().score(12345, RecoveryContext()) == 1.0
+
+    def test_magnitude_similarity_prefers_close_values(self):
+        context = RecoveryContext.for_data(neighborhood=(100, 110))
+        ranker = MagnitudeSimilarityRanker()
+        assert ranker.score(105, context) > ranker.score(500, context)
+        assert ranker.score(100, context) == 0.0
+
+    def test_magnitude_similarity_flat_without_neighborhood(self):
+        assert MagnitudeSimilarityRanker().score(7, RecoveryContext()) == 0.0
+
+    def test_bitwise_similarity_prefers_matching_bits(self):
+        context = RecoveryContext.for_data(
+            neighborhood=(0xFF00FF00, 0xFF00FF04)
+        )
+        ranker = BitwiseSimilarityRanker()
+        assert ranker.score(0xFF00FF02, context) > ranker.score(0x00FF00FF, context)
+
+    def test_bitwise_similarity_exact_match_scores_best(self):
+        context = RecoveryContext.for_data(neighborhood=(0xABCD, 0xABCD))
+        assert BitwiseSimilarityRanker().score(0xABCD, context) == 0.0
+
+
+class TestRecoveryContext:
+    def test_instruction_factory(self):
+        table = FrequencyTable.from_counts("t", {"lw": 1})
+        context = RecoveryContext.for_instructions(table, address=0x400000)
+        assert context.kind is MemoryKind.INSTRUCTION
+        assert context.address == 0x400000
+
+    def test_data_factory(self):
+        context = RecoveryContext.for_data(
+            neighborhood=[1, 2], value_bound=10, pointer_range=(0, 100)
+        )
+        assert context.kind is MemoryKind.DATA
+        assert context.neighborhood == (1, 2)
+
+    def test_default_context_is_unknown(self):
+        assert RecoveryContext().kind is MemoryKind.UNKNOWN
+
+
+class TestInstructionPairFilterAndRanker:
+    def _pair(self, high, low):
+        return (high << 32) | low
+
+    def test_pair_filter_requires_both_halves_legal(self):
+        from repro.core.filters import InstructionPairLegalityFilter
+
+        context = RecoveryContext()
+        both = self._pair(LW, SW)
+        high_bad = self._pair(ILLEGAL, SW)
+        low_bad = self._pair(LW, ILLEGAL)
+        result = InstructionPairLegalityFilter().apply(
+            [both, high_bad, low_bad], context
+        )
+        assert result == (both,)
+
+    def test_pair_ranker_multiplies_frequencies(self):
+        from repro.core.rankers import PairFrequencyRanker
+
+        table = FrequencyTable.from_counts("t", {"lw": 8, "sw": 2})
+        context = RecoveryContext.for_instructions(table)
+        ranker = PairFrequencyRanker()
+        assert ranker.score(self._pair(LW, LW), context) == pytest.approx(0.64)
+        assert ranker.score(self._pair(LW, SW), context) == pytest.approx(0.16)
+        assert ranker.score(self._pair(SW, SW), context) == pytest.approx(0.04)
+
+    def test_pair_ranker_zero_for_illegal_half(self):
+        from repro.core.rankers import PairFrequencyRanker
+
+        table = FrequencyTable.from_counts("t", {"lw": 1})
+        context = RecoveryContext.for_instructions(table)
+        assert PairFrequencyRanker().score(self._pair(ILLEGAL, LW), context) == 0.0
+
+    def test_pair_ranker_flat_without_table(self):
+        from repro.core.rankers import PairFrequencyRanker
+
+        assert PairFrequencyRanker().score(
+            self._pair(LW, SW), RecoveryContext()
+        ) == 1.0
+
+    def test_end_to_end_pair_recovery(self):
+        import random
+
+        from repro.core.filters import InstructionPairLegalityFilter
+        from repro.core.rankers import PairFrequencyRanker
+        from repro.core.swdecc import SwdEcc
+        from repro.ecc.hsiao import hsiao_72_64
+
+        code = hsiao_72_64()
+        table = FrequencyTable.from_counts("t", {"lw": 10, "sw": 5, "addu": 3})
+        context = RecoveryContext.for_instructions(table)
+        engine = SwdEcc(
+            code,
+            filters=(InstructionPairLegalityFilter(),),
+            ranker=PairFrequencyRanker(),
+            rng=random.Random(0),
+        )
+        message = self._pair(LW, SW)
+        received = code.encode(message) ^ (1 << 71) ^ (1 << 40)
+        result = engine.recover(received, context)
+        assert message in result.candidate_messages
+        assert all(
+            0 <= m <= (1 << 64) - 1 for m in result.candidate_messages
+        )

@@ -1,0 +1,97 @@
+"""Tests for the Fig. 3 recovery ladder (RecoveryPipeline)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.recovery import RecoveryAction, RecoveryPipeline
+from repro.core.sideinfo import RecoveryContext
+from repro.core.swdecc import SwdEcc
+
+
+class _FakePages:
+    def __init__(self, words):
+        self._words = words
+
+    def clean_copy(self, address):
+        return self._words.get(address)
+
+
+class _FakeCheckpoints:
+    def __init__(self, available=True):
+        self.available = available
+        self.rollbacks = 0
+
+    def has_checkpoint(self):
+        return self.available
+
+    def rollback(self):
+        self.rollbacks += 1
+        self.available = False
+
+
+@pytest.fixture()
+def engine(code):
+    return SwdEcc(code, rng=random.Random(0))
+
+
+def make_due(code, message=0x01234567):
+    return code.encode(message) ^ (1 << 38) ^ (1 << 7)
+
+
+class TestLadderOrdering:
+    def test_clean_page_wins(self, code, engine):
+        pages = _FakePages({0x1000: 0xAAAA5555})
+        checkpoints = _FakeCheckpoints()
+        pipeline = RecoveryPipeline(engine, pages, checkpoints)
+        outcome = pipeline.handle_due(0x1000, make_due(code))
+        assert outcome.action is RecoveryAction.PAGE_FAULT_RELOAD
+        assert outcome.word == 0xAAAA5555
+        assert checkpoints.rollbacks == 0
+        assert outcome.made_forward_progress
+
+    def test_rollback_when_page_dirty(self, code, engine):
+        pages = _FakePages({})
+        checkpoints = _FakeCheckpoints()
+        pipeline = RecoveryPipeline(engine, pages, checkpoints)
+        outcome = pipeline.handle_due(0x1000, make_due(code))
+        assert outcome.action is RecoveryAction.ROLLBACK
+        assert checkpoints.rollbacks == 1
+        assert outcome.word is None
+        assert not outcome.made_forward_progress
+
+    def test_heuristic_as_last_resort(self, code, engine):
+        checkpoints = _FakeCheckpoints(available=False)
+        pipeline = RecoveryPipeline(engine, _FakePages({}), checkpoints)
+        outcome = pipeline.handle_due(0x1000, make_due(code))
+        assert outcome.action is RecoveryAction.HEURISTIC
+        assert outcome.word is not None
+        assert outcome.heuristic is not None
+        assert outcome.made_forward_progress
+
+    def test_heuristic_without_any_outs(self, code, engine):
+        pipeline = RecoveryPipeline(engine)
+        outcome = pipeline.handle_due(0x0, make_due(code))
+        assert outcome.action is RecoveryAction.HEURISTIC
+
+    def test_conventional_system_crashes(self, code, engine):
+        pipeline = RecoveryPipeline(engine, allow_heuristic=False)
+        outcome = pipeline.handle_due(0x0, make_due(code))
+        assert outcome.action is RecoveryAction.CRASH
+        assert not outcome.made_forward_progress
+
+    def test_context_forwarded_to_engine(self, code, engine, mcf_table):
+        pipeline = RecoveryPipeline(engine)
+        original = 0x8FBF0018  # lw $ra, 24($sp): legal, common
+        received = code.encode(original) ^ (1 << 0) ^ (1 << 1)
+        context = RecoveryContext.for_instructions(mcf_table)
+        outcome = pipeline.handle_due(0x0, received, context)
+        assert outcome.heuristic is not None
+        # The frequency table must have been consulted: scores are the
+        # mnemonic frequencies, not the uniform placeholder 1.0.
+        assert any(score <= 1.0 for score in outcome.heuristic.scores)
+
+    def test_engine_property(self, code, engine):
+        assert RecoveryPipeline(engine).engine is engine

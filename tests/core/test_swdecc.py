@@ -1,0 +1,252 @@
+"""Tests for the SWD-ECC engine: enumerate -> filter -> rank -> choose."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters import InstructionLegalityFilter
+from repro.core.rankers import UniformRanker
+from repro.core.sideinfo import RecoveryContext
+from repro.core.swdecc import SwdEcc, TieBreak, success_probability
+from repro.ecc.channel import double_bit_patterns
+from repro.errors import DecodingError
+from repro.isa.decoder import is_legal
+
+
+class TestRecoverBasics:
+    def test_result_structure(self, code, engine, mcf_image, instruction_context):
+        original = mcf_image.words[50]
+        received = code.encode(original) ^ (1 << 38) ^ (1 << 30)
+        result = engine.recover(received, instruction_context)
+        assert result.received == received
+        assert len(result.candidates) == result.num_candidates
+        assert result.chosen_message in result.valid_messages
+        assert result.chosen_codeword in result.candidates
+        assert code.extract_message(result.chosen_codeword) == result.chosen_message
+        assert result.tied >= 1
+
+    def test_rejects_non_due(self, code, engine):
+        with pytest.raises(DecodingError):
+            engine.recover(code.encode(1))
+        with pytest.raises(DecodingError):
+            engine.recover(code.encode(1) ^ 1)
+
+    def test_candidates_match_enumerator(self, code, engine, enumerator):
+        received = code.encode(0xCAFED00D) ^ 0b11
+        result = engine.recover(received)
+        assert result.candidates == enumerator.candidates(received)
+
+    def test_filter_removes_illegal_candidates(
+        self, code, engine, mcf_image, instruction_context
+    ):
+        original = mcf_image.words[60]
+        received = code.encode(original) ^ (1 << 38) ^ (1 << 37)
+        result = engine.recover(received, instruction_context)
+        if not result.filter_fell_back:
+            assert all(is_legal(m) for m in result.valid_messages)
+            assert original in result.valid_messages
+
+    def test_fallback_when_original_is_illegal(self, code):
+        # Store a word that is NOT a legal instruction; if every
+        # candidate is illegal the engine must fall back rather than
+        # fail.
+        engine = SwdEcc(code, rng=random.Random(0))
+        received = code.encode(0xFFFFFFFF) ^ (1 << 20) ^ (1 << 3)
+        result = engine.recover(received, RecoveryContext())
+        assert result.chosen_message is not None
+        if result.filter_fell_back:
+            assert result.valid_messages == result.candidate_messages
+
+    def test_deterministic_with_first_tiebreak(self, code, instruction_context):
+        engine = SwdEcc(code, tie_break=TieBreak.FIRST)
+        received = code.encode(0x00000000) ^ (1 << 5) ^ (1 << 4)
+        first = engine.recover(received, instruction_context)
+        second = engine.recover(received, instruction_context)
+        assert first.chosen_message == second.chosen_message
+
+    def test_random_tiebreak_uses_rng(self, code):
+        # With a uniform ranker every candidate ties; different seeds
+        # must (eventually) pick different candidates.
+        received = code.encode(0x12345678) ^ (1 << 30) ^ (1 << 2)
+        choices = set()
+        for seed in range(10):
+            engine = SwdEcc(
+                code, filters=(), ranker=UniformRanker(), rng=random.Random(seed)
+            )
+            choices.add(engine.recover(received).chosen_message)
+        assert len(choices) > 1
+
+
+class TestRecoveryProbability:
+    def test_probability_matches_trace(self, code, engine, mcf_image, instruction_context):
+        original = mcf_image.words[45]
+        received = code.encode(original) ^ (1 << 38) ^ (1 << 0)
+        from_trace = success_probability(
+            engine.recover(received, instruction_context), original
+        )
+        direct = engine.recovery_probability(received, original, instruction_context)
+        assert from_trace == direct
+
+    def test_certain_recovery_when_unique_survivor(self, code, mcf_image, instruction_context):
+        # Find a case where filtering leaves exactly one candidate:
+        # probability must be 1.0 and recover() must return the original.
+        engine = SwdEcc(code, rng=random.Random(3))
+        found = False
+        for index in range(40, 80):
+            original = mcf_image.words[index]
+            codeword = code.encode(original)
+            for pattern in double_bit_patterns(code.n)[:120]:
+                received = pattern.apply(codeword)
+                result = engine.recover(received, instruction_context)
+                if result.num_valid == 1 and not result.filter_fell_back:
+                    assert result.chosen_message == original
+                    assert engine.recovery_probability(
+                        received, original, instruction_context
+                    ) == 1.0
+                    found = True
+                    break
+            if found:
+                break
+        assert found, "no singleton-filter case found in the probe window"
+
+    def test_zero_probability_when_original_filtered_out(self, code):
+        # If the original message is illegal and some candidate is
+        # legal, filtering removes the truth: probability 0.
+        engine = SwdEcc(code, rng=random.Random(1))
+        original = 0xFC000000  # illegal instruction stored as data
+        codeword = code.encode(original)
+        for pattern in double_bit_patterns(code.n):
+            received = pattern.apply(codeword)
+            result = engine.recover(received, RecoveryContext())
+            if not result.filter_fell_back and original not in result.valid_messages:
+                probability = engine.recovery_probability(
+                    received, original, RecoveryContext()
+                )
+                assert probability == 0.0
+                return
+        pytest.fail("expected at least one pattern to filter out the original")
+
+    def test_random_candidate_probability_is_reciprocal(self, code):
+        engine = SwdEcc(code, filters=(), ranker=UniformRanker(), rng=random.Random(2))
+        original = 0x01234567
+        received = code.encode(original) ^ (1 << 38) ^ (1 << 18)
+        result = engine.recover(received)
+        expected = 1.0 / result.num_candidates
+        assert engine.recovery_probability(received, original) == pytest.approx(expected)
+
+    @given(st.integers(0, 2**32 - 1), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_probability_bounds_property(self, message, data):
+        from repro.ecc.matrices import canonical_secded_39_32
+
+        code = canonical_secded_39_32()
+        engine = SwdEcc(code, rng=random.Random(0))
+        i = data.draw(st.integers(0, code.n - 2))
+        j = data.draw(st.integers(i + 1, code.n - 1))
+        received = code.encode(message) ^ (1 << (38 - i)) ^ (1 << (38 - j))
+        probability = engine.recovery_probability(received, message)
+        assert 0.0 <= probability <= 1.0
+
+    def test_first_tiebreak_probability_is_zero_or_one(self, code, instruction_context):
+        engine = SwdEcc(code, tie_break=TieBreak.FIRST, rng=random.Random(0))
+        original = 0
+        received = code.encode(original) ^ (1 << 10) ^ (1 << 20)
+        probability = engine.recovery_probability(received, original, instruction_context)
+        assert probability in (0.0, 1.0)
+
+
+class TestSuccessProbabilityHelper:
+    def test_zero_when_original_not_valid(self, code, engine):
+        received = code.encode(0xABCD1234) ^ (1 << 38) ^ (1 << 37)
+        result = engine.recover(received)
+        assert success_probability(result, 0xDEADBEEF) == 0.0
+
+    def test_respects_first_tiebreak(self, code):
+        engine = SwdEcc(
+            code, filters=(InstructionLegalityFilter(),),
+            ranker=UniformRanker(), rng=random.Random(0),
+        )
+        original = 0  # nop: always legal
+        received = code.encode(original) ^ (1 << 15) ^ (1 << 25)
+        result = engine.recover(received)
+        probability = success_probability(result, original, TieBreak.FIRST)
+        assert probability in (0.0, 1.0)
+
+
+class TestRadiusEscalation:
+    def test_triple_error_with_no_distance2_codeword_recovers(self, code):
+        """A 3-bit accumulated error can sit at distance >= 3 from every
+        codeword; the engine must escalate to radius-3 enumeration
+        instead of raising."""
+        import itertools
+
+        engine = SwdEcc(code, rng=random.Random(0))
+        codeword = code.encode(0x8FBF0018)
+        found = False
+        for positions in itertools.combinations(range(code.n), 3):
+            received = codeword
+            for position in positions:
+                received ^= 1 << (code.n - 1 - position)
+            if code.decode(received).status.name != "DUE":
+                continue
+            from repro.ecc.candidates import CandidateEnumerator
+
+            if CandidateEnumerator(code).candidates(received):
+                continue  # this triple still has distance-2 candidates
+            result = engine.recover(received)
+            assert result.num_candidates > 0
+            assert codeword in result.candidates
+            found = True
+            break
+        assert found, "no distance->=3 triple error found (unexpected)"
+
+    def test_recovery_error_when_word_is_impossible(self, code):
+        """Words farther than radius 3 from every codeword do exist for
+        d=4 codes only as weight->=4 corruptions; verify the error path
+        by brute-forcing one."""
+        import itertools
+
+        from repro.errors import RecoveryError
+
+        engine = SwdEcc(code, rng=random.Random(0))
+        codeword = code.encode(0)
+        for positions in itertools.combinations(range(16), 4):
+            received = codeword
+            for position in positions:
+                received ^= 1 << (code.n - 1 - position)
+            if code.decode(received).status.name != "DUE":
+                continue
+            try:
+                result = engine.recover(received)
+            except RecoveryError:
+                return  # the give-up path exists and is exercised
+            assert result.num_candidates > 0
+        # All probed weight-4 words had nearby codewords: acceptable,
+        # the escalation covered them.
+
+
+class TestMonteCarloConsistency:
+    def test_sampled_frequency_matches_exact_probability(self, code, mcf_table):
+        """recovery_probability is the exact expectation of recover():
+        over many seeded runs the empirical success frequency must
+        converge to it (3-sigma binomial bound)."""
+        context = RecoveryContext.for_instructions(mcf_table)
+        original = 0x00431021  # addu $v0, $v0, $v1 - legal, common class
+        received = code.encode(original) ^ (1 << 25) ^ (1 << 15)
+        probe = SwdEcc(code, rng=random.Random(0))
+        probability = probe.recovery_probability(received, original, context)
+        assert 0.0 < probability < 1.0, "pick a tie case for this test"
+
+        trials = 2000
+        successes = 0
+        for seed in range(trials):
+            engine = SwdEcc(code, rng=random.Random(seed))
+            result = engine.recover(received, context)
+            successes += result.chosen_message == original
+        frequency = successes / trials
+        sigma = (probability * (1 - probability) / trials) ** 0.5
+        assert abs(frequency - probability) < 4 * sigma + 1e-9

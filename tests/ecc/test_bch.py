@@ -1,0 +1,155 @@
+"""Tests for BCH / DEC / DECTED codes and their algebraic decoder."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.bch import BCHCode, bch_generator_poly, dec_code, dected_code
+from repro.ecc.code import DecodeStatus
+from repro.ecc.gf2m import GF2mField, poly_degree
+from repro.errors import CodeConstructionError
+
+
+@pytest.fixture(scope="module")
+def dec():
+    return dec_code()  # (44, 32) t=2
+
+
+@pytest.fixture(scope="module")
+def dected():
+    return dected_code()  # (45, 32) DECTED
+
+
+class TestGeneratorPolynomial:
+    def test_t1_is_the_hamming_polynomial(self):
+        field = GF2mField(4)
+        generator = bch_generator_poly(field, 1)
+        assert generator == field.minimal_polynomial(1)
+
+    def test_t2_degree(self):
+        field = GF2mField(6)
+        generator = bch_generator_poly(field, 2)
+        # Two degree-6 minimal polynomials (for alpha and alpha^3).
+        assert poly_degree(generator) == 12
+
+    def test_t_must_be_positive(self):
+        with pytest.raises(CodeConstructionError):
+            bch_generator_poly(GF2mField(4), 0)
+
+
+class TestConstruction:
+    def test_dec_parameters(self, dec):
+        assert (dec.n, dec.k, dec.r) == (44, 32, 12)
+        assert dec.t == 2
+        assert dec.correctable_bits() == 2
+
+    def test_dected_parameters(self, dected):
+        assert (dected.n, dected.k, dected.r) == (45, 32, 13)
+        assert dected.extended
+
+    def test_dec_distance_5(self, dec):
+        assert dec.verify_minimum_distance(5)
+
+    def test_dected_distance_6(self, dected):
+        assert dected.verify_minimum_distance(6)
+
+    def test_full_length_bch(self):
+        code = BCHCode(m=5, t=2)  # (31, 21)
+        assert (code.n, code.k) == (31, 21)
+        assert code.verify_minimum_distance(5)
+
+    def test_overshortening_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            BCHCode(m=6, t=2, k=60)
+
+    def test_all_generator_multiples_are_codewords(self, dec):
+        # Spot check: systematic encoding is consistent with the cyclic
+        # structure; every codeword's polynomial is divisible by g(x).
+        from repro.ecc.gf2m import poly_mod
+
+        for message in (1, 0xDEADBEEF, 0xFFFFFFFF):
+            codeword = dec.encode(message)
+            assert poly_mod(codeword, dec.generator_poly) == 0
+
+
+class TestDecDecoding:
+    @given(st.integers(0, 2**32 - 1), st.data())
+    @settings(max_examples=60)
+    def test_corrects_up_to_two_errors(self, message, data):
+        code = dec_code()
+        codeword = code.encode(message)
+        weight = data.draw(st.integers(0, 2))
+        positions = data.draw(
+            st.lists(
+                st.integers(0, code.n - 1),
+                min_size=weight, max_size=weight, unique=True,
+            )
+        )
+        received = codeword
+        for position in positions:
+            received ^= 1 << (code.n - 1 - position)
+        result = code.decode(received)
+        assert result.status in (DecodeStatus.OK, DecodeStatus.CORRECTED)
+        assert result.message == message
+        assert tuple(sorted(positions)) == result.corrected_positions
+
+    def test_never_miscorrects_within_radius(self, dec):
+        # For a handful of 3-bit errors, decoding either flags a DUE or
+        # lands on a *different* codeword at distance <= 2 (bounded
+        # distance decoding); it must never return a non-codeword.
+        rng = random.Random(9)
+        codeword = dec.encode(0x12345678)
+        for _ in range(200):
+            positions = rng.sample(range(dec.n), 3)
+            received = codeword
+            for position in positions:
+                received ^= 1 << (dec.n - 1 - position)
+            result = dec.decode(received)
+            if result.status is DecodeStatus.CORRECTED:
+                assert dec.is_codeword(result.codeword)
+
+
+class TestDectedDecoding:
+    def test_exhaustive_single_and_double(self, dected):
+        codeword = dected.encode(0xA5A5_5A5A)
+        for position in range(dected.n):
+            received = codeword ^ (1 << (dected.n - 1 - position))
+            result = dected.decode(received)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.message == 0xA5A5_5A5A
+        for i, j in itertools.islice(
+            itertools.combinations(range(dected.n), 2), 0, None, 7
+        ):
+            received = (
+                codeword ^ (1 << (dected.n - 1 - i)) ^ (1 << (dected.n - 1 - j))
+            )
+            result = dected.decode(received)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.message == 0xA5A5_5A5A
+
+    def test_all_triple_errors_detected(self, dected):
+        codeword = dected.encode(0x0F0F_F0F0)
+        rng = random.Random(3)
+        for _ in range(400):
+            positions = rng.sample(range(dected.n), 3)
+            received = codeword
+            for position in positions:
+                received ^= 1 << (dected.n - 1 - position)
+            assert dected.decode(received).status is DecodeStatus.DUE
+
+    def test_parity_bit_error_alone_corrected(self, dected):
+        codeword = dected.encode(0x13579BDF)
+        received = codeword ^ 1  # the appended parity bit is position n-1
+        result = dected.decode(received)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.message == 0x13579BDF
+
+    def test_clean_word(self, dected):
+        result = dected.decode(dected.encode(77))
+        assert result.status is DecodeStatus.OK
+        assert result.message == 77

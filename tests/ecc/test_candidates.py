@@ -1,0 +1,146 @@
+"""Tests for candidate-codeword enumeration (the SWD-ECC substrate)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import popcount
+from repro.ecc.candidates import CandidateEnumerator, candidate_count_profile
+from repro.ecc.bch import dected_code
+from repro.ecc.hamming import hamming_code
+from repro.errors import DecodingError
+
+
+def two_positions(n: int):
+    return st.lists(
+        st.integers(0, n - 1), min_size=2, max_size=2, unique=True
+    ).map(tuple)
+
+
+class TestEnumeration:
+    def test_true_codeword_always_included(self, code, enumerator):
+        message = 0x1234_5678
+        codeword = code.encode(message)
+        received = codeword ^ (1 << 38) ^ (1 << 10)
+        candidates = enumerator.candidates(received)
+        assert codeword in candidates
+
+    @given(st.integers(0, 2**32 - 1), st.data())
+    @settings(max_examples=60)
+    def test_true_codeword_included_property(self, message, data):
+        from repro.ecc.matrices import canonical_secded_39_32
+
+        code = canonical_secded_39_32()
+        enumerator = CandidateEnumerator(code)
+        i, j = data.draw(two_positions(code.n))
+        codeword = code.encode(message)
+        received = codeword ^ (1 << (38 - i)) ^ (1 << (38 - j))
+        candidates = enumerator.candidates(received)
+        assert codeword in candidates
+        # Every candidate is a codeword at Hamming distance exactly 2.
+        for candidate in candidates:
+            assert code.is_codeword(candidate)
+            assert popcount(candidate ^ received) == 2
+
+    def test_candidates_sorted_and_unique(self, code, enumerator):
+        received = code.encode(0xDEADBEEF) ^ 0b101
+        candidates = enumerator.candidates(received)
+        assert list(candidates) == sorted(set(candidates))
+
+    def test_rejects_clean_codeword(self, code, enumerator):
+        with pytest.raises(DecodingError):
+            enumerator.candidates(code.encode(42))
+
+    def test_rejects_correctable_word(self, code, enumerator):
+        with pytest.raises(DecodingError):
+            enumerator.candidates(code.encode(42) ^ 1)
+
+    def test_rejects_oversized_word(self, enumerator):
+        with pytest.raises(DecodingError):
+            enumerator.candidates(1 << 39)
+
+    def test_candidate_messages_match_candidates(self, code, enumerator):
+        received = code.encode(7) ^ (1 << 38) ^ (1 << 2)
+        codewords = enumerator.candidates(received)
+        messages = enumerator.candidate_messages(received)
+        assert messages == tuple(code.extract_message(c) for c in codewords)
+
+    def test_enumeration_completeness_small_code(self):
+        # For the tiny (8, 4) extended Hamming SECDED code we can
+        # brute-force the truth: the candidates of a 2-bit DUE are
+        # exactly the codewords at Hamming distance 2.
+        from itertools import combinations
+
+        from repro.ecc.hamming import extended_hamming_secded
+
+        code = extended_hamming_secded(4)
+        enumerator = CandidateEnumerator(code)
+        all_codewords = set(code.codewords())
+        for message in range(16):
+            codeword = code.encode(message)
+            for i, j in combinations(range(code.n), 2):
+                received = (
+                    codeword
+                    ^ (1 << (code.n - 1 - i))
+                    ^ (1 << (code.n - 1 - j))
+                )
+                assert code.decode(received).status.name == "DUE"
+                expected = {
+                    c for c in all_codewords if popcount(c ^ received) == 2
+                }
+                assert set(enumerator.candidates(received)) == expected
+
+
+class TestCandidateCountProfile:
+    def test_matches_paper_fig4(self, code):
+        profile = candidate_count_profile(code)
+        assert profile.num_patterns == 741
+        assert profile.minimum == 8
+        assert profile.maximum == 15
+        assert 11.5 <= profile.mean <= 12.5
+
+    def test_profile_message_independent(self, code, enumerator):
+        # Linearity: counts for (i, j) equal counts for the same pattern
+        # applied to any codeword.
+        profile = candidate_count_profile(code)
+        codeword = code.encode(0xCAFEBABE)
+        for i, j in [(0, 1), (5, 20), (31, 38), (10, 11)]:
+            received = codeword ^ (1 << (38 - i)) ^ (1 << (38 - j))
+            assert len(enumerator.candidates(received)) == profile.counts[(i, j)]
+
+    def test_as_matrix_symmetric(self, code):
+        profile = candidate_count_profile(code)
+        matrix = profile.as_matrix(39)
+        for i in range(39):
+            assert matrix[i][i] == 0
+            for j in range(39):
+                assert matrix[i][j] == matrix[j][i]
+
+
+class TestRadiusEnumeration:
+    def test_radius_2_agrees_with_fast_path(self, code, enumerator):
+        received = code.encode(0x0BADF00D) ^ (1 << 38) ^ (1 << 3)
+        fast = enumerator.candidates(received)
+        slow = enumerator.candidates_within_radius(received, 2)
+        assert set(fast) <= set(slow)
+        # Radius search may also return codewords at distance < 2 (none
+        # exist for a true DUE) so the sets must be equal here.
+        assert set(fast) == set(slow)
+
+    def test_dected_3bit_due_enumeration(self):
+        code = dected_code()
+        enumerator = CandidateEnumerator(code)
+        codeword = code.encode(0x13572468)
+        received = codeword ^ (1 << 44) ^ (1 << 20) ^ (1 << 3)
+        assert code.decode(received).status.name == "DUE"
+        candidates = enumerator.candidates_within_radius(received, 3)
+        assert codeword in candidates
+        for candidate in candidates:
+            assert code.is_codeword(candidate)
+            assert popcount(candidate ^ received) <= 3
+
+    def test_negative_radius_rejected(self, enumerator):
+        with pytest.raises(ValueError):
+            enumerator.candidates_within_radius(0b11, -1)

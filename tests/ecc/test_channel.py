@@ -1,0 +1,129 @@
+"""Tests for the BSC channel model and error-pattern enumeration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import pair_index
+from repro.ecc.channel import (
+    BinarySymmetricChannel,
+    double_bit_patterns,
+    exhaustive_error_patterns,
+    pattern_from_positions,
+    pattern_from_vector,
+)
+
+
+class TestExhaustivePatterns:
+    def test_double_bit_count_and_order(self):
+        patterns = double_bit_patterns(39)
+        assert len(patterns) == 741
+        assert patterns[0].positions == (0, 1)
+        assert patterns[1].positions == (0, 2)
+        assert patterns[-1].positions == (37, 38)
+
+    def test_indices_match_pair_index(self):
+        for pattern in double_bit_patterns(39):
+            i, j = pattern.positions
+            assert pattern.index == pair_index(i, j, 39)
+
+    def test_vectors_match_positions(self):
+        for pattern in double_bit_patterns(10):
+            expected = 0
+            for position in pattern.positions:
+                expected |= 1 << (9 - position)
+            assert pattern.vector == expected
+
+    def test_weight_property(self):
+        for weight in (0, 1, 3):
+            for pattern in exhaustive_error_patterns(8, weight):
+                assert pattern.weight == weight
+
+    def test_apply_is_xor(self):
+        pattern = double_bit_patterns(8)[0]
+        assert pattern.apply(0) == pattern.vector
+        assert pattern.apply(pattern.vector) == 0
+
+    def test_apply_rejects_oversized_word(self):
+        pattern = double_bit_patterns(8)[0]
+        with pytest.raises(ValueError):
+            pattern.apply(1 << 8)
+
+
+class TestPatternFactories:
+    def test_from_positions(self):
+        pattern = pattern_from_positions((0, 38), 39)
+        assert pattern.vector == (1 << 38) | 1
+        assert pattern.index == pair_index(0, 38, 39)
+
+    def test_from_positions_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            pattern_from_positions((3, 3), 39)
+
+    def test_from_positions_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pattern_from_positions((0, 39), 39)
+
+    def test_from_vector(self):
+        pattern = pattern_from_vector(0b11, 39)
+        assert pattern.positions == (37, 38)
+        assert pattern.index == 740
+
+    def test_from_vector_non_double_has_no_index(self):
+        assert pattern_from_vector(0b111, 39).index == -1
+
+
+class TestBsc:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            BinarySymmetricChannel(1.5, 39)
+        with pytest.raises(ValueError):
+            BinarySymmetricChannel(-0.1, 39)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            BinarySymmetricChannel(0.1, 0)
+
+    def test_zero_probability_never_flips(self):
+        channel = BinarySymmetricChannel(0.0, 39, rng=random.Random(0))
+        for _ in range(20):
+            assert channel.sample_error().weight == 0
+
+    def test_one_probability_always_flips_everything(self):
+        channel = BinarySymmetricChannel(1.0, 16, rng=random.Random(0))
+        error = channel.sample_error()
+        assert error.weight == 16
+
+    def test_seeded_reproducibility(self):
+        a = BinarySymmetricChannel(0.3, 39, rng=random.Random(42))
+        b = BinarySymmetricChannel(0.3, 39, rng=random.Random(42))
+        for _ in range(10):
+            assert a.sample_error().vector == b.sample_error().vector
+
+    def test_sample_of_weight(self):
+        channel = BinarySymmetricChannel(0.5, 39, rng=random.Random(1))
+        for _ in range(50):
+            error = channel.sample_error_of_weight(2)
+            assert error.weight == 2
+            assert 0 <= error.index < 741
+
+    def test_sample_of_weight_bounds(self):
+        channel = BinarySymmetricChannel(0.5, 8, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            channel.sample_error_of_weight(9)
+
+    def test_transmit_returns_consistent_pair(self):
+        channel = BinarySymmetricChannel(0.2, 16, rng=random.Random(7))
+        word = 0xA5A5
+        received, error = channel.transmit(word)
+        assert received == word ^ error.vector
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_double_flip_statistics(self, seed):
+        channel = BinarySymmetricChannel(0.5, 39, rng=random.Random(seed))
+        error = channel.sample_error_of_weight(2)
+        assert error.positions[0] < error.positions[1]

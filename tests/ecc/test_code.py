@@ -1,0 +1,141 @@
+"""Tests for the linear block code framework and syndrome decoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.code import DecodeStatus, LinearBlockCode, systematic_pair
+from repro.ecc.gf2 import GF2Matrix, from_rows, identity
+from repro.ecc.hamming import hamming_code
+from repro.errors import CodeConstructionError, DecodingError, EncodingError
+
+
+@pytest.fixture(scope="module")
+def hamming74():
+    return hamming_code(3)  # (7, 4), d = 3
+
+
+class TestConstructionValidation:
+    def test_inconsistent_matrices_rejected(self):
+        generator = identity(2).hstack(from_rows([[1, 1], [1, 0]]))
+        bad_parity = identity(4)
+        with pytest.raises(CodeConstructionError):
+            LinearBlockCode(generator, bad_parity)
+
+    def test_zero_column_rejected(self):
+        # P with a zero row gives H a zero column.
+        p = GF2Matrix([0b00, 0b11], 2)
+        generator, parity = systematic_pair(p)
+        with pytest.raises(CodeConstructionError):
+            LinearBlockCode(generator, parity)
+
+    def test_duplicate_columns_rejected_by_default(self):
+        p = GF2Matrix([0b11, 0b11], 2)
+        generator, parity = systematic_pair(p)
+        with pytest.raises(CodeConstructionError):
+            LinearBlockCode(generator, parity)
+
+    def test_duplicate_columns_allowed_when_opted_in(self):
+        p = GF2Matrix([0b11, 0b11], 2)
+        generator, parity = systematic_pair(p)
+        code = LinearBlockCode(
+            generator, parity, allow_ambiguous_columns=True
+        )
+        # The duplicated columns must not be "corrected".
+        received = code.encode(0b01) ^ 0b1000  # flip a duplicated-column bit
+        assert code.decode(received).status is DecodeStatus.DUE
+
+    def test_dimension_mismatch_rejected(self):
+        generator = identity(3)
+        parity = identity(3)
+        with pytest.raises(CodeConstructionError):
+            LinearBlockCode(generator, parity)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_messages(self, hamming74):
+        for message in range(16):
+            codeword = hamming74.encode(message)
+            result = hamming74.decode(codeword)
+            assert result.status is DecodeStatus.OK
+            assert result.message == message
+            assert result.syndrome == 0
+
+    def test_systematic_property(self, hamming74):
+        for message in range(16):
+            codeword = hamming74.encode(message)
+            assert hamming74.extract_message(codeword) == message
+            assert codeword >> hamming74.r == message
+
+    def test_all_single_bit_errors_corrected(self, hamming74):
+        for message in range(16):
+            codeword = hamming74.encode(message)
+            for position in range(hamming74.n):
+                received = codeword ^ (1 << (hamming74.n - 1 - position))
+                result = hamming74.decode(received)
+                assert result.status is DecodeStatus.CORRECTED
+                assert result.message == message
+                assert result.corrected_positions == (position,)
+
+    def test_encode_rejects_oversized_message(self, hamming74):
+        with pytest.raises(EncodingError):
+            hamming74.encode(1 << 4)
+
+    def test_decode_rejects_oversized_word(self, hamming74):
+        with pytest.raises(DecodingError):
+            hamming74.decode(1 << 7)
+
+    def test_decode_result_flags(self, hamming74):
+        ok = hamming74.decode(hamming74.encode(5))
+        assert ok.is_clean and not ok.is_due
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_roundtrip_property_39_32(self, message):
+        from repro.ecc.matrices import canonical_secded_39_32
+
+        code = canonical_secded_39_32()
+        assert code.decode(code.encode(message)).message == message
+
+    def test_linearity(self, hamming74):
+        for a in range(16):
+            for b in range(16):
+                assert (
+                    hamming74.encode(a) ^ hamming74.encode(b)
+                    == hamming74.encode(a ^ b)
+                )
+
+
+class TestCodeAnalysis:
+    def test_minimum_distance_hamming(self, hamming74):
+        assert hamming74.minimum_distance() == 3
+
+    def test_verify_minimum_distance_agrees(self, hamming74):
+        assert hamming74.verify_minimum_distance(3)
+        assert not hamming74.verify_minimum_distance(4)
+
+    def test_weight_distribution_hamming74(self, hamming74):
+        # The (7,4) Hamming code's weight enumerator is known exactly:
+        # 1 + 7z^3 + 7z^4 + z^7.
+        assert hamming74.weight_distribution() == {0: 1, 3: 7, 4: 7, 7: 1}
+
+    def test_codeword_enumeration_refused_for_large_k(self):
+        from repro.ecc.matrices import canonical_secded_39_32
+
+        code = canonical_secded_39_32()
+        with pytest.raises(DecodingError):
+            list(code.codewords())
+
+    def test_verify_minimum_distance_bad_input(self, hamming74):
+        with pytest.raises(ValueError):
+            hamming74.verify_minimum_distance(0)
+
+    def test_is_codeword(self, hamming74):
+        codeword = hamming74.encode(9)
+        assert hamming74.is_codeword(codeword)
+        assert not hamming74.is_codeword(codeword ^ 1)
+
+    def test_repr_mentions_parameters(self, hamming74):
+        assert "7" in repr(hamming74) and "4" in repr(hamming74)

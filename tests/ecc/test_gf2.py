@@ -1,0 +1,169 @@
+"""Unit and property tests for GF(2) linear algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc.gf2 import GF2Matrix, from_columns, from_rows, identity, zeros
+
+
+def small_matrix(max_dim: int = 6):
+    """Hypothesis strategy for small GF(2) matrices."""
+    return st.integers(1, max_dim).flatmap(
+        lambda rows: st.integers(1, max_dim).flatmap(
+            lambda cols: st.lists(
+                st.integers(0, (1 << cols) - 1), min_size=rows, max_size=rows
+            ).map(lambda data: GF2Matrix(data, cols))
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_rows_and_entries(self):
+        m = from_rows([[1, 0, 1], [0, 1, 1]])
+        assert m.shape == (2, 3)
+        assert m.entry(0, 0) == 1
+        assert m.entry(0, 1) == 0
+        assert m.entry(1, 2) == 1
+
+    def test_row_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GF2Matrix([0b1000], 3)
+
+    def test_from_rows_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            from_rows([[1, 0], [1]])
+
+    def test_from_rows_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            from_rows([[1, 2]])
+
+    def test_from_columns_matches_columns(self):
+        m = from_rows([[1, 0, 1], [0, 1, 1]])
+        rebuilt = from_columns(m.columns(), m.num_rows)
+        assert rebuilt == m
+
+    def test_identity_and_zeros(self):
+        assert identity(3) == from_rows([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+        assert zeros(2, 3).is_zero()
+
+
+class TestAlgebra:
+    def test_addition_is_xor(self):
+        a = from_rows([[1, 1], [0, 1]])
+        b = from_rows([[1, 0], [1, 1]])
+        assert a + b == from_rows([[0, 1], [1, 0]])
+
+    def test_addition_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            identity(2) + identity(3)
+
+    def test_matmul_identity(self):
+        m = from_rows([[1, 0, 1], [0, 1, 1]])
+        assert m @ identity(3) == m
+        assert identity(2) @ m == m
+
+    def test_matmul_known_product(self):
+        a = from_rows([[1, 1], [0, 1]])
+        b = from_rows([[1, 0], [1, 1]])
+        assert a @ b == from_rows([[0, 1], [1, 1]])
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            identity(2) @ from_rows([[1, 0, 0]])
+
+    def test_mul_vector_is_syndrome_like(self):
+        h = from_rows([[1, 1, 0], [1, 0, 1]])
+        assert h.mul_vector(0b100) == 0b11
+        assert h.mul_vector(0b110) == 0b01
+
+    def test_left_mul_vector_is_encoding_like(self):
+        g = from_rows([[1, 0, 1, 1], [0, 1, 0, 1]])
+        assert g.left_mul_vector(0b10) == 0b1011
+        assert g.left_mul_vector(0b11) == 0b1110
+
+    def test_vector_width_checked(self):
+        with pytest.raises(ValueError):
+            identity(3).mul_vector(0b1000)
+        with pytest.raises(ValueError):
+            identity(3).left_mul_vector(0b1000)
+
+    @given(small_matrix(), small_matrix())
+    def test_transpose_reverses_product(self, a, b):
+        if a.num_cols != b.num_rows:
+            return
+        assert (a @ b).transpose() == b.transpose() @ a.transpose()
+
+    @given(small_matrix())
+    def test_transpose_involution(self, m):
+        assert m.transpose().transpose() == m
+
+    @given(small_matrix())
+    def test_addition_self_inverse(self, m):
+        assert (m + m).is_zero()
+
+
+class TestElimination:
+    def test_rank_of_identity(self):
+        assert identity(5).rank() == 5
+
+    def test_rank_of_dependent_rows(self):
+        m = from_rows([[1, 0, 1], [0, 1, 1], [1, 1, 0]])  # row3 = row1+row2
+        assert m.rank() == 2
+
+    def test_null_space_annihilated(self):
+        m = from_rows([[1, 0, 1], [0, 1, 1], [1, 1, 0]])
+        basis = m.null_space()
+        assert basis.num_rows == 1
+        for row in basis.rows:
+            assert m.mul_vector(row) == 0
+
+    @given(small_matrix())
+    def test_rank_nullity_theorem(self, m):
+        assert m.rank() + m.null_space().num_rows == m.num_cols
+
+    @given(small_matrix())
+    def test_null_space_vectors_annihilated(self, m):
+        for row in m.null_space().rows:
+            assert m.mul_vector(row) == 0
+
+    @given(small_matrix())
+    def test_rref_preserves_rank(self, m):
+        reduced, pivots = m.rref()
+        assert len(pivots) == m.rank()
+        assert reduced.rank() == m.rank()
+
+
+class TestStructure:
+    def test_hstack_vstack(self):
+        a = from_rows([[1, 0], [0, 1]])
+        b = from_rows([[1, 1], [0, 0]])
+        assert a.hstack(b) == from_rows([[1, 0, 1, 1], [0, 1, 0, 0]])
+        assert a.vstack(b).shape == (4, 2)
+
+    def test_hstack_mismatch(self):
+        with pytest.raises(ValueError):
+            identity(2).hstack(identity(3))
+
+    def test_submatrix_columns_reorders(self):
+        m = from_rows([[1, 0, 1], [0, 1, 1]])
+        sub = m.submatrix_columns([2, 0])
+        assert sub == from_rows([[1, 1], [1, 0]])
+
+    def test_column_and_row_weights(self):
+        m = from_rows([[1, 1, 0], [1, 0, 1]])
+        assert m.column_weights() == (2, 1, 1)
+        assert m.row_weights() == (2, 2)
+
+    def test_render_and_lists(self):
+        m = from_rows([[1, 0], [1, 1]])
+        assert m.render() == "10\n11"
+        assert m.to_lists() == [[1, 0], [1, 1]]
+
+    def test_hashable_and_eq(self):
+        a = from_rows([[1, 0]])
+        b = from_rows([[1, 0]])
+        assert a == b and hash(a) == hash(b)
+        assert a != from_rows([[0, 1]])

@@ -1,0 +1,152 @@
+"""Field-axiom and structure tests for GF(2^m)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc.gf2m import (
+    GF2mField,
+    poly_degree,
+    poly_divmod,
+    poly_mod,
+    poly_mul,
+)
+from repro.errors import CodeConstructionError
+
+FIELD = GF2mField(6)  # the BCH evaluation field
+
+elements = st.integers(0, FIELD.order)
+nonzero = st.integers(1, FIELD.order)
+
+
+class TestBinaryPolynomials:
+    def test_degree(self):
+        assert poly_degree(0) == -1
+        assert poly_degree(1) == 0
+        assert poly_degree(0b1011) == 3
+
+    def test_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert poly_mul(0b11, 0b11) == 0b101
+
+    def test_divmod_identity(self):
+        dividend = 0b1101101
+        divisor = 0b1011
+        quotient, remainder = poly_divmod(dividend, divisor)
+        assert poly_mul(quotient, divisor) ^ remainder == dividend
+        assert poly_degree(remainder) < poly_degree(divisor)
+
+    def test_mod_zero_divisor(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_mod(0b101, 0)
+
+    @given(st.integers(0, 2**12 - 1), st.integers(1, 2**6 - 1))
+    def test_divmod_property(self, dividend, divisor):
+        quotient, remainder = poly_divmod(dividend, divisor)
+        assert poly_mul(quotient, divisor) ^ remainder == dividend
+
+
+class TestFieldConstruction:
+    def test_default_fields_construct(self):
+        for m in (3, 4, 5, 6, 8):
+            field = GF2mField(m)
+            assert field.size == 1 << m
+            assert field.order == (1 << m) - 1
+
+    def test_rejects_non_primitive(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive.
+        with pytest.raises(CodeConstructionError):
+            GF2mField(4, primitive_poly=0b11111)
+
+    def test_rejects_wrong_degree(self):
+        with pytest.raises(CodeConstructionError):
+            GF2mField(4, primitive_poly=0b1011)
+
+    def test_rejects_tiny_m(self):
+        with pytest.raises(CodeConstructionError):
+            GF2mField(1)
+
+
+class TestFieldAxioms:
+    @given(elements, elements, elements)
+    def test_mul_associative(self, a, b, c):
+        f = FIELD
+        assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert FIELD.mul(a, b) == FIELD.mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        f = FIELD
+        assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    @given(elements)
+    def test_add_self_inverse(self, a):
+        assert FIELD.add(a, a) == 0
+
+    @given(elements)
+    def test_mul_identity_and_zero(self, a):
+        assert FIELD.mul(a, 1) == a
+        assert FIELD.mul(a, 0) == 0
+
+    def test_inv_of_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.inv(0)
+
+    @given(nonzero, st.integers(-20, 20))
+    def test_pow_matches_repeated_mul(self, a, exponent):
+        expected = 1
+        base = a if exponent >= 0 else FIELD.inv(a)
+        for _ in range(abs(exponent)):
+            expected = FIELD.mul(expected, base)
+        assert FIELD.pow(a, exponent) == expected
+
+    def test_element_range_checked(self):
+        with pytest.raises(ValueError):
+            FIELD.mul(1 << 6, 1)
+
+
+class TestFieldStructure:
+    def test_alpha_generates_the_group(self):
+        seen = {FIELD.alpha_power(i) for i in range(FIELD.order)}
+        assert len(seen) == FIELD.order
+        assert 0 not in seen
+
+    def test_log_alpha_inverts_alpha_power(self):
+        for exponent in range(FIELD.order):
+            assert FIELD.log_alpha(FIELD.alpha_power(exponent)) == exponent
+
+    def test_cyclotomic_coset_closed_under_doubling(self):
+        coset = FIELD.cyclotomic_coset(1)
+        for element in coset:
+            assert (element * 2) % FIELD.order in coset
+
+    def test_cyclotomic_coset_of_zero(self):
+        assert FIELD.cyclotomic_coset(0) == (0,)
+
+    def test_minimal_polynomial_of_alpha_is_the_field_poly(self):
+        assert FIELD.minimal_polynomial(1) == FIELD.primitive_poly
+
+    def test_minimal_polynomial_annihilates_all_conjugates(self):
+        for s in (1, 3, 5):
+            poly = FIELD.minimal_polynomial(s)
+            coefficients = [
+                (poly >> degree) & 1 for degree in range(poly_degree(poly) + 1)
+            ]
+            for conjugate in FIELD.cyclotomic_coset(s):
+                root = FIELD.alpha_power(conjugate)
+                assert FIELD.poly_eval(coefficients, root) == 0
+
+    def test_poly_eval_horner(self):
+        # p(x) = x^2 + x + 1 at x = alpha: alpha^2 + alpha + 1.
+        alpha = FIELD.alpha_power(1)
+        expected = FIELD.mul(alpha, alpha) ^ alpha ^ 1
+        assert FIELD.poly_eval([1, 1, 1], alpha) == expected

@@ -1,0 +1,138 @@
+"""Tests for Hamming, extended Hamming, and Hsiao SECDED constructions."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import popcount
+from repro.ecc.code import DecodeStatus
+from repro.ecc.hamming import (
+    extended_hamming_secded,
+    hamming_code,
+    parity_bits_for,
+    shortened_hamming_code,
+)
+from repro.ecc.hsiao import hsiao_39_32, hsiao_72_64, hsiao_code, is_hsiao
+from repro.errors import CodeConstructionError
+
+
+class TestParityBits:
+    @pytest.mark.parametrize(
+        "k,expected", [(1, 2), (4, 3), (11, 4), (26, 5), (32, 6), (57, 6), (64, 7)]
+    )
+    def test_known_values(self, k, expected):
+        assert parity_bits_for(k) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(CodeConstructionError):
+            parity_bits_for(0)
+
+
+class TestHammingFamily:
+    @pytest.mark.parametrize("r", [3, 4, 5])
+    def test_perfect_hamming_distance_3(self, r):
+        code = hamming_code(r)
+        assert code.n == (1 << r) - 1
+        assert code.verify_minimum_distance(3)
+        assert not code.verify_minimum_distance(4)
+
+    def test_shortened_hamming_32(self):
+        code = shortened_hamming_code(32)
+        assert (code.n, code.k) == (38, 32)
+        assert code.verify_minimum_distance(3)
+
+    def test_shortening_cannot_use_too_few_parity_bits(self):
+        with pytest.raises(CodeConstructionError):
+            shortened_hamming_code(32, r=5)
+
+    def test_extended_hamming_39_32_is_secded(self):
+        code = extended_hamming_secded(32)
+        assert (code.n, code.k) == (39, 32)
+        assert code.verify_minimum_distance(4)
+        assert not code.verify_minimum_distance(5)
+
+    def test_extended_hamming_corrects_1_detects_2(self):
+        code = extended_hamming_secded(8)  # (13, 8), small enough to sweep
+        for message in (0, 0xA5, 0xFF):
+            codeword = code.encode(message)
+            for position in range(code.n):
+                received = codeword ^ (1 << (code.n - 1 - position))
+                result = code.decode(received)
+                assert result.status is DecodeStatus.CORRECTED
+                assert result.message == message
+            for i, j in itertools.combinations(range(code.n), 2):
+                received = (
+                    codeword
+                    ^ (1 << (code.n - 1 - i))
+                    ^ (1 << (code.n - 1 - j))
+                )
+                assert code.decode(received).status is DecodeStatus.DUE
+
+
+class TestHsiao:
+    def test_hsiao_39_32_parameters(self):
+        code = hsiao_39_32()
+        assert (code.n, code.k, code.r) == (39, 32, 7)
+        assert code.verify_minimum_distance(4)
+        assert not code.verify_minimum_distance(5)
+
+    def test_all_columns_odd_weight(self):
+        code = hsiao_39_32()
+        assert is_hsiao(code)
+        assert all(popcount(c) & 1 for c in code.column_syndromes)
+
+    def test_columns_distinct(self):
+        code = hsiao_39_32()
+        assert len(set(code.column_syndromes)) == code.n
+
+    def test_row_weights_balanced(self):
+        # Hsiao's design goal: per-row popcounts of H differ by at most
+        # a small constant (here: 1 for the data part + identity).
+        code = hsiao_39_32()
+        weights = code.parity_check.row_weights()
+        assert max(weights) - min(weights) <= 1
+
+    def test_hsiao_72_64(self):
+        code = hsiao_72_64()
+        assert (code.n, code.k) == (72, 64)
+        assert code.verify_minimum_distance(4)
+        assert is_hsiao(code)
+
+    def test_infeasible_parameters_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            hsiao_code(34, 32)  # r = 2
+        with pytest.raises(CodeConstructionError):
+            hsiao_code(36, 32)  # r = 4: only C(4,3)=4 odd columns >= w3
+
+    def test_construction_is_deterministic(self):
+        assert hsiao_39_32().column_syndromes == hsiao_39_32().column_syndromes
+
+    @given(st.integers(0, 2**32 - 1), st.data())
+    @settings(max_examples=40)
+    def test_secded_contract_randomized(self, message, data):
+        code = hsiao_39_32()
+        codeword = code.encode(message)
+        weight = data.draw(st.integers(0, 2))
+        positions = data.draw(
+            st.lists(
+                st.integers(0, code.n - 1),
+                min_size=weight,
+                max_size=weight,
+                unique=True,
+            )
+        )
+        received = codeword
+        for position in positions:
+            received ^= 1 << (code.n - 1 - position)
+        result = code.decode(received)
+        if weight == 0:
+            assert result.status is DecodeStatus.OK
+        elif weight == 1:
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.message == message
+        else:
+            assert result.status is DecodeStatus.DUE

@@ -1,0 +1,66 @@
+"""Tests for the baseline single-parity and repetition codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc.code import DecodeStatus
+from repro.ecc.parity import repetition_code, single_parity_code
+from repro.errors import CodeConstructionError
+
+
+class TestSingleParity:
+    def test_parameters(self):
+        code = single_parity_code(8)
+        assert (code.n, code.k, code.r) == (9, 8, 1)
+
+    def test_even_parity_codewords(self):
+        code = single_parity_code(4)
+        for message in range(16):
+            assert bin(code.encode(message)).count("1") % 2 == 0
+
+    def test_detects_all_single_errors_without_correcting(self):
+        code = single_parity_code(8)
+        codeword = code.encode(0xA5)
+        for position in range(code.n):
+            received = codeword ^ (1 << (code.n - 1 - position))
+            assert code.decode(received).status is DecodeStatus.DUE
+
+    def test_misses_double_errors(self):
+        # The classic parity failure: even-weight errors are invisible.
+        code = single_parity_code(8)
+        codeword = code.encode(0xA5)
+        received = codeword ^ 0b11
+        result = code.decode(received)
+        assert result.status is DecodeStatus.OK
+        assert result.message != 0xA5
+
+    def test_rejects_empty_message(self):
+        with pytest.raises(CodeConstructionError):
+            single_parity_code(0)
+
+
+class TestRepetition:
+    def test_parameters(self):
+        code = repetition_code(3)
+        assert (code.n, code.k) == (3, 1)
+        assert code.minimum_distance() == 3
+
+    def test_corrects_any_single_flip(self):
+        code = repetition_code(3)
+        for message in (0, 1):
+            codeword = code.encode(message)
+            for position in range(3):
+                received = codeword ^ (1 << (2 - position))
+                result = code.decode(received)
+                assert result.status is DecodeStatus.CORRECTED
+                assert result.message == message
+
+    def test_rejects_even_or_tiny_copy_counts(self):
+        with pytest.raises(CodeConstructionError):
+            repetition_code(2)
+        with pytest.raises(CodeConstructionError):
+            repetition_code(1)
+
+    def test_five_copies_has_distance_5(self):
+        assert repetition_code(5).minimum_distance() == 5

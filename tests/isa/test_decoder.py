@@ -1,0 +1,243 @@
+"""Tests for the MIPS-I decoder: the paper's legality oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IllegalInstructionError
+from repro.isa.decoder import decode, is_legal, mnemonic_of, try_decode
+from repro.isa.encoder import encode
+from repro.isa.opcodes import (
+    COP1_FMTS,
+    INSTRUCTION_SPECS,
+    LEGAL_OPCODES,
+    REGIMM_SELECTORS,
+    SPECIAL_FUNCTS,
+)
+
+
+class TestPaperLegalityCounts:
+    """The three counts reported in Sec. III-B must hold exactly."""
+
+    def test_41_of_64_opcodes(self):
+        legal = [
+            opcode for opcode in range(64)
+            if any(
+                is_legal((opcode << 26) | low)
+                for low in (0x00000000, 0x00000020, 0x02108020, 0x10000000)
+            )
+        ]
+        assert len(LEGAL_OPCODES) == 41
+        assert set(legal) <= LEGAL_OPCODES
+
+    def test_37_of_64_functs(self):
+        legal_functs = [
+            funct for funct in range(64) if is_legal((0x00 << 26) | funct)
+        ]
+        assert len(legal_functs) == len(SPECIAL_FUNCTS) == 37
+
+    def test_3_of_32_fmts(self):
+        legal_fmts = [
+            fmt for fmt in range(32)
+            if any(
+                is_legal((0x11 << 26) | (fmt << 21) | funct)
+                for funct in range(64)
+            )
+        ]
+        assert legal_fmts == sorted(COP1_FMTS) == [0x10, 0x11, 0x14]
+
+
+class TestGoldenEncodings:
+    """Known words from real MIPS toolchains must decode correctly."""
+
+    @pytest.mark.parametrize(
+        "word,mnemonic",
+        [
+            (0x00000000, "sll"),       # canonical nop
+            (0x03E00008, "jr"),        # jr $ra
+            (0x8FBF0018, "lw"),        # lw $ra, 24($sp)
+            (0xAFBF0018, "sw"),        # sw $ra, 24($sp)
+            (0x27BDFFE8, "addiu"),     # addiu $sp, $sp, -24
+            (0x3C1C0FC0, "lui"),       # lui $gp, 0xfc0
+            (0x0C100012, "jal"),       # jal 0x400048
+            (0x10400003, "beq"),       # beq $v0, $zero, +3
+            (0x1440FFFD, "bne"),       # bne $v0, $zero, -3
+            (0x00851021, "addu"),      # addu $v0, $a0, $a1
+            (0x00852022, "sub"),       # sub $a0, $a0, $a1
+            (0x0000000C, "syscall"),
+            (0x0000000D, "break"),
+            (0x46000000, "add.s"),     # add.s $f0, $f0, $f0
+            (0x46200002, "mul.d"),     # mul.d $f0, $f0, $f0
+            (0x04110001, "bgezal"),    # bgezal $zero, +1 (bal)
+            (0xC4C40000, "lwc1"),      # lwc1 $f4, 0($a2)
+        ],
+    )
+    def test_decodes_to(self, word, mnemonic):
+        assert mnemonic_of(word) == mnemonic
+
+    @pytest.mark.parametrize(
+        "word",
+        [
+            0x70000000,  # opcode 0x1C (SPECIAL2, not in MIPS-I table)
+            0xFC000000,  # opcode 0x3F
+            0x00000001,  # SPECIAL funct 0x01 (movci, excluded)
+            0x0000003F,  # SPECIAL funct 0x3F
+            0x04140000,  # REGIMM rt=0x14
+            0x47E00000,  # COP1 fmt=0x1F
+            0x46800000,  # COP1 fmt=W funct=add (no FP arith on W)
+            0x44600000,  # COP0 rs=0x03
+        ],
+    )
+    def test_illegal_words(self, word):
+        assert not is_legal(word)
+        assert try_decode(word) is None
+        with pytest.raises(IllegalInstructionError):
+            decode(word)
+
+    def test_illegality_reason_is_specific(self):
+        with pytest.raises(IllegalInstructionError, match="reserved opcode"):
+            decode(0xFC000000)
+        with pytest.raises(IllegalInstructionError, match="SPECIAL funct"):
+            decode(0x00000001)
+        with pytest.raises(IllegalInstructionError, match="REGIMM"):
+            decode(0x04140000)
+        with pytest.raises(IllegalInstructionError, match="COP1 fmt"):
+            decode(0x47E00000)
+
+
+class TestDecodeProperties:
+    def test_word_range_checked(self):
+        with pytest.raises(ValueError):
+            is_legal(1 << 32)
+        with pytest.raises(ValueError):
+            try_decode(-1)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=300)
+    def test_decode_never_crashes_and_is_consistent(self, word):
+        instruction = try_decode(word)
+        assert is_legal(word) == (instruction is not None)
+        if instruction is not None:
+            assert instruction.word == word
+            assert instruction.mnemonic in INSTRUCTION_SPECS
+
+    @given(st.sampled_from(sorted(INSTRUCTION_SPECS)), st.data())
+    @settings(max_examples=200)
+    def test_encode_decode_roundtrip_all_mnemonics(self, mnemonic, data):
+        registers = st.integers(0, 31)
+        word = encode(
+            mnemonic,
+            rs=data.draw(registers),
+            rt=data.draw(registers),
+            rd=data.draw(registers),
+            shamt=data.draw(st.integers(0, 31)),
+            imm=data.draw(st.integers(0, 0xFFFF)),
+            target=data.draw(st.integers(0, 0x3FFFFFF)),
+            fd=data.draw(registers),
+            fs=data.draw(registers),
+            ft=data.draw(registers),
+        )
+        decoded = try_decode(word)
+        assert decoded is not None
+        assert decoded.mnemonic == mnemonic
+
+    def test_regimm_selectors_all_decode(self):
+        for rt, (mnemonic, _) in REGIMM_SELECTORS.items():
+            word = (0x01 << 26) | (rt << 16)
+            assert mnemonic_of(word) == mnemonic
+
+    def test_operand_fields_never_affect_legality(self):
+        # The paper's key structural fact: register/immediate bits can
+        # take any value without making an instruction illegal.
+        base = encode("lw", rt=8, rs=29, imm=4)
+        for immediate in (0, 1, 0x7FFF, 0x8000, 0xFFFF):
+            for rt in (0, 15, 31):
+                word = (base & 0xFC000000) | (29 << 21) | (rt << 16) | immediate
+                assert is_legal(word)
+
+    def test_instruction_field_accessors(self):
+        instruction = decode(0x8FBF0018)  # lw $ra, 24($sp)
+        assert instruction.opcode == 0x23
+        assert instruction.rs == 29
+        assert instruction.rt == 31
+        assert instruction.immediate == 24
+        assert instruction.signed_immediate == 24
+        assert not instruction.is_nop
+
+    def test_nop_flag(self):
+        assert decode(0).is_nop
+
+
+class TestExhaustiveDiscriminatorSpaces:
+    """Sweep every discriminator sub-space and compare against the
+    tables, so no encoding is accidentally legal or illegal."""
+
+    def test_all_special_functs(self):
+        for funct in range(64):
+            word = funct  # opcode 0, all operand fields zero
+            assert is_legal(word) == (funct in SPECIAL_FUNCTS), funct
+
+    def test_all_regimm_selectors(self):
+        for rt in range(32):
+            word = (0x01 << 26) | (rt << 16)
+            assert is_legal(word) == (rt in REGIMM_SELECTORS), rt
+
+    def test_all_cop1_fmt_funct_combinations(self):
+        from repro.isa.opcodes import COP1_FUNCTS_BY_FMT
+
+        for fmt in range(32):
+            for funct in range(64):
+                word = (0x11 << 26) | (fmt << 21) | funct
+                expected = (
+                    fmt in COP1_FUNCTS_BY_FMT
+                    and funct in COP1_FUNCTS_BY_FMT[fmt]
+                )
+                assert is_legal(word) == expected, (fmt, funct)
+
+    def test_all_cop0_rs_selectors(self):
+        from repro.isa.opcodes import COP0_CO_FUNCTS, COP0_TRANSFER_RS
+
+        for rs in range(32):
+            for funct in (0x00, 0x01, 0x08, 0x10, 0x3F):
+                word = (0x10 << 26) | (rs << 21) | funct
+                if rs in COP0_TRANSFER_RS:
+                    # Transfers (mfc0/mtc0) select on rs alone; the
+                    # funct bits are don't-cares in this model.
+                    expected = True
+                elif rs & 0x10:
+                    expected = funct in COP0_CO_FUNCTS
+                else:
+                    expected = False
+                assert is_legal(word) == expected, (rs, funct)
+
+    def test_all_copz_rs_selectors(self):
+        from repro.isa.opcodes import (
+            COPZ_BRANCH_RS,
+            COPZ_BRANCH_RT,
+            COPZ_TRANSFER_RS,
+        )
+
+        for opcode in (0x12, 0x13):
+            for rs in range(32):
+                for rt in (0, 1, 2, 31):
+                    word = (opcode << 26) | (rs << 21) | (rt << 16)
+                    if rs in COPZ_TRANSFER_RS:
+                        expected = True
+                    elif rs == COPZ_BRANCH_RS:
+                        expected = rt in COPZ_BRANCH_RT
+                    elif rs & 0x10:
+                        expected = True  # generic coprocessor operation
+                    else:
+                        expected = False
+                    assert is_legal(word) == expected, (opcode, rs, rt)
+
+    def test_every_primary_opcode_against_table(self):
+        from repro.isa.opcodes import PRIMARY_OPCODES
+
+        for opcode in range(64):
+            if opcode in (0x00, 0x01, 0x10, 0x11, 0x12, 0x13):
+                continue  # sub-field-selected families, covered above
+            word = opcode << 26
+            assert is_legal(word) == (opcode in PRIMARY_OPCODES), opcode

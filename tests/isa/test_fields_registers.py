@@ -1,0 +1,115 @@
+"""Tests for instruction bit fields and the register ABI."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import fields
+from repro.isa.registers import (
+    ABI_CLASSES,
+    NUM_REGISTERS,
+    REGISTER_NAMES,
+    register_name,
+    register_number,
+)
+
+# sw $a1, 4($a0): opcode=0x2B rs=4 rt=5 imm=4
+_SW_WORD = (0x2B << 26) | (4 << 21) | (5 << 16) | 4
+# add $t0, $t1, $t2: funct=0x20 rs=9 rt=10 rd=8
+_ADD_WORD = (9 << 21) | (10 << 16) | (8 << 11) | 0x20
+
+
+class TestFieldExtraction:
+    def test_opcode(self):
+        assert fields.opcode_of(_SW_WORD) == 0x2B
+        assert fields.opcode_of(_ADD_WORD) == 0
+
+    def test_registers(self):
+        assert fields.rs_of(_SW_WORD) == 4
+        assert fields.rt_of(_SW_WORD) == 5
+        assert fields.rd_of(_ADD_WORD) == 8
+
+    def test_funct_and_shamt(self):
+        assert fields.funct_of(_ADD_WORD) == 0x20
+        assert fields.shamt_of(_ADD_WORD) == 0
+
+    def test_immediates(self):
+        assert fields.immediate_of(_SW_WORD) == 4
+        negative = (0x23 << 26) | 0xFFFC  # lw off = -4
+        assert fields.immediate_of(negative) == 0xFFFC
+        assert fields.signed_immediate(negative) == -4
+
+    def test_target(self):
+        word = (0x02 << 26) | 0x3FFFFFF
+        assert fields.target_of(word) == 0x3FFFFFF
+
+    def test_with_field(self):
+        word = fields.with_field(0, "opcode", 0x23)
+        assert fields.opcode_of(word) == 0x23
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_fields_partition_word(self, word):
+        rebuilt = (
+            (fields.opcode_of(word) << 26)
+            | (fields.rs_of(word) << 21)
+            | (fields.rt_of(word) << 16)
+            | (fields.rd_of(word) << 11)
+            | (fields.shamt_of(word) << 6)
+            | fields.funct_of(word)
+        )
+        assert rebuilt == word
+
+    def test_field_widths(self):
+        assert fields.FIELDS["opcode"].width == 6
+        assert fields.FIELDS["rs"].width == 5
+        assert fields.FIELDS["immediate"].width == 16
+        assert fields.FIELDS["target"].width == 26
+
+    def test_msb_first_positions(self):
+        assert fields.FIELDS["opcode"].msb_first_positions() == (0, 1, 2, 3, 4, 5)
+        assert fields.FIELDS["funct"].msb_first_positions() == (
+            26, 27, 28, 29, 30, 31,
+        )
+
+    def test_decoding_field_positions(self):
+        positions = fields.DECODING_FIELD_POSITIONS
+        # opcode (6) + funct (6) + fmt (5) = 17 distinct positions.
+        assert len(positions) == 17
+        assert {0, 5, 26, 31, 6, 10} <= positions
+        assert 15 not in positions
+
+
+class TestRegisters:
+    def test_name_table_complete(self):
+        assert len(REGISTER_NAMES) == NUM_REGISTERS == 32
+
+    def test_roundtrip_all(self):
+        for number in range(32):
+            assert register_number(register_name(number)) == number
+
+    def test_numeric_aliases(self):
+        assert register_number("$8") == 8
+        assert register_number("$31") == 31
+        assert register_number("$s8") == 30
+
+    def test_named_registers(self):
+        assert register_number("$zero") == 0
+        assert register_number("$sp") == 29
+        assert register_number("$ra") == 31
+        assert register_number("v0") == 2  # missing $ accepted
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(ValueError):
+            register_number("$bogus")
+
+    def test_out_of_range_number_rejected(self):
+        with pytest.raises(ValueError):
+            register_name(32)
+
+    def test_abi_classes_partition_registers(self):
+        all_registers = sorted(
+            register for group in ABI_CLASSES.values() for register in group
+        )
+        assert all_registers == list(range(32))

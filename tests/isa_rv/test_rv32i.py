@@ -1,0 +1,159 @@
+"""Tests for the RV32I legality oracle and workload synthesis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IllegalInstructionError
+from repro.isa_rv import (
+    RV32I_MIX,
+    RV32I_MNEMONICS,
+    generate_rv32i_words,
+    is_legal,
+    mnemonic_of,
+    try_mnemonic,
+)
+from repro.isa_rv.decoder import (
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+)
+
+
+class TestGoldenEncodings:
+    """Known words from real RISC-V toolchains."""
+
+    @pytest.mark.parametrize(
+        "word,mnemonic",
+        [
+            (0x00000013, "addi"),    # nop = addi x0, x0, 0
+            (0x00008067, "jalr"),    # ret = jalr x0, 0(ra)
+            (0x00112623, "sw"),      # sw ra, 12(sp)
+            (0x00C12083, "lw"),      # lw ra, 12(sp)
+            (0xFF010113, "addi"),    # addi sp, sp, -16
+            (0x00000037, "lui"),     # lui x0, 0
+            (0x00000097, "auipc"),   # auipc ra, 0
+            (0x0000006F, "jal"),     # jal x0, 0 (j .)
+            (0x00B50463, "beq"),     # beq a0, a1, +8
+            (0x40B50533, "sub"),     # sub a0, a0, a1
+            (0x00B51533, "sll"),     # sll a0, a0, a1
+            (0x40555513, "srai"),    # srai a0, a0, 5
+            (0x00000073, "ecall"),
+            (0x00100073, "ebreak"),
+            (0x0FF0000F, "fence"),
+            (0x34002473, "csrrs"),   # csrr s0, mscratch
+        ],
+    )
+    def test_decodes_to(self, word, mnemonic):
+        assert mnemonic_of(word) == mnemonic
+
+    @pytest.mark.parametrize(
+        "word",
+        [
+            0x00000000,  # all zero: defined illegal in RISC-V
+            0xFFFFFFFF,  # all ones: illegal
+            0x00000001,  # compressed-space (low bits != 11)
+            0x0000007F,  # unpopulated major opcode
+            0x00001067,  # jalr with funct3 != 0
+            0x00003003,  # load funct3=011 (ld: RV64 only)
+            0x00003023,  # store funct3=011 (sd: RV64 only)
+            0x02000033,  # OP funct7=0000001 (MUL: M extension)
+            0x00200073,  # SYSTEM imm=2 (neither ecall nor ebreak)
+            0x00004073,  # SYSTEM funct3=100 (reserved)
+            0x0000200F,  # MISC-MEM funct3=010 (reserved)
+            0x00002063,  # BRANCH funct3=010 (reserved)
+        ],
+    )
+    def test_illegal_words(self, word):
+        assert not is_legal(word)
+        with pytest.raises(IllegalInstructionError):
+            mnemonic_of(word)
+
+    def test_zero_word_is_illegal_unlike_mips(self):
+        # In MIPS the all-zero word is a nop (sll); RISC-V made it
+        # deliberately illegal. Both behaviours are load-bearing in
+        # their respective oracles.
+        from repro.isa.decoder import is_legal as mips_is_legal
+
+        assert mips_is_legal(0)
+        assert not is_legal(0)
+
+
+class TestEncoders:
+    def test_r_type_roundtrip(self):
+        word = encode_r(0b0110011, 0, 0b0100000, rd=10, rs1=10, rs2=11)
+        assert mnemonic_of(word) == "sub"
+
+    def test_i_type_negative_immediate(self):
+        word = encode_i(0b0010011, 0, rd=2, rs1=2, imm=-16)
+        assert mnemonic_of(word) == "addi"
+        assert (word >> 20) == 0xFF0  # two's complement image
+
+    def test_s_type_immediate_split(self):
+        word = encode_s(0b0100011, 2, rs1=2, rs2=1, imm=12)
+        assert mnemonic_of(word) == "sw"
+        assert word == 0x00112623
+
+    def test_b_type_offset(self):
+        word = encode_b(0b1100011, 0, rs1=10, rs2=11, offset=8)
+        assert word == 0x00B50463
+
+    def test_u_and_j_types(self):
+        assert mnemonic_of(encode_u(0b0110111, 5, 0x12345)) == "lui"
+        assert mnemonic_of(encode_j(0b1101111, 1, 2048)) == "jal"
+
+    def test_encoder_validation(self):
+        with pytest.raises(ValueError):
+            encode_i(0b0010011, 0, 1, 1, 5000)
+        with pytest.raises(ValueError):
+            encode_b(0b1100011, 0, 1, 1, 3)  # odd offset
+        with pytest.raises(ValueError):
+            encode_r(0b0110011, 0, 0, 32, 0, 0)  # bad register
+
+
+class TestDecodeProperties:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=300)
+    def test_never_crashes(self, word):
+        mnemonic = try_mnemonic(word)
+        if mnemonic is not None:
+            assert mnemonic in RV32I_MNEMONICS
+
+    def test_word_range_checked(self):
+        with pytest.raises(ValueError):
+            is_legal(1 << 32)
+
+    def test_density_is_sparse(self):
+        rng = random.Random(0)
+        legal = sum(1 for _ in range(20_000) if is_legal(rng.getrandbits(32)))
+        assert legal / 20_000 < 0.10  # vs ~0.58 for MIPS-I
+
+
+class TestSynthesis:
+    def test_every_word_legal_and_matches_mix(self):
+        words = generate_rv32i_words(2048)
+        assert all(is_legal(word) for word in words)
+        from collections import Counter
+
+        histogram = Counter(try_mnemonic(word) for word in words)
+        total = sum(histogram.values())
+        assert histogram["lw"] / total == pytest.approx(
+            RV32I_MIX["lw"], abs=0.05
+        )
+
+    def test_deterministic(self):
+        assert generate_rv32i_words(128, seed=4) == generate_rv32i_words(128, seed=4)
+        assert generate_rv32i_words(128, seed=4) != generate_rv32i_words(128, seed=5)
+
+    def test_length_validated(self):
+        from repro.errors import ProgramImageError
+
+        with pytest.raises(ProgramImageError):
+            generate_rv32i_words(0)

@@ -1,0 +1,172 @@
+"""Tests for checkpointing, scrubbing, page retirement, and clean pages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryFaultError
+from repro.memory.backing import CleanPageStore
+from repro.memory.checkpoint import CheckpointStore, memory_checkpointer
+from repro.memory.faults import FaultInjector
+from repro.memory.model import EccMemory
+from repro.memory.scrub import PageRetirement, Scrubber
+
+
+@pytest.fixture()
+def memory(code):
+    memory = EccMemory(code)
+    for index in range(16):
+        memory.write(0x1000 + 4 * index, index * 1111)
+    return memory
+
+
+class TestCheckpointStore:
+    def test_rollback_restores_state(self):
+        state = {"value": 1}
+        store = CheckpointStore(
+            capture=lambda: dict(state),
+            restore=lambda snapshot: (state.clear(), state.update(snapshot)),
+        )
+        store.checkpoint()
+        state["value"] = 99
+        store.rollback()
+        assert state["value"] == 1
+        assert store.rollback_count == 1
+
+    def test_rollback_consumes_checkpoint(self):
+        store = CheckpointStore(capture=lambda: 0, restore=lambda s: None)
+        store.checkpoint()
+        assert store.has_checkpoint()
+        store.rollback()
+        assert not store.has_checkpoint()
+        with pytest.raises(MemoryFaultError):
+            store.rollback()
+
+    def test_capacity_evicts_oldest(self):
+        captured = []
+        store = CheckpointStore(
+            capture=lambda: len(captured),
+            restore=captured.append,
+            capacity=2,
+        )
+        for _ in range(3):
+            store.checkpoint()
+        assert store.depth == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(capture=lambda: 0, restore=lambda s: None, capacity=0)
+
+    def test_memory_checkpointer_preserves_injected_faults(self, memory):
+        store = memory_checkpointer(memory)
+        FaultInjector(memory).inject_at(0x1000, [3])  # latent CE
+        store.checkpoint()
+        memory.write(0x1000, 0)  # overwrite
+        store.rollback()
+        # The snapshot captured the *corrupted* codeword, as a DRAM
+        # image copy would.
+        assert memory.read(0x1000).status.name == "CORRECTED"
+
+
+class TestScrubber:
+    def test_scrub_fixes_correctable_errors(self, memory):
+        injector = FaultInjector(memory)
+        for index in range(5):
+            injector.inject_at(0x1000 + 4 * index, [index])
+        report = Scrubber(memory).scrub()
+        assert report.words_scanned == 16
+        assert report.errors_corrected == 5
+        assert report.dues_found == 0
+        assert not report.clean
+
+    def test_scrub_prevents_error_accumulation(self, memory):
+        injector = FaultInjector(memory)
+        scrubber = Scrubber(memory)
+        injector.inject_at(0x1000, [0])
+        scrubber.scrub()
+        injector.inject_at(0x1000, [1])
+        scrubber.scrub()
+        # Two single-bit faults, separated by a scrub: never a DUE.
+        assert memory.read(0x1000).status.name == "OK"
+
+    def test_without_scrub_the_same_faults_accumulate(self, memory):
+        injector = FaultInjector(memory)
+        injector.inject_at(0x1000, [0])
+        injector.inject_at(0x1000, [1])
+        result = memory.code.decode(memory.raw_codeword(0x1000))
+        assert result.status.name == "DUE"
+
+    def test_scrub_flags_dues_without_crashing(self, memory):
+        FaultInjector(memory).inject_at(0x1004, [0, 1])
+        report = Scrubber(memory).scrub()
+        assert report.dues_found == 1
+        scrubber = Scrubber(memory)
+        scrubber.scrub()
+        assert scrubber.due_addresses == [0x1004]
+
+    def test_second_pass_clean(self, memory):
+        injector = FaultInjector(memory)
+        injector.inject_at(0x1008, [5])
+        scrubber = Scrubber(memory)
+        scrubber.scrub()
+        assert scrubber.scrub().clean
+
+
+class TestPageRetirement:
+    def test_threshold_retires_page(self):
+        retirement = PageRetirement(page_bytes=4096, threshold=2)
+        assert not retirement.record_error(0x1000)
+        assert retirement.record_error(0x1ffc)  # same page
+        assert retirement.is_retired(0x1004)
+        assert retirement.retired_pages == {1}
+
+    def test_distinct_pages_counted_separately(self):
+        retirement = PageRetirement(threshold=2)
+        retirement.record_error(0x0000)
+        retirement.record_error(0x1000)
+        assert not retirement.retired_pages
+
+    def test_idempotent_after_retirement(self):
+        retirement = PageRetirement(threshold=1)
+        assert retirement.record_error(0x0000)
+        assert not retirement.record_error(0x0004)
+
+    def test_parameter_validation(self):
+        with pytest.raises(MemoryFaultError):
+            PageRetirement(page_bytes=10)
+        with pytest.raises(MemoryFaultError):
+            PageRetirement(threshold=0)
+
+
+class TestCleanPageStore:
+    def test_clean_copy_returns_pristine_word(self):
+        store = CleanPageStore()
+        store.register_region(0x400000, [10, 20, 30])
+        assert store.clean_copy(0x400004) == 20
+
+    def test_unmapped_address_returns_none(self):
+        store = CleanPageStore()
+        assert store.clean_copy(0x1234000) is None
+
+    def test_dirty_page_returns_none(self):
+        store = CleanPageStore(page_bytes=4096)
+        store.register_region(0x400000, [10, 20, 30])
+        store.mark_dirty(0x400008)
+        # The whole page dirties, not just the word.
+        assert store.clean_copy(0x400000) is None
+        assert store.is_dirty(0x400004)
+
+    def test_other_pages_stay_clean(self):
+        store = CleanPageStore(page_bytes=4096)
+        store.register_region(0x400000, [1] * 2048)  # two pages
+        store.mark_dirty(0x400000)
+        assert store.clean_copy(0x401000) == 1
+
+    def test_misaligned_registration_rejected(self):
+        store = CleanPageStore()
+        with pytest.raises(MemoryFaultError):
+            store.register_region(0x400002, [1])
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(MemoryFaultError):
+            CleanPageStore(page_bytes=6)

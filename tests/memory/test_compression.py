@@ -1,0 +1,98 @@
+"""Tests for frequent-pattern compression (the Sec. III-C alternative)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryFaultError
+from repro.memory.compression import (
+    DECTED_PAYLOAD_BITS,
+    compress_word,
+    compressed_bits,
+    decompress_word,
+    fits_stronger_code,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "word,name,bits",
+        [
+            (0x0000_0000, "zero", 3),
+            (0x0000_0007, "sign-extended-4", 7),
+            (0xFFFF_FFF9, "sign-extended-4", 7),       # -7
+            (0x0000_007F, "sign-extended-8", 11),
+            (0xFFFF_FF80, "sign-extended-8", 11),      # -128
+            (0x0000_7FFF, "sign-extended-16", 19),
+            (0xFFFF_8000, "sign-extended-16", 19),     # -32768
+            (0x1234_0000, "halfword-low-zero", 19),
+            (0x0042_FFB0, "two-sign-extended-halves", 19),
+            (0xABAB_ABAB, "repeated-byte", 11),
+            (0x1234_5678, "uncompressed", 35),
+        ],
+    )
+    def test_known_classes(self, word, name, bits):
+        compressed = compress_word(word)
+        assert compressed.pattern.name == name
+        assert compressed.total_bits == bits
+        assert compressed_bits(word) == bits
+
+    def test_smallest_class_wins(self):
+        # 0 also matches repeated-byte and sign-extended classes; the
+        # zero class (smallest) must win.
+        assert compress_word(0).pattern.name == "zero"
+        # 0xFFFFFFFF matches repeated-byte AND sign-extended-4; 4 < 8.
+        assert compress_word(0xFFFF_FFFF).pattern.name == "sign-extended-4"
+
+    def test_range_checked(self):
+        with pytest.raises(MemoryFaultError):
+            compress_word(1 << 32)
+
+
+class TestLosslessness:
+    @pytest.mark.parametrize(
+        "word",
+        [0, 1, 7, 0xFFFF_FFF9, 0x7F, 0xFFFF_FF80, 0x7FFF, 0xFFFF_8000,
+         0x1234_0000, 0x0042_FFB0, 0xABAB_ABAB, 0x1234_5678, 0xFFFF_FFFF],
+    )
+    def test_roundtrip_examples(self, word):
+        assert decompress_word(compress_word(word)) == word
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_roundtrip_property(self, word):
+        assert decompress_word(compress_word(word)) == word
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_size_bounds(self, word):
+        bits = compressed_bits(word)
+        assert 3 <= bits <= 35
+        # Compression never loses: at worst 3 bits of prefix overhead.
+
+
+class TestStrongerCodeUpgrade:
+    def test_budget_constant_matches_footprint(self):
+        # (39, 26): 13 check bits of a shortened DECTED code + 26
+        # payload bits = the SECDED footprint.
+        assert DECTED_PAYLOAD_BITS == 26
+
+    def test_small_values_qualify(self):
+        assert fits_stronger_code(0)
+        assert fits_stronger_code(42)
+        assert fits_stronger_code(0xFFFF_FFFF)
+        assert fits_stronger_code(0x1234_0000)
+
+    def test_dense_values_do_not(self):
+        assert not fits_stronger_code(0x1234_5678)
+        assert not fits_stronger_code(0x8FBF_0018)  # a typical lw
+
+    def test_upgrade_is_real(self):
+        """The claimed (39, 26) DECTED code actually exists: build it
+        and verify distance 6 within the 39-bit footprint."""
+        from repro.ecc.bch import BCHCode
+
+        code = BCHCode(m=6, t=2, k=26, extended=True)
+        assert code.n == 39
+        assert code.k == 26
+        assert code.verify_minimum_distance(6)

@@ -1,0 +1,111 @@
+"""Tests for the live memory context provider."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import SwdEcc, RecoveryPipeline
+from repro.core.sideinfo import MemoryKind
+from repro.errors import MemoryFaultError
+from repro.memory.context import MemoryContextProvider, TextRegion
+from repro.memory.faults import FaultInjector
+from repro.memory.model import EccMemory
+from repro.memory.policy import HeuristicPolicy
+from repro.program.stats import FrequencyTable
+
+
+@pytest.fixture()
+def memory(code):
+    memory = EccMemory(code)
+    # Text at 0x400000, data line at 0x10010000.
+    for index in range(16):
+        memory.write(0x40_0000 + 4 * index, 0x8FBF0018)
+    for index, value in enumerate((100, 110, 0, 120, 95, 0xDEAD, 105, 99,
+                                   101, 102, 103, 104, 105, 106, 107, 108)):
+        memory.write(0x1001_0000 + 4 * index, value)
+    return memory
+
+
+class TestTextRegion:
+    def test_containment(self):
+        region = TextRegion(base_address=0x400000, size_bytes=64)
+        assert region.contains(0x400000)
+        assert region.contains(0x40003C)
+        assert not region.contains(0x400040)
+        assert not region.contains(0x3FFFFC)
+
+
+class TestContextProvider:
+    def test_instruction_context_inside_text(self, memory):
+        table = FrequencyTable.from_counts("t", {"lw": 1})
+        provider = MemoryContextProvider(memory)
+        provider.register_text_region(
+            TextRegion(0x400000, 64, frequency_table=table)
+        )
+        context = provider(0x400008)
+        assert context.kind is MemoryKind.INSTRUCTION
+        assert context.frequency_table is table
+        assert context.address == 0x400008
+
+    def test_data_context_outside_text(self, memory):
+        provider = MemoryContextProvider(
+            memory, pointer_range=(0x1000_0000, 0x1100_0000), value_bound=1 << 20
+        )
+        context = provider(0x1001_0004)
+        assert context.kind is MemoryKind.DATA
+        assert context.pointer_range == (0x1000_0000, 0x1100_0000)
+        assert context.value_bound == 1 << 20
+
+    def test_neighborhood_is_the_rest_of_the_line(self, memory):
+        provider = MemoryContextProvider(memory, line_bytes=32)
+        context = provider(0x1001_0004)
+        # Line 0x10010000..0x1001001f holds words 0..7; the victim
+        # (index 1, value 110) is excluded.
+        assert 110 not in context.neighborhood
+        assert set(context.neighborhood) == {100, 0, 120, 95, 0xDEAD, 105, 99}
+
+    def test_corrupted_neighbours_excluded(self, memory):
+        provider = MemoryContextProvider(memory, line_bytes=32)
+        FaultInjector(memory).inject_at(0x1001_0008, [0, 5])  # a DUE neighbour
+        context = provider(0x1001_0004)
+        assert 0 not in context.neighborhood or True  # value 0 was at idx 2
+        # The corrupted word (index 2, value 0) must be gone.
+        assert len(context.neighborhood) == 6
+
+    def test_unmapped_neighbours_skipped(self, memory):
+        provider = MemoryContextProvider(memory, line_bytes=64)
+        # Line of the last data word extends past the mapped region.
+        context = provider(0x1001_0030)
+        assert all(isinstance(v, int) for v in context.neighborhood)
+
+    def test_line_size_validated(self, memory):
+        with pytest.raises(MemoryFaultError):
+            MemoryContextProvider(memory, line_bytes=6)
+
+
+class TestEndToEndWithPolicy:
+    def test_data_due_recovers_from_line_similarity(self, code):
+        """A corrupted counter in a line of similar counters recovers
+        via the neighbourhood context, end to end through the policy."""
+        from repro.core.filters import IntegerMagnitudeFilter
+        from repro.core.rankers import MagnitudeSimilarityRanker
+
+        engine = SwdEcc(
+            code,
+            filters=(IntegerMagnitudeFilter(),),
+            ranker=MagnitudeSimilarityRanker(),
+            rng=random.Random(0),
+        )
+        pipeline = RecoveryPipeline(engine)
+        memory = EccMemory(code)
+        provider = MemoryContextProvider(memory, line_bytes=32, value_bound=4096)
+        memory.set_policy(HeuristicPolicy(pipeline, provider))
+        values = (100, 110, 311, 120, 95, 130, 105, 99)
+        for index, value in enumerate(values):
+            memory.write(0x2000 + 4 * index, value)
+        FaultInjector(memory).inject_at(0x2008, [3, 20])
+        result = memory.read(0x2008)
+        assert result.recovery is not None
+        assert result.word == 311

@@ -1,0 +1,131 @@
+"""Tests for the hybrid compressed-DECTED / SECDED memory."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.code import DecodeStatus
+from repro.errors import MemoryFaultError, UncorrectableError
+from repro.memory.faults import FaultInjector
+from repro.memory.hybrid import HybridEccMemory, dected_39_26
+
+
+@pytest.fixture()
+def memory(code):
+    return HybridEccMemory(code)
+
+
+class TestUpgradeCode:
+    def test_parameters(self):
+        dected = dected_39_26()
+        assert (dected.n, dected.k) == (39, 26)
+        assert dected.verify_minimum_distance(6)
+
+
+class TestFormatSelection:
+    def test_compressible_words_take_dected(self, memory):
+        memory.write(0x1000, 0)            # zero
+        memory.write(0x1004, 42)           # small int
+        memory.write(0x1008, 0xFFFF_FFF0)  # small negative
+        for address in (0x1000, 0x1004, 0x1008):
+            assert memory.format_of(address) == "dected"
+        assert memory.hybrid_stats.compressed_writes == 3
+
+    def test_dense_words_keep_secded(self, memory):
+        memory.write(0x1000, 0x8FBF_0018)  # a typical instruction
+        memory.write(0x1004, 0x1234_5678)
+        for address in (0x1000, 0x1004):
+            assert memory.format_of(address) == "secded"
+        assert memory.hybrid_stats.dense_writes == 2
+
+    def test_overwrite_can_change_format(self, memory):
+        memory.write(0x1000, 42)
+        assert memory.format_of(0x1000) == "dected"
+        memory.write(0x1000, 0x12345678)
+        assert memory.format_of(0x1000) == "secded"
+
+    def test_format_of_unmapped(self, memory):
+        with pytest.raises(MemoryFaultError):
+            memory.format_of(0x2000)
+
+
+class TestRoundtrip:
+    @given(st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=120, deadline=None)
+    def test_any_word_roundtrips(self, word):
+        memory = HybridEccMemory()
+        memory.write(0x1000, word)
+        result = memory.read(0x1000)
+        assert result.status is DecodeStatus.OK
+        assert result.word == word
+
+
+class TestErrorBehaviour:
+    def test_double_bit_error_on_compressed_word_is_corrected(self, memory):
+        """The headline of the hybrid design: 2-bit errors on
+        compressed words are no longer DUEs."""
+        memory.write(0x1000, 311)
+        FaultInjector(memory).inject_at(0x1000, [0, 20])
+        result = memory.read(0x1000)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.word == 311
+        assert memory.hybrid_stats.dected_corrections == 1
+        assert memory.stats.detected_uncorrectable == 0
+        # In-line scrub: clean on the next read.
+        assert memory.read(0x1000).status is DecodeStatus.OK
+
+    def test_double_bit_error_on_dense_word_is_still_a_due(self, memory):
+        memory.write(0x1000, 0x12345678)
+        FaultInjector(memory).inject_at(0x1000, [0, 20])
+        with pytest.raises(UncorrectableError):  # default crash policy
+            memory.read(0x1000)
+
+    def test_triple_error_on_compressed_word_reaches_policy(self, memory):
+        memory.write(0x1000, 311)
+        FaultInjector(memory).inject_at(0x1000, [0, 10, 20])
+        with pytest.raises(UncorrectableError):
+            memory.read(0x1000)
+
+    def test_single_bit_errors_transparent_in_both_formats(self, memory):
+        memory.write(0x1000, 311)
+        memory.write(0x1004, 0x12345678)
+        injector = FaultInjector(memory)
+        injector.inject_at(0x1000, [7])
+        injector.inject_at(0x1004, [7])
+        assert memory.read(0x1000).word == 311
+        assert memory.read(0x1004).word == 0x12345678
+        assert memory.stats.corrected_errors == 2
+
+    def test_exhaustive_double_bit_on_compressed_word(self, memory):
+        """Every one of the 741 double-bit patterns on a compressed
+        word must be corrected deterministically."""
+        from repro.ecc.channel import double_bit_patterns
+
+        value = 0xFFFF_FFC0  # sign-extended-8: compressible
+        for pattern in double_bit_patterns(39):
+            memory.write(0x1000, value)
+            memory.corrupt(0x1000, pattern)
+            result = memory.read(0x1000)
+            assert result.status is DecodeStatus.CORRECTED, pattern
+            assert result.word == value
+
+
+class TestMixedWorkload:
+    def test_statistics_over_realistic_page(self, code):
+        rng = random.Random(0)
+        memory = HybridEccMemory(code)
+        values = []
+        for index in range(256):
+            if rng.random() < 0.6:
+                value = rng.randint(0, 255)         # compressible
+            else:
+                value = rng.getrandbits(32)          # probably dense
+            values.append(value)
+            memory.write(0x1000 + 4 * index, value)
+        assert 0.4 <= memory.hybrid_stats.compressed_fraction <= 0.9
+        for index, value in enumerate(values):
+            assert memory.read(0x1000 + 4 * index).word == value

@@ -1,0 +1,169 @@
+"""Tests for the ECC memory model and DUE policies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import RecoveryContext, RecoveryPipeline, SwdEcc
+from repro.ecc.code import DecodeStatus
+from repro.errors import MemoryFaultError, UncorrectableError
+from repro.memory.backing import CleanPageStore
+from repro.memory.faults import FaultInjector
+from repro.memory.model import EccMemory
+from repro.memory.policy import CrashPolicy, HeuristicPolicy, PoisonPolicy
+
+
+@pytest.fixture()
+def memory(code):
+    memory = EccMemory(code, CrashPolicy())
+    memory.write(0x1000, 0xDEADBEEF)
+    memory.write(0x1004, 0x12345678)
+    return memory
+
+
+class TestBasicOperation:
+    def test_clean_read(self, memory):
+        result = memory.read(0x1000)
+        assert result.status is DecodeStatus.OK
+        assert result.word == 0xDEADBEEF
+        assert not result.poisoned
+
+    def test_stats_counters(self, memory):
+        memory.read(0x1000)
+        memory.read(0x1004)
+        stats = memory.stats.as_dict()
+        assert stats["writes"] == 2
+        assert stats["reads"] == 2
+        assert stats["clean_reads"] == 2
+
+    def test_unmapped_read_rejected(self, memory):
+        with pytest.raises(MemoryFaultError, match="unmapped"):
+            memory.read(0x2000)
+
+    def test_misaligned_address_rejected(self, memory):
+        with pytest.raises(MemoryFaultError):
+            memory.write(0x1002, 1)
+        with pytest.raises(MemoryFaultError):
+            memory.read(0x1001)
+
+    def test_oversized_word_rejected(self, memory, code):
+        with pytest.raises(MemoryFaultError):
+            memory.write(0x1000, 1 << code.k)
+
+    def test_load_image(self, code):
+        memory = EccMemory(code)
+        memory.load_image([1, 2, 3], 0x400000)
+        assert memory.read(0x400008).word == 3
+
+    def test_single_bit_error_corrected_and_scrubbed(self, memory):
+        injector = FaultInjector(memory)
+        injector.inject_at(0x1000, [7])
+        first = memory.read(0x1000)
+        assert first.status is DecodeStatus.CORRECTED
+        assert first.word == 0xDEADBEEF
+        # The in-line writeback must leave the word clean.
+        assert memory.read(0x1000).status is DecodeStatus.OK
+        assert memory.stats.corrected_errors == 1
+
+
+class TestCrashPolicy:
+    def test_due_raises(self, memory):
+        FaultInjector(memory).inject_at(0x1000, [0, 5])
+        with pytest.raises(UncorrectableError) as excinfo:
+            memory.read(0x1000)
+        assert excinfo.value.address == 0x1000
+        assert memory.stats.detected_uncorrectable == 1
+
+
+class TestPoisonPolicy:
+    def test_due_returns_poisoned_word(self, code):
+        memory = EccMemory(code, PoisonPolicy(placeholder=0xABCD0123))
+        memory.write(0x1000, 7)
+        FaultInjector(memory).inject_at(0x1000, [3, 9])
+        result = memory.read(0x1000)
+        assert result.poisoned
+        assert result.word == 0xABCD0123
+        assert memory.stats.poisoned_reads == 1
+
+
+class TestHeuristicPolicy:
+    def test_recovers_an_instruction_due(self, code, mcf_image, mcf_table):
+        context = RecoveryContext.for_instructions(mcf_table)
+        pipeline = RecoveryPipeline(SwdEcc(code, rng=random.Random(0)))
+        memory = EccMemory(
+            code, HeuristicPolicy(pipeline, lambda address: context)
+        )
+        memory.load_image(mcf_image.words, mcf_image.base_address)
+        # Corrupt a decode field of instruction 40 (post-stub).
+        address = mcf_image.base_address + 4 * 40
+        FaultInjector(memory).inject_at(address, [0, 3])
+        result = memory.read(address)
+        assert result.status is DecodeStatus.DUE
+        assert result.recovery is not None
+        assert memory.stats.heuristic_recoveries == 1
+        # The chosen message was re-encoded: subsequent reads are clean.
+        again = memory.read(address)
+        assert again.status is DecodeStatus.OK
+        assert again.word == result.word
+
+    def test_clean_page_reload_wins_over_heuristic(self, code, mcf_image):
+        pages = CleanPageStore()
+        pages.register_region(mcf_image.base_address, mcf_image.words)
+        pipeline = RecoveryPipeline(
+            SwdEcc(code, rng=random.Random(0)), page_source=pages
+        )
+        memory = EccMemory(code, HeuristicPolicy(pipeline))
+        memory.load_image(mcf_image.words, mcf_image.base_address)
+        address = mcf_image.base_address + 4 * 10
+        FaultInjector(memory).inject_at(address, [11, 22])
+        result = memory.read(address)
+        # Page reload is exact: the word equals the original.
+        assert result.word == mcf_image.words[10]
+        assert result.recovery is None
+
+    def test_crash_when_heuristic_disabled_and_no_outs(self, code):
+        pipeline = RecoveryPipeline(
+            SwdEcc(code, rng=random.Random(0)), allow_heuristic=False
+        )
+        memory = EccMemory(code, HeuristicPolicy(pipeline))
+        memory.write(0x1000, 99)
+        FaultInjector(memory).inject_at(0x1000, [1, 2])
+        with pytest.raises(UncorrectableError):
+            memory.read(0x1000)
+
+
+class TestFaultInjector:
+    def test_targeted_injection(self, memory, code):
+        injector = FaultInjector(memory)
+        pattern = injector.inject_at(0x1000, [0, 38])
+        assert pattern.positions == (0, 38)
+        assert len(injector.injection_log) == 1
+
+    def test_random_double_bit(self, memory):
+        injector = FaultInjector(memory, rng=random.Random(5))
+        address, pattern = injector.inject_double_bit()
+        assert address in (0x1000, 0x1004)
+        assert pattern.weight == 2
+
+    def test_bsc_injection_counts_flips(self, memory):
+        injector = FaultInjector(memory, rng=random.Random(1))
+        flips = injector.inject_bsc(0.5)
+        assert flips > 0
+        assert len(injector.injection_log) >= 1
+
+    def test_bsc_zero_probability_no_flips(self, memory):
+        injector = FaultInjector(memory, rng=random.Random(1))
+        assert injector.inject_bsc(0.0) == 0
+
+    def test_empty_memory_rejected(self, code):
+        injector = FaultInjector(EccMemory(code))
+        with pytest.raises(MemoryFaultError):
+            injector.inject_double_bit()
+
+    def test_pattern_width_must_match(self, memory):
+        from repro.ecc.channel import pattern_from_positions
+
+        with pytest.raises(MemoryFaultError):
+            memory.corrupt(0x1000, pattern_from_positions((0, 1), 45))

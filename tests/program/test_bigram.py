@@ -1,0 +1,113 @@
+"""Tests for adjacent-mnemonic (bigram) statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.encoder import encode
+from repro.program.image import ProgramImage
+from repro.program.stats import BigramTable
+
+LW = encode("lw", rt=8, rs=29, imm=4)
+SW = encode("sw", rt=8, rs=29, imm=4)
+ADDU = encode("addu", rd=8, rs=9, rt=10)
+ILLEGAL = 0xFC000000
+
+
+def image_of(words, name="t"):
+    return ProgramImage.from_words(name, words, base_address=0x400000)
+
+
+class TestPairCounting:
+    def test_counts_adjacent_pairs(self):
+        table = BigramTable.from_image(image_of([LW, ADDU, SW, LW, ADDU]))
+        assert table.pair_count("lw", "addu") == 2
+        assert table.pair_count("addu", "sw") == 1
+        assert table.pair_count("sw", "lw") == 1
+        assert table.pair_count("sw", "addu") == 0
+
+    def test_illegal_words_break_the_chain(self):
+        table = BigramTable.from_image(image_of([LW, ILLEGAL, SW]))
+        assert table.pair_count("lw", "sw") == 0
+        assert sum(table.pair_counts.values()) == 0
+
+    def test_prefix_totals_consistent(self):
+        table = BigramTable.from_image(image_of([LW, ADDU, LW, SW, LW, ADDU]))
+        assert table.prefix_totals["lw"] == table.pair_count(
+            "lw", "addu"
+        ) + table.pair_count("lw", "sw")
+
+    def test_unigram_attached(self):
+        table = BigramTable.from_image(image_of([LW, LW, SW, ADDU]))
+        assert table.unigram.frequency("lw") == 0.5
+
+
+class TestConditional:
+    def test_seen_pair_dominates(self):
+        table = BigramTable.from_image(image_of([LW, ADDU] * 20))
+        # After lw, addu is (almost) certain.
+        assert table.conditional("addu", "lw") > 0.9
+        assert table.conditional("sw", "lw") < 0.05
+
+    def test_unseen_prefix_falls_back_to_unigram(self):
+        table = BigramTable.from_image(image_of([LW, ADDU, LW, ADDU]))
+        # "jr" never appears as a prefix: P(next | jr) = unigram(next).
+        assert table.conditional("lw", "jr") == pytest.approx(
+            table.unigram.frequency("lw")
+        )
+
+    def test_conditionals_sum_to_at_most_one_ish(self):
+        table = BigramTable.from_image(image_of([LW, ADDU, SW, LW, SW, ADDU]))
+        total = sum(
+            table.conditional(nxt, "lw")
+            for nxt in table.unigram.counts
+        )
+        assert total == pytest.approx(1.0, abs=0.05)
+
+    def test_smoothing_keeps_probabilities_positive(self):
+        table = BigramTable.from_image(image_of([LW, ADDU] * 5 + [SW]))
+        assert table.conditional("sw", "lw") > 0.0
+
+
+class TestBigramRanker:
+    def test_prefers_contextually_likely_candidate(self):
+        from repro.core.rankers import BigramContextRanker
+        from repro.core.sideinfo import RecoveryContext
+
+        # A program where sw always follows addu, lw never does.
+        table = BigramTable.from_image(
+            image_of([LW, ADDU, SW] * 30)
+        )
+        context = RecoveryContext.for_instructions(
+            table.unigram, bigram_table=table,
+            preceding_mnemonic="addu", following_mnemonic="lw",
+        )
+        ranker = BigramContextRanker()
+        assert ranker.score(SW, context) > ranker.score(ADDU, context)
+
+    def test_degrades_to_unigram_without_table(self):
+        from repro.core.rankers import BigramContextRanker, FrequencyRanker
+        from repro.core.sideinfo import RecoveryContext
+
+        table = BigramTable.from_image(image_of([LW, LW, SW, ADDU]))
+        context = RecoveryContext.for_instructions(table.unigram)
+        assert BigramContextRanker().score(LW, context) == FrequencyRanker().score(
+            LW, context
+        )
+
+    def test_illegal_scores_zero(self):
+        from repro.core.rankers import BigramContextRanker
+        from repro.core.sideinfo import RecoveryContext
+
+        assert BigramContextRanker().score(ILLEGAL, RecoveryContext()) == 0.0
+
+    def test_unknown_neighbours_use_unigram_forward_only(self):
+        from repro.core.rankers import BigramContextRanker
+        from repro.core.sideinfo import RecoveryContext
+
+        table = BigramTable.from_image(image_of([LW, ADDU] * 10))
+        context = RecoveryContext.for_instructions(
+            table.unigram, bigram_table=table
+        )
+        score = BigramContextRanker().score(LW, context)
+        assert score == pytest.approx(table.unigram.frequency("lw"))

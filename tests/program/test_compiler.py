@@ -1,0 +1,196 @@
+"""Tests for the MiniLang compiler, executed on the CPU simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.program.compiler import CompileError, compile_source, compile_to_assembly
+from repro.sim.cpu import Cpu
+from repro.sim.mem_iface import FlatMemory
+
+BASE = 0x400000
+
+
+def run_program(source: str, max_steps: int = 400_000):
+    program = compile_source(source, base_address=BASE)
+    memory = FlatMemory()
+    memory.load_image(program.words, BASE)
+    cpu = Cpu(memory, entry_pc=BASE, text_range=(BASE, BASE + 4 * len(program.words)))
+    return cpu.run(max_steps=max_steps)
+
+
+class TestArithmetic:
+    def test_return_value_becomes_exit_code(self):
+        assert run_program("fn main() { return 7; }").exit_code == 7
+
+    def test_implicit_return_zero(self):
+        assert run_program("fn main() { let x = 5; }").exit_code == 0
+
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("10 - 3 - 2", 5),
+            ("100 / 7", 14),
+            ("100 % 7", 2),
+            ("1 << 5", 32),
+            ("64 >> 3", 8),
+            ("12 & 10", 8),
+            ("12 | 10", 14),
+            ("12 ^ 10", 6),
+            ("-5 + 8", 3),
+            ("!0", 1),
+            ("!7", 0),
+            ("~0 & 255", 255),
+            ("3 < 5", 1),
+            ("5 <= 5", 1),
+            ("5 < 5", 0),
+            ("7 > 2", 1),
+            ("7 >= 8", 0),
+            ("4 == 4", 1),
+            ("4 != 4", 0),
+            ("1 && 2", 1),
+            ("1 && 0", 0),
+            ("0 || 3", 1),
+            ("0 || 0", 0),
+        ],
+    )
+    def test_expression_evaluation(self, expression, expected):
+        assert run_program(f"fn main() {{ return {expression}; }}").exit_code == expected
+
+    def test_negative_division_truncates_toward_zero(self):
+        assert run_program("fn main() { return (0 - 7) / 2; }").exit_code == -3
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = """
+        fn main() {
+            let x = 10;
+            if (x > 5) { return 1; } else { return 2; }
+        }
+        """
+        assert run_program(source).exit_code == 1
+
+    def test_while_loop_sum(self):
+        source = """
+        fn main() {
+            let total = 0;
+            let i = 1;
+            while (i <= 100) {
+                total = total + i;
+                i = i + 1;
+            }
+            return total;
+        }
+        """
+        assert run_program(source).exit_code == 5050
+
+    def test_nested_loops(self):
+        source = """
+        fn main() {
+            let count = 0;
+            let i = 0;
+            while (i < 5) {
+                let j = 0;
+                while (j < 4) { count = count + 1; j = j + 1; }
+                i = i + 1;
+            }
+            return count;
+        }
+        """
+        assert run_program(source).exit_code == 20
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { return fib(12); }
+        """
+        assert run_program(source).exit_code == 144
+
+    def test_four_arguments(self):
+        source = """
+        fn sum4(a, b, c, d) { return a + b + c + d; }
+        fn main() { return sum4(1, 2, 3, 4); }
+        """
+        assert run_program(source).exit_code == 10
+
+    def test_mutual_recursion(self):
+        source = """
+        fn is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        fn is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        fn main() { return is_even(10) * 10 + is_odd(7); }
+        """
+        assert run_program(source).exit_code == 11
+
+    def test_print_syscall_output(self):
+        result = run_program("fn main() { print(3); print(42); return 0; }")
+        assert result.output == (3, 42)
+
+    def test_memory_builtin_roundtrip(self):
+        source = """
+        fn main() {
+            store(268500992, 1234);
+            return load(268500992);
+        }
+        """
+        assert run_program(source).exit_code == 1234
+
+
+class TestCompileErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            compile_source("fn main() { return x; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            compile_source("fn main() { return nope(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError, match="takes"):
+            compile_source("fn f(a) { return a; } fn main() { return f(); }")
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError, match="main"):
+            compile_source("fn f() { return 1; }")
+
+    def test_duplicate_functions(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            compile_source("fn f() { return 1; } fn f() { return 2; } fn main() { return 0; }")
+
+    def test_too_many_params(self):
+        with pytest.raises(CompileError, match="parameters"):
+            compile_source("fn f(a, b, c, d, e) { return 0; } fn main() { return 0; }")
+
+    def test_syntax_error(self):
+        with pytest.raises(CompileError, match="expected"):
+            compile_source("fn main() { return 1 }")
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            compile_source("fn main() { return `; }")
+
+    def test_empty_program(self):
+        with pytest.raises(CompileError, match="no functions"):
+            compile_source("   ")
+
+
+class TestGeneratedAssembly:
+    def test_assembly_is_textual_mips(self):
+        assembly = compile_to_assembly("fn main() { return 1; }")
+        assert "jal main" in assembly
+        assert "jr $ra" in assembly
+        assert "syscall" in assembly
+
+    def test_comments_supported(self):
+        source = """
+        // leading comment
+        fn main() { return 3; } // trailing
+        """
+        assert run_program(source).exit_code == 3

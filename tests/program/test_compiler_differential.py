@@ -1,0 +1,125 @@
+"""Differential fuzzing of the MiniLang compiler.
+
+Hypothesis builds random arithmetic expressions as a tree, renders
+each to MiniLang source, evaluates a Python reference model with C
+semantics (32-bit wrap, truncating division, arithmetic right shift),
+compiles the source to MIPS, runs it on the CPU simulator, and compares
+the results.  Every layer is exercised end to end: parser, code
+generator, assembler, encoder, decoder, and CPU arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.program.compiler import compile_source
+from repro.sim.cpu import Cpu
+from repro.sim.mem_iface import FlatMemory
+
+BASE = 0x400000
+MASK = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= MASK
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+@dataclass(frozen=True)
+class _Expr:
+    """A rendered expression plus its C-semantics value."""
+
+    text: str
+    value: int  # signed 32-bit
+
+
+def _leaf(value: int) -> _Expr:
+    return _Expr(text=str(value), value=value)
+
+
+def _binary(op: str, left: _Expr, right: _Expr) -> _Expr | None:
+    a, b = left.value, right.value
+    if op == "+":
+        value = _signed(a + b)
+    elif op == "-":
+        value = _signed(a - b)
+    elif op == "*":
+        value = _signed(a * b)
+    elif op == "/":
+        if b == 0:
+            return None
+        value = _signed(int(a / b))  # C: truncate toward zero
+    elif op == "%":
+        if b == 0:
+            return None
+        quotient = int(a / b)
+        value = _signed(a - quotient * b)
+    elif op == "&":
+        value = _signed(a & b)
+    elif op == "|":
+        value = _signed(a | b)
+    elif op == "^":
+        value = _signed(a ^ b)
+    elif op == "<<":
+        if not 0 <= b <= 31:
+            return None
+        value = _signed((a & MASK) << b)
+    elif op == ">>":
+        if not 0 <= b <= 31:
+            return None
+        value = _signed(a >> b)  # arithmetic shift on signed a
+    elif op == "<":
+        value = 1 if a < b else 0
+    elif op == "<=":
+        value = 1 if a <= b else 0
+    elif op == ">":
+        value = 1 if a > b else 0
+    elif op == ">=":
+        value = 1 if a >= b else 0
+    elif op == "==":
+        value = 1 if a == b else 0
+    elif op == "!=":
+        value = 1 if a != b else 0
+    else:  # pragma: no cover
+        raise AssertionError(op)
+    return _Expr(text=f"({left.text} {op} {right.text})", value=value)
+
+
+_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+        "<", "<=", ">", ">=", "==", "!=")
+
+
+@st.composite
+def expressions(draw, depth: int = 0) -> _Expr:
+    if depth >= 4 or draw(st.booleans()):
+        return _leaf(draw(st.integers(-1000, 1000)))
+    op = draw(st.sampled_from(_OPS))
+    left = draw(expressions(depth + 1))
+    right = draw(expressions(depth + 1))
+    result = _binary(op, left, right)
+    if result is None:
+        # Division by zero / invalid shift: fall back to a safe variant.
+        return _binary("+", left, right)  # never None
+    return result
+
+
+class TestCompilerDifferential:
+    @given(expressions())
+    @settings(max_examples=120, deadline=None)
+    def test_expression_value_matches_reference(self, expr: _Expr):
+        # Exit codes are clipped into print output; print the value and
+        # compare the syscall trace instead (print handles full range).
+        source = f"fn main() {{ print({expr.text}); return 0; }}"
+        program = compile_source(source, base_address=BASE)
+        memory = FlatMemory()
+        memory.load_image(program.words, BASE)
+        cpu = Cpu(
+            memory, entry_pc=BASE,
+            text_range=(BASE, BASE + 4 * len(program.words)),
+        )
+        result = cpu.run(max_steps=100_000)
+        assert result.symptom is None, (expr.text, result.symptom)
+        assert result.output == (expr.value,), expr.text

@@ -1,0 +1,102 @@
+"""Tests for the minimal ELF32 reader/writer."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import ElfFormatError
+from repro.program.elf import read_elf, write_elf
+from repro.program.image import ProgramImage
+
+
+@pytest.fixture()
+def image():
+    return ProgramImage.from_words(
+        "sample", [0x8FBF0018, 0x03E00008, 0], base_address=0x400000
+    )
+
+
+class TestRoundtrip:
+    def test_words_and_base_preserved(self, image):
+        data = write_elf(image)
+        back = read_elf(data, name="sample")
+        assert back.words == image.words
+        assert back.base_address == image.base_address
+        assert back.name == "sample"
+
+    def test_header_identifies_mips_big_endian(self, image):
+        data = write_elf(image)
+        assert data[:4] == b"\x7fELF"
+        assert data[4] == 1  # ELFCLASS32
+        assert data[5] == 2  # big-endian
+        machine = struct.unpack_from(">H", data, 18)[0]
+        assert machine == 8  # EM_MIPS
+
+    def test_text_payload_is_big_endian(self, image):
+        data = write_elf(image)
+        # ELF header is 52 bytes; .text follows immediately.
+        first_word = struct.unpack_from(">I", data, 52)[0]
+        assert first_word == image.words[0]
+
+
+class TestMalformedInputs:
+    def test_truncated_file(self):
+        with pytest.raises(ElfFormatError, match="smaller than an ELF header"):
+            read_elf(b"\x7fELF")
+
+    def test_bad_magic(self, image):
+        data = bytearray(write_elf(image))
+        data[0] = 0x00
+        with pytest.raises(ElfFormatError, match="magic"):
+            read_elf(bytes(data))
+
+    def test_wrong_class(self, image):
+        data = bytearray(write_elf(image))
+        data[4] = 2  # ELFCLASS64
+        with pytest.raises(ElfFormatError, match="32-bit"):
+            read_elf(bytes(data))
+
+    def test_wrong_endianness(self, image):
+        data = bytearray(write_elf(image))
+        data[5] = 1  # little-endian
+        with pytest.raises(ElfFormatError, match="big-endian"):
+            read_elf(bytes(data))
+
+    def test_wrong_machine(self, image):
+        data = bytearray(write_elf(image))
+        struct.pack_into(">H", data, 18, 3)  # EM_386
+        with pytest.raises(ElfFormatError, match="MIPS"):
+            read_elf(bytes(data))
+
+    def test_section_table_out_of_bounds(self, image):
+        data = bytearray(write_elf(image))
+        struct.pack_into(">I", data, 32, len(data) + 100)  # e_shoff
+        with pytest.raises(ElfFormatError, match="section header table"):
+            read_elf(bytes(data))
+
+    def test_misaligned_text_size(self, image):
+        data = bytearray(write_elf(image))
+        # Corrupt the .text section header's sh_size (section 1).
+        e_shoff = struct.unpack_from(">I", data, 32)[0]
+        text_shdr_offset = e_shoff + 40  # one 40-byte header in
+        struct.pack_into(">I", data, text_shdr_offset + 20, 6)  # sh_size
+        with pytest.raises(ElfFormatError, match="multiple of 4"):
+            read_elf(bytes(data))
+
+    def test_missing_text_section(self, image):
+        data = bytearray(write_elf(image))
+        # Rename ".text" in the string table to ".tex\0".
+        index = bytes(data).find(b".text\x00")
+        data[index : index + 6] = b".tex\x00\x00"
+        with pytest.raises(ElfFormatError, match="no .text"):
+            read_elf(bytes(data))
+
+
+class TestInteropWithSynthesizedImages:
+    def test_large_synthetic_roundtrip(self):
+        from repro.program.synth import synthesize_benchmark
+
+        image = synthesize_benchmark("perlbench", length=1024)
+        assert read_elf(write_elf(image), name=image.name).words == image.words

@@ -1,0 +1,136 @@
+"""Tests for ProgramImage and mnemonic statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProgramImageError
+from repro.isa.encoder import encode
+from repro.program.image import ProgramImage
+from repro.program.stats import FrequencyTable, mnemonic_histogram, power_law_fit
+
+
+def _image(words, name="test", base=0x400000):
+    return ProgramImage.from_words(name, words, base_address=base)
+
+
+class TestProgramImage:
+    def test_basic_properties(self):
+        image = _image([0, encode("jr", rs=31)])
+        assert len(image) == 2
+        assert list(image) == list(image.words)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProgramImageError):
+            _image([])
+
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(ProgramImageError):
+            _image([0], base=0x400002)
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(ProgramImageError):
+            _image([1 << 32])
+
+    def test_addressing(self):
+        image = _image([1, 2, 3])
+        assert image.address_of(0) == 0x400000
+        assert image.address_of(2) == 0x400008
+        assert image.word_at_address(0x400004) == 2
+
+    def test_addressing_bounds(self):
+        image = _image([1, 2])
+        with pytest.raises(ProgramImageError):
+            image.address_of(2)
+        with pytest.raises(ProgramImageError):
+            image.word_at_address(0x400001)
+        with pytest.raises(ProgramImageError):
+            image.word_at_address(0x400010)
+
+    def test_first_window(self):
+        image = _image([1, 2, 3, 4])
+        window = image.first(2)
+        assert window.words == (1, 2)
+        assert window.base_address == image.base_address
+        with pytest.raises(ProgramImageError):
+            image.first(0)
+
+    def test_instruction_at(self):
+        image = _image([encode("lw", rt=8, rs=29, imm=4), 0xFC000000])
+        assert image.instruction_at(0).mnemonic == "lw"
+        assert image.instruction_at(1) is None
+
+    def test_legal_fraction(self):
+        image = _image([0, 0xFC000000])
+        assert image.legal_fraction() == 0.5
+
+    def test_disassembly_contains_addresses(self):
+        image = _image([0])
+        assert "00400000" in image.disassembly()
+
+
+class TestHistogramAndTable:
+    def test_histogram_counts_mnemonics(self):
+        words = [
+            encode("lw", rt=8, rs=29, imm=0),
+            encode("lw", rt=9, rs=29, imm=4),
+            encode("sw", rt=8, rs=29, imm=8),
+            0xFC000000,  # illegal: skipped
+        ]
+        histogram = mnemonic_histogram(words)
+        assert histogram == {"lw": 2, "sw": 1}
+
+    def test_table_frequencies(self):
+        table = FrequencyTable.from_counts("t", {"lw": 6, "sw": 3, "jr": 1})
+        assert table.frequency("lw") == 0.6
+        assert table.frequency("missing") == 0.0
+        assert table.count("sw") == 3
+        assert table.total == 10
+
+    def test_ranked_deterministic_ties(self):
+        table = FrequencyTable.from_counts("t", {"b": 1, "a": 1, "c": 2})
+        assert table.ranked() == [("c", 0.5), ("a", 0.25), ("b", 0.25)]
+
+    def test_most_common_limit(self):
+        table = FrequencyTable.from_counts("t", {"a": 3, "b": 2, "c": 1})
+        assert [m for m, _ in table.most_common(2)] == ["a", "b"]
+
+    def test_from_image(self):
+        words = [encode("lw", rt=8, rs=29, imm=0)] * 3
+        table = FrequencyTable.from_image(_image(words))
+        assert table.frequency("lw") == 1.0
+        assert table.source == "test"
+
+    def test_from_image_with_no_legal_words_rejected(self):
+        with pytest.raises(ProgramImageError):
+            FrequencyTable.from_image(_image([0xFC000000]))
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ProgramImageError):
+            FrequencyTable.from_counts("t", {})
+
+    def test_merged_tables_pool_counts(self):
+        a = FrequencyTable.from_counts("a", {"lw": 2})
+        b = FrequencyTable.from_counts("b", {"lw": 1, "sw": 1})
+        merged = a.merged_with(b)
+        assert merged.count("lw") == 3
+        assert merged.total == 4
+
+
+class TestPowerLawFit:
+    def test_perfect_power_law(self):
+        counts = {f"op{rank}": round(100000 / rank**2) for rank in range(1, 11)}
+        table = FrequencyTable.from_counts("zipf", counts)
+        alpha, r_squared = power_law_fit(table)
+        assert alpha == pytest.approx(-2.0, abs=0.05)
+        assert r_squared > 0.99
+
+    def test_uniform_distribution_is_flat(self):
+        table = FrequencyTable.from_counts("flat", {f"op{i}": 5 for i in range(8)})
+        alpha, _ = power_law_fit(table)
+        assert alpha == pytest.approx(0.0, abs=1e-9)
+
+    def test_too_few_mnemonics_rejected(self):
+        table = FrequencyTable.from_counts("tiny", {"a": 1, "b": 1})
+        with pytest.raises(ProgramImageError):
+            power_law_fit(table)

@@ -1,0 +1,128 @@
+"""Tests for benchmark profiles and the synthetic workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.decoder import try_decode
+from repro.program.profiles import (
+    BENCHMARK_NAMES,
+    BenchmarkProfile,
+    SPEC_PROFILES,
+    profile_for,
+)
+from repro.program.stats import FrequencyTable, power_law_fit
+from repro.program.synth import SyntheticProgramGenerator, synthesize_benchmark
+from repro.errors import ProgramImageError
+
+
+class TestProfiles:
+    def test_the_five_paper_benchmarks_exist(self):
+        assert set(BENCHMARK_NAMES) == {
+            "bzip2", "h264ref", "mcf", "perlbench", "povray",
+        }
+
+    def test_profile_lookup(self):
+        assert profile_for("mcf").name == "mcf"
+        with pytest.raises(KeyError, match="available"):
+            profile_for("gcc")
+
+    def test_normalization(self):
+        for profile in SPEC_PROFILES.values():
+            assert sum(profile.normalized().values()) == pytest.approx(1.0)
+
+    def test_lw_dominates_every_profile(self):
+        # Fig. 7: lw is ~20% of every benchmark.
+        for profile in SPEC_PROFILES.values():
+            mix = profile.normalized()
+            assert mix["lw"] == max(mix.values())
+            assert 0.15 <= mix["lw"] <= 0.30
+
+    def test_povray_is_the_floating_point_benchmark(self):
+        assert "mul.d" in SPEC_PROFILES["povray"].mix
+        for name in ("bzip2", "mcf", "perlbench", "h264ref"):
+            assert "mul.d" not in SPEC_PROFILES[name].mix
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError, match="unknown mnemonics"):
+            BenchmarkProfile(name="bad", description="", mix={"frob": 1.0})
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="bad", description="", mix={"lw": 0.0})
+
+
+class TestSynthesizer:
+    def test_deterministic_for_fixed_seed(self):
+        a = synthesize_benchmark("bzip2", length=256, seed=7)
+        b = synthesize_benchmark("bzip2", length=256, seed=7)
+        assert a.words == b.words
+
+    def test_different_seeds_differ(self):
+        a = synthesize_benchmark("bzip2", length=256, seed=1)
+        b = synthesize_benchmark("bzip2", length=256, seed=2)
+        assert a.words != b.words
+
+    def test_different_benchmarks_differ(self):
+        a = synthesize_benchmark("bzip2", length=256, seed=1)
+        b = synthesize_benchmark("mcf", length=256, seed=1)
+        assert a.words != b.words
+
+    def test_every_word_is_legal(self):
+        image = synthesize_benchmark("povray", length=1024)
+        assert all(try_decode(word) is not None for word in image.words)
+
+    def test_requested_length_honoured(self):
+        assert len(synthesize_benchmark("mcf", length=500)) == 500
+
+    def test_minimum_length_enforced(self):
+        generator = SyntheticProgramGenerator(profile_for("mcf"))
+        with pytest.raises(ProgramImageError):
+            generator.generate(10)
+
+    def test_crt0_stub_prefix(self):
+        # The image must open like startup code: $gp/$sp setup.
+        image = synthesize_benchmark("mcf", length=256)
+        first = image.instruction_at(0)
+        assert first.mnemonic == "lui" and first.rt == 28  # $gp
+
+    def test_mix_converges_to_profile(self):
+        image = synthesize_benchmark("mcf", length=8192)
+        table = FrequencyTable.from_image(image)
+        expected = profile_for("mcf").normalized()
+        # The head of the distribution should track the profile within
+        # a few percentage points (the crt0 stub adds a small bias).
+        for mnemonic in ("lw", "addiu", "sw"):
+            assert table.frequency(mnemonic) == pytest.approx(
+                expected[mnemonic], abs=0.04
+            )
+
+    def test_power_law_shape(self):
+        image = synthesize_benchmark("perlbench", length=8192)
+        alpha, r_squared = power_law_fit(FrequencyTable.from_image(image))
+        assert alpha < -1.0
+        assert r_squared > 0.6
+
+    def test_branch_targets_inside_image(self):
+        image = synthesize_benchmark("h264ref", length=512)
+        for index in range(len(image)):
+            instruction = image.instruction_at(index)
+            if instruction.style.name in ("BRANCH_TWO_REG", "BRANCH_ONE_REG"):
+                if instruction.opcode in (0x12, 0x13):
+                    continue  # coprocessor branches: no target realism
+                target_index = index + 1 + instruction.signed_immediate
+                assert 0 <= target_index <= len(image)
+
+    def test_jump_targets_inside_image(self):
+        image = synthesize_benchmark("h264ref", length=512)
+        low = image.base_address >> 2
+        high = (image.base_address + 4 * len(image)) >> 2
+        for index in range(len(image)):
+            instruction = image.instruction_at(index)
+            if instruction.style.name == "JUMP_TARGET":
+                assert low <= instruction.target < high
+
+    def test_custom_name_override(self):
+        generator = SyntheticProgramGenerator(profile_for("mcf"), seed=3)
+        image = generator.generate(64, name="custom")
+        assert image.name == "custom"

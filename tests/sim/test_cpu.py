@@ -1,0 +1,431 @@
+"""Tests for the functional MIPS CPU simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.sim.cpu import Cpu
+from repro.sim.mem_iface import FlatMemory
+from repro.sim.symptoms import Symptom
+
+BASE = 0x400000
+
+
+def run_asm(source: str, max_steps: int = 100_000, extra_words=None):
+    program = assemble(source, base_address=BASE)
+    memory = FlatMemory()
+    memory.load_image(program.words, BASE)
+    if extra_words:
+        for address, value in extra_words.items():
+            memory.write_word(address, value)
+    cpu = Cpu(
+        memory,
+        entry_pc=BASE,
+        text_range=(BASE, BASE + 4 * len(program.words)),
+    )
+    return cpu.run(max_steps=max_steps)
+
+
+def exit_with(value_setup: str) -> str:
+    return f"""
+    {value_setup}
+        move $a0, $v1
+        li $v0, 17
+        syscall
+    """
+
+
+class TestArithmeticOps:
+    @pytest.mark.parametrize(
+        "setup,expected",
+        [
+            ("li $t0, 7\nli $t1, 5\naddu $v1, $t0, $t1", 12),
+            ("li $t0, 7\nli $t1, 5\nsubu $v1, $t0, $t1", 2),
+            ("li $t0, 12\nli $t1, 10\nand $v1, $t0, $t1", 8),
+            ("li $t0, 12\nli $t1, 10\nor $v1, $t0, $t1", 14),
+            ("li $t0, 12\nli $t1, 10\nxor $v1, $t0, $t1", 6),
+            ("li $t0, 3\nsll $v1, $t0, 4", 48),
+            ("li $t0, 64\nsrl $v1, $t0, 3", 8),
+            ("li $t0, -8\nsra $v1, $t0, 2", -2),
+            ("li $t0, 3\nli $t1, 4\nsllv $v1, $t0, $t1", 48),
+            ("li $t0, 2\nli $t1, 9\nslt $v1, $t0, $t1", 1),
+            ("li $t0, -1\nli $t1, 1\nsltu $v1, $t0, $t1", 0),
+            ("li $t0, -1\nli $t1, 1\nslt $v1, $t0, $t1", 1),
+            ("li $t0, 5\nslti $v1, $t0, 6", 1),
+            ("lui $v1, 0x1234\nori $v1, $v1, 0x5678", 0x12345678),
+            ("li $t0, 0\nnor $v1, $t0, $t0", -1),
+        ],
+    )
+    def test_op(self, setup, expected):
+        result = run_asm(exit_with(setup))
+        assert result.symptom is None
+        assert result.exit_code == expected
+
+    def test_mult_mflo_mfhi(self):
+        product = 100000 * 100000
+        low_signed = (product & 0xFFFFFFFF) - (
+            (1 << 32) if (product & 0x80000000) else 0
+        )
+        result = run_asm(exit_with(
+            "li $t0, 100000\nli $t1, 100000\nmult $t0, $t1\nmflo $v1"
+        ))
+        assert result.exit_code == low_signed
+        result_hi = run_asm(exit_with(
+            "li $t0, 100000\nli $t1, 100000\nmult $t0, $t1\nmfhi $v1"
+        ))
+        assert result_hi.exit_code == product >> 32
+
+    def test_div_quotient_and_remainder(self):
+        quotient = run_asm(exit_with("li $t0, 17\nli $t1, 5\ndiv $t0, $t1\nmflo $v1"))
+        remainder = run_asm(exit_with("li $t0, 17\nli $t1, 5\ndiv $t0, $t1\nmfhi $v1"))
+        assert quotient.exit_code == 3
+        assert remainder.exit_code == 2
+
+    def test_negative_div_truncates(self):
+        result = run_asm(exit_with("li $t0, -17\nli $t1, 5\ndiv $t0, $t1\nmflo $v1"))
+        assert result.exit_code == -3
+
+    def test_mthi_mtlo(self):
+        result = run_asm(exit_with("li $t0, 99\nmtlo $t0\nmflo $v1"))
+        assert result.exit_code == 99
+
+    def test_movz_movn(self):
+        taken = run_asm(exit_with(
+            "li $t0, 5\nli $t1, 0\nli $v1, 1\nmovz $v1, $t0, $t1"
+        ))
+        assert taken.exit_code == 5
+        not_taken = run_asm(exit_with(
+            "li $t0, 5\nli $t1, 0\nli $v1, 1\nmovn $v1, $t0, $t1"
+        ))
+        assert not_taken.exit_code == 1
+
+    def test_zero_register_is_immutable(self):
+        result = run_asm(exit_with("li $t0, 7\naddu $zero, $t0, $t0\nmove $v1, $zero"))
+        assert result.exit_code == 0
+
+
+class TestTrapsAndFaults:
+    def test_add_overflow_traps(self):
+        result = run_asm("lui $t0, 0x7fff\nori $t0, $t0, 0xffff\nadd $t1, $t0, $t0")
+        assert result.symptom is Symptom.OVERFLOW_TRAP
+
+    def test_addu_does_not_trap(self):
+        result = run_asm(exit_with(
+            "lui $t0, 0x7fff\nori $t0, $t0, 0xffff\naddu $v1, $t0, $t0"
+        ))
+        assert result.symptom is None
+
+    def test_division_by_zero(self):
+        result = run_asm("li $t0, 5\ndiv $t0, $zero")
+        assert result.symptom is Symptom.DIVISION_BY_ZERO
+
+    def test_teq_fires(self):
+        result = run_asm("li $t0, 3\nli $t1, 3\nteq $t0, $t1")
+        assert result.symptom is Symptom.TRAP_INSTRUCTION
+
+    def test_teq_does_not_fire(self):
+        result = run_asm(exit_with("li $t0, 3\nli $t1, 4\nteq $t0, $t1\nli $v1, 9"))
+        assert result.exit_code == 9
+
+    def test_break_symptom(self):
+        assert run_asm("break").symptom is Symptom.BREAKPOINT
+
+    def test_illegal_instruction(self):
+        assert run_asm(".word 0xfc000000").symptom is Symptom.ILLEGAL_INSTRUCTION
+
+    def test_unsupported_coprocessor(self):
+        assert run_asm("mfc0 $t0, $12").symptom is Symptom.UNSUPPORTED_INSTRUCTION
+
+    def test_unaligned_load(self):
+        result = run_asm("li $t0, 0x1001\nlw $t1, 0($t0)")
+        assert result.symptom is Symptom.UNALIGNED_ACCESS
+
+    def test_unmapped_load(self):
+        result = run_asm("lui $t0, 0x2000\nlw $t1, 0($t0)")
+        assert result.symptom is Symptom.UNMAPPED_MEMORY
+
+    def test_runaway_pc(self):
+        # Fall off the end of the text segment.
+        assert run_asm("nop").symptom is Symptom.OUT_OF_RANGE_PC
+
+    def test_watchdog(self):
+        result = run_asm("spin: b spin\nnop", max_steps=100)
+        assert result.symptom is Symptom.WATCHDOG_TIMEOUT
+        assert result.steps == 100
+
+    def test_bad_syscall(self):
+        assert run_asm("li $v0, 999\nsyscall").symptom is Symptom.BAD_SYSCALL
+
+
+class TestMemoryOps:
+    def test_word_store_load(self):
+        result = run_asm(exit_with(
+            "lui $t0, 0x1000\nli $t1, 1234\nsw $t1, 8($t0)\nlw $v1, 8($t0)"
+        ))
+        assert result.exit_code == 1234
+
+    def test_byte_granularity_big_endian(self):
+        # Store 0x11223344, then lb of byte 0 must read 0x11 (MSB).
+        result = run_asm(exit_with(
+            "lui $t0, 0x1000\n"
+            "li $t1, 0x11223344\n"
+            "sw $t1, 0($t0)\n"
+            "lbu $v1, 0($t0)"
+        ))
+        assert result.exit_code == 0x11
+
+    def test_lb_sign_extends(self):
+        result = run_asm(exit_with(
+            "lui $t0, 0x1000\n"
+            "li $t1, 0xff000000\n"
+            "sw $t1, 0($t0)\n"
+            "lb $v1, 0($t0)"
+        ))
+        assert result.exit_code == -1
+
+    def test_sb_to_unmapped_word_is_a_fault(self):
+        # Sub-word stores read-modify-write the containing word, so a
+        # byte store to never-written memory is an unmapped access.
+        result = run_asm("lui $t0, 0x1000\nli $t1, 0xff\nsb $t1, 0($t0)")
+        assert result.symptom is Symptom.UNMAPPED_MEMORY
+
+    def test_sb_modifies_single_byte(self):
+        result = run_asm(exit_with(
+            "lui $t0, 0x1000\n"
+            "li $t1, 0x11223344\n"
+            "sw $t1, 0($t0)\n"
+            "li $t2, 0xaa\n"
+            "sb $t2, 1($t0)\n"
+            "lw $v1, 0($t0)"
+        ))
+        assert result.exit_code == 0x11AA3344
+
+    def test_halfword_store_load(self):
+        result = run_asm(exit_with(
+            "lui $t0, 0x1000\nli $t1, 0xbeef\nsw $zero, 0($t0)\n"
+            "sh $t1, 2($t0)\nlhu $v1, 2($t0)"
+        ))
+        assert result.exit_code == 0xBEEF
+
+    def test_lh_sign_extends(self):
+        result = run_asm(exit_with(
+            "lui $t0, 0x1000\nli $t1, 0x8000\nsw $zero, 0($t0)\n"
+            "sh $t1, 0($t0)\nlh $v1, 0($t0)"
+        ))
+        assert result.exit_code == -32768
+
+    def test_unaligned_word_via_lwl_lwr(self):
+        # Classic idiom: lwl/lwr pair reads an unaligned word (BE).
+        result = run_asm(exit_with(
+            "lui $t0, 0x1000\n"
+            "li $t1, 0x11223344\n"
+            "sw $t1, 0($t0)\n"
+            "li $t1, 0x55667788\n"
+            "sw $t1, 4($t0)\n"
+            "lwl $v1, 1($t0)\n"
+            "lwr $v1, 4($t0)"
+        ))
+        assert result.exit_code == 0x22334455
+
+    def test_unaligned_word_via_swl_swr(self):
+        result = run_asm(exit_with(
+            "lui $t0, 0x1000\n"
+            "sw $zero, 0($t0)\n"
+            "sw $zero, 4($t0)\n"
+            "li $t1, 0xAABBCCDD\n"
+            "swl $t1, 1($t0)\n"
+            "swr $t1, 4($t0)\n"
+            "lw $v1, 0($t0)"
+        ))
+        assert result.exit_code == 0x00AABBCC
+
+
+class TestControlFlow:
+    def test_delay_slot_always_executes(self):
+        result = run_asm(exit_with(
+            "li $t0, 1\n"
+            "beq $t0, $t0, over\n"
+            "li $v1, 77\n"       # delay slot
+            "li $v1, 0\n"        # skipped
+            "over:\n"
+            "nop"
+        ))
+        assert result.exit_code == 77
+
+    def test_jal_links_past_delay_slot(self):
+        result = run_asm(
+            """
+                jal func
+                nop
+                move $a0, $v0
+                li $v0, 17
+                syscall
+            func:
+                li $v0, 31
+                jr $ra
+                nop
+            """
+        )
+        assert result.exit_code == 31
+
+    def test_jalr_custom_link_register(self):
+        result = run_asm(
+            """
+                la $t9, func
+                jalr $t8, $t9
+                nop
+                move $a0, $v0
+                li $v0, 17
+                syscall
+            func:
+                li $v0, 5
+                jr $t8
+                nop
+            """
+        )
+        assert result.exit_code == 5
+
+    @pytest.mark.parametrize(
+        "branch,value,taken",
+        [
+            ("blez", 0, True), ("blez", -1, True), ("blez", 1, False),
+            ("bgtz", 1, True), ("bgtz", 0, False),
+            ("bltz", -1, True), ("bltz", 0, False),
+            ("bgez", 0, True), ("bgez", -5, False),
+        ],
+    )
+    def test_single_register_branches(self, branch, value, taken):
+        result = run_asm(exit_with(
+            f"li $t0, {value}\n"
+            f"li $v1, 1\n"
+            f"{branch} $t0, over\n"
+            "nop\n"
+            "li $v1, 0\n"
+            "over:\n"
+            "nop"
+        ))
+        assert result.exit_code == (1 if taken else 0)
+
+    def test_bgezal_links(self):
+        result = run_asm(
+            """
+                li $t0, 1
+                bgezal $t0, func
+                nop
+                move $a0, $v0
+                li $v0, 17
+                syscall
+            func:
+                li $v0, 8
+                jr $ra
+                nop
+            """
+        )
+        assert result.exit_code == 8
+
+    def test_print_syscalls(self):
+        result = run_asm(
+            """
+                li $a0, 42
+                li $v0, 1
+                syscall
+                li $a0, 65
+                li $v0, 11
+                syscall
+                li $v0, 10
+                syscall
+            """
+        )
+        assert result.output == (42, "A")
+        assert result.exit_code == 0
+
+
+class TestTrapImmediates:
+    @pytest.mark.parametrize(
+        "mnemonic,value,imm,fires",
+        [
+            ("tgei", 5, 5, True), ("tgei", 4, 5, False),
+            ("tgeiu", 5, 5, True), ("tgeiu", 4, 5, False),
+            ("tlti", 4, 5, True), ("tlti", 5, 5, False),
+            ("tltiu", 4, 5, True), ("tltiu", 6, 5, False),
+            ("teqi", 5, 5, True), ("teqi", 4, 5, False),
+            ("tnei", 4, 5, True), ("tnei", 5, 5, False),
+        ],
+    )
+    def test_conditional_trap_immediates(self, mnemonic, value, imm, fires):
+        result = run_asm(exit_with(
+            f"li $t0, {value}\n"
+            f"{mnemonic} $t0, {imm}\n"
+            "li $v1, 7"
+        ))
+        if fires:
+            assert result.symptom is Symptom.TRAP_INSTRUCTION
+        else:
+            assert result.exit_code == 7
+
+    def test_signed_vs_unsigned_trap_comparison(self):
+        # -1 unsigned is huge: tgeiu fires; tgei (signed) does not.
+        fires = run_asm("li $t0, -1\ntgeiu $t0, 5")
+        assert fires.symptom is Symptom.TRAP_INSTRUCTION
+        spared = run_asm(exit_with("li $t0, -1\ntgei $t0, 5\nli $v1, 3"))
+        assert spared.exit_code == 3
+
+
+class TestUnalignedPairsAllOffsets:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_lwl_lwr_reconstruct_at_every_offset(self, k):
+        """The classic unaligned-load idiom must reconstruct the word
+        at every byte offset (BE semantics)."""
+        expected = (0x11223344_55667788 >> ((4 - k) * 8)) & 0xFFFFFFFF
+        result = run_asm(exit_with(
+            "lui $t0, 0x1000\n"
+            "li $t1, 0x11223344\n"
+            "sw $t1, 0($t0)\n"
+            "li $t1, 0x55667788\n"
+            "sw $t1, 4($t0)\n"
+            f"lwl $v1, {k}($t0)\n"
+            f"lwr $v1, {k + 3}($t0)"
+        ))
+        signed_expected = expected - (1 << 32) if expected & 0x80000000 else expected
+        assert result.exit_code == signed_expected, k
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_swl_swr_store_at_every_offset(self, k):
+        value = 0xAABBCCDD
+        result = run_asm(exit_with(
+            "lui $t0, 0x1000\n"
+            "sw $zero, 0($t0)\n"
+            "sw $zero, 4($t0)\n"
+            f"li $t1, 0x{value:08x}\n"
+            f"swl $t1, {k}($t0)\n"
+            f"swr $t1, {k + 3}($t0)\n"
+            "lw $v1, 0($t0)\n"
+            "lw $a1, 4($t0)\n"
+            "or $v1, $v1, $a1"  # both words, combined: value placed at k
+        ))
+        combined = value << ((4 - k) * 8)
+        expected = ((combined >> 32) | combined) & 0xFFFFFFFF
+        signed = expected - (1 << 32) if expected & 0x80000000 else expected
+        assert result.exit_code == signed, k
+
+
+class TestMiscControl:
+    def test_sync_is_a_nop(self):
+        result = run_asm(exit_with("li $v1, 5\nsync"))
+        assert result.exit_code == 5
+
+    def test_bltzal_links_even_when_not_taken(self):
+        # MIPS: the link register is written unconditionally.
+        result = run_asm(exit_with(
+            "li $t0, 1\n"
+            "bltzal $t0, over\n"
+            "nop\n"
+            "over:\n"
+            "move $v1, $ra"
+        ))
+        assert result.exit_code != 0
+
+    def test_exit2_negative_code(self):
+        result = run_asm("li $a0, -7\nli $v0, 17\nsyscall")
+        assert result.exit_code == -7

@@ -1,0 +1,191 @@
+"""Differential testing: the CPU simulator vs a Python reference model.
+
+Hypothesis generates random straight-line arithmetic programs (no
+control flow, no memory), executes them both on the MIPS simulator and
+on a direct Python model of each instruction's semantics, and compares
+the final register files.  Any divergence in wrapping, signedness,
+shift masking, or HI/LO behaviour fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoder import encode
+from repro.sim.cpu import Cpu
+from repro.sim.mem_iface import FlatMemory
+
+BASE = 0x400000
+MASK = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+@dataclass
+class _Reference:
+    """Python-level semantics of the straight-line subset."""
+
+    registers: list[int] = field(default_factory=lambda: [0] * 32)
+    hi: int = 0
+    lo: int = 0
+
+    def write(self, register: int, value: int) -> None:
+        if register != 0:
+            self.registers[register] = value & MASK
+
+    def execute(self, op: str, rd: int, rs: int, rt: int, extra: int) -> None:
+        a = self.registers[rs]
+        b = self.registers[rt]
+        if op == "addu":
+            self.write(rd, a + b)
+        elif op == "subu":
+            self.write(rd, a - b)
+        elif op == "and":
+            self.write(rd, a & b)
+        elif op == "or":
+            self.write(rd, a | b)
+        elif op == "xor":
+            self.write(rd, a ^ b)
+        elif op == "nor":
+            self.write(rd, ~(a | b))
+        elif op == "slt":
+            self.write(rd, 1 if _signed(a) < _signed(b) else 0)
+        elif op == "sltu":
+            self.write(rd, 1 if a < b else 0)
+        elif op == "sll":
+            self.write(rd, b << extra)
+        elif op == "srl":
+            self.write(rd, b >> extra)
+        elif op == "sra":
+            self.write(rd, _signed(b) >> extra)
+        elif op == "sllv":
+            self.write(rd, b << (a & 31))
+        elif op == "srlv":
+            self.write(rd, b >> (a & 31))
+        elif op == "srav":
+            self.write(rd, _signed(b) >> (a & 31))
+        elif op == "addiu":
+            imm = extra - 0x10000 if extra & 0x8000 else extra
+            self.write(rt, a + imm)
+        elif op == "andi":
+            self.write(rt, a & extra)
+        elif op == "ori":
+            self.write(rt, a | extra)
+        elif op == "xori":
+            self.write(rt, a ^ extra)
+        elif op == "lui":
+            self.write(rt, extra << 16)
+        elif op == "slti":
+            imm = extra - 0x10000 if extra & 0x8000 else extra
+            self.write(rt, 1 if _signed(a) < imm else 0)
+        elif op == "sltiu":
+            imm = (extra - 0x10000 if extra & 0x8000 else extra) & MASK
+            self.write(rt, 1 if a < imm else 0)
+        elif op == "mult":
+            product = _signed(a) * _signed(b)
+            self.lo = product & MASK
+            self.hi = (product >> 32) & MASK
+        elif op == "multu":
+            product = a * b
+            self.lo = product & MASK
+            self.hi = (product >> 32) & MASK
+        elif op == "mfhi":
+            self.write(rd, self.hi)
+        elif op == "mflo":
+            self.write(rd, self.lo)
+        elif op == "movz":
+            if b == 0:
+                self.write(rd, a)
+        elif op == "movn":
+            if b != 0:
+                self.write(rd, a)
+        else:  # pragma: no cover - strategy bug guard
+            raise AssertionError(f"unmodelled op {op}")
+
+
+_THREE_REG = ("addu", "subu", "and", "or", "xor", "nor", "slt", "sltu",
+              "movz", "movn")
+_SHIFT_IMM = ("sll", "srl", "sra")
+_SHIFT_VAR = ("sllv", "srlv", "srav")
+_IMMEDIATE = ("addiu", "andi", "ori", "xori", "slti", "sltiu")
+_MULT = ("mult", "multu")
+_MOVE_FROM = ("mfhi", "mflo")
+
+register_index = st.integers(0, 31)
+
+
+@st.composite
+def straight_line_step(draw):
+    kind = draw(st.sampled_from(("three", "shift_imm", "shift_var",
+                                 "imm", "mult", "mfrom", "lui")))
+    rd = draw(register_index)
+    rs = draw(register_index)
+    rt = draw(register_index)
+    if kind == "three":
+        return (draw(st.sampled_from(_THREE_REG)), rd, rs, rt, 0)
+    if kind == "shift_imm":
+        return (draw(st.sampled_from(_SHIFT_IMM)), rd, 0, rt,
+                draw(st.integers(0, 31)))
+    if kind == "shift_var":
+        return (draw(st.sampled_from(_SHIFT_VAR)), rd, rs, rt, 0)
+    if kind == "imm":
+        return (draw(st.sampled_from(_IMMEDIATE)), 0, rs, rt,
+                draw(st.integers(0, 0xFFFF)))
+    if kind == "mult":
+        return (draw(st.sampled_from(_MULT)), 0, rs, rt, 0)
+    if kind == "mfrom":
+        return (draw(st.sampled_from(_MOVE_FROM)), rd, 0, 0, 0)
+    return ("lui", 0, 0, rt, draw(st.integers(0, 0xFFFF)))
+
+
+def _encode_step(step) -> int:
+    op, rd, rs, rt, extra = step
+    if op in _THREE_REG:
+        return encode(op, rd=rd, rs=rs, rt=rt)
+    if op in _SHIFT_IMM:
+        return encode(op, rd=rd, rt=rt, shamt=extra)
+    if op in _SHIFT_VAR:
+        return encode(op, rd=rd, rt=rt, rs=rs)
+    if op in _IMMEDIATE:
+        return encode(op, rt=rt, rs=rs, imm=extra)
+    if op in _MULT:
+        return encode(op, rs=rs, rt=rt)
+    if op in _MOVE_FROM:
+        return encode(op, rd=rd)
+    return encode("lui", rt=rt, imm=extra)
+
+
+class TestDifferential:
+    @given(
+        st.lists(straight_line_step(), min_size=1, max_size=40),
+        st.lists(st.integers(0, MASK), min_size=31, max_size=31),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_cpu_matches_reference_model(self, steps, seeds):
+        # Common random starting state (register 0 stays zero).
+        reference = _Reference()
+        for register, seed in zip(range(1, 32), seeds):
+            reference.registers[register] = seed
+
+        words = [_encode_step(step) for step in steps]
+        words.append(encode("break"))  # terminate the run
+        memory = FlatMemory()
+        memory.load_image(words, BASE)
+        cpu = Cpu(memory, entry_pc=BASE,
+                  text_range=(BASE, BASE + 4 * len(words)))
+        for register, seed in zip(range(1, 32), seeds):
+            cpu.state.registers[register] = seed
+
+        result = cpu.run(max_steps=len(words) + 4)
+        assert result.symptom is not None  # the break
+
+        for step in steps:
+            reference.execute(*step)
+        assert cpu.state.registers == reference.registers
+        assert cpu.state.hi == reference.hi
+        assert cpu.state.lo == reference.lo

@@ -1,0 +1,165 @@
+"""Tests for speculative forked execution (Sec. III-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+from repro.isa.encoder import encode
+from repro.program.compiler import compile_source
+from repro.sim.fork import ForkedExecution, JoinRule
+
+BASE = 0x400000
+
+
+@pytest.fixture(scope="module")
+def counting_program():
+    """A program whose observable output depends on its arithmetic."""
+    return compile_source(
+        """
+        fn main() {
+            let total = 0;
+            let i = 0;
+            while (i < 20) { total = total + i; i = i + 1; }
+            print(total);
+            return total;
+        }
+        """,
+        base_address=BASE,
+    )
+
+
+def find_word(program, mnemonic, require_rt=False):
+    """Index of the first real occurrence of *mnemonic*.
+
+    With ``require_rt`` only matches whose rt register is non-zero
+    count, which skips ``move``-style ``addu rd, rs, $zero`` aliases
+    (for which e.g. a subu substitution is behaviourally identical).
+    """
+    from repro.isa.decoder import try_decode
+
+    for index, word in enumerate(program.words):
+        decoded = try_decode(word)
+        if decoded is not None and decoded.mnemonic == mnemonic:
+            if require_rt and decoded.rt == 0:
+                continue
+            return index
+    raise AssertionError(f"no {mnemonic} in program")
+
+
+class TestArbitration:
+    def test_sole_survivor(self, counting_program):
+        due_index = find_word(counting_program, "addu")
+        true_word = counting_program.words[due_index]
+        fork = ForkedExecution(counting_program.words, BASE, due_index)
+        verdict = fork.run([
+            true_word,
+            0xFC000000,              # illegal: crashes at fetch
+            encode("break"),         # breakpoint symptom
+            encode("teq", rs=0, rt=0),  # unconditional trap
+        ])
+        assert verdict.rule is JoinRule.SOLE_SURVIVOR
+        assert verdict.chosen == true_word
+        assert len(verdict.survivors) == 1
+
+    def test_converged_when_candidates_equivalent(self, counting_program):
+        # Replace a nop-equivalent word with different nop-equivalents:
+        # all forks behave identically and join.
+        due_index = counting_program.words.index(0)  # a nop
+        fork = ForkedExecution(counting_program.words, BASE, due_index)
+        verdict = fork.run([
+            0,                                 # nop
+            encode("addu", rd=1, rs=1, rt=0),  # move $at, $at
+            encode("or", rd=1, rs=1, rt=0),    # same effect
+        ])
+        assert verdict.rule is JoinRule.CONVERGED
+        assert verdict.chosen is not None
+
+    def test_all_crashed(self, counting_program):
+        due_index = find_word(counting_program, "addu")
+        fork = ForkedExecution(counting_program.words, BASE, due_index)
+        verdict = fork.run([0xFC000000, encode("break")])
+        assert verdict.rule is JoinRule.ALL_CRASHED
+        assert verdict.chosen is None
+
+    def test_ambiguous_survivors(self, counting_program):
+        due_index = find_word(counting_program, "addu", require_rt=True)
+        true_word = counting_program.words[due_index]
+        # subu instead of addu survives but prints a different total.
+        from repro.isa.decoder import decode
+
+        instruction = decode(true_word)
+        wrong = encode(
+            "subu", rd=instruction.rd, rs=instruction.rs, rt=instruction.rt
+        )
+        fork = ForkedExecution(counting_program.words, BASE, due_index)
+        verdict = fork.run([true_word, wrong])
+        assert verdict.rule is JoinRule.AMBIGUOUS
+        assert verdict.chosen is None
+
+    def test_empty_candidates_rejected(self, counting_program):
+        fork = ForkedExecution(counting_program.words, BASE, 0)
+        with pytest.raises(SimulationError):
+            fork.run([])
+
+    def test_due_index_bounds_checked(self, counting_program):
+        with pytest.raises(SimulationError):
+            ForkedExecution(counting_program.words, BASE, len(counting_program.words))
+
+    def test_forks_do_not_share_memory(self):
+        # Each fork gets a private copy: a store in one run must not
+        # leak into the next fork's image.
+        program = assemble(
+            """
+                la $t0, data
+                lw $t1, 0($t0)
+                addiu $t1, $t1, 1
+                sw $t1, 0($t0)
+                move $a0, $t1
+                li $v0, 17
+                syscall
+            data:
+                .word 10
+            """,
+            base_address=BASE,
+        )
+        due_index = find_word(program, "addiu")  # the t1 increment
+        fork = ForkedExecution(program.words, BASE, due_index)
+        patch = encode("addiu", rt=9, rs=9, imm=1)
+        verdict = fork.run([patch, patch])
+        # Both forks read the pristine 10 and print 11.
+        assert all(o.result.exit_code == 11 for o in verdict.outcomes)
+
+
+class TestEndToEndWithSwdEcc:
+    def test_fork_prunes_candidates_to_the_truth(
+        self, code, counting_program
+    ):
+        """Full Sec. III-C story: a 2-bit DUE hits an instruction, the
+        engine produces candidates, forked execution finds the truth
+        (or at least an observably-equivalent survivor)."""
+        import random
+
+        from repro.core import SwdEcc
+
+        due_index = find_word(counting_program, "addu")
+        original = counting_program.words[due_index]
+        engine = SwdEcc(code, filters=(), rng=random.Random(0))
+        received = code.encode(original) ^ (1 << 38) ^ (1 << 36)
+        result = engine.recover(received)
+        assert original in result.candidate_messages
+        fork = ForkedExecution(counting_program.words, BASE, due_index)
+        verdict = fork.run(list(result.candidate_messages))
+        if verdict.chosen is not None:
+            chosen_outcome = next(
+                o for o in verdict.outcomes if o.candidate == verdict.chosen
+            )
+            true_outcome = next(
+                o for o in verdict.outcomes if o.candidate == original
+            )
+            # The chosen fork's observable behaviour matches the truth.
+            assert chosen_outcome.result.output == true_outcome.result.output
+            assert chosen_outcome.result.exit_code == true_outcome.result.exit_code
+        else:
+            assert verdict.rule in (JoinRule.AMBIGUOUS, JoinRule.ALL_CRASHED)

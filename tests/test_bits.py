@@ -1,0 +1,173 @@
+"""Unit and property tests for repro.bits."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import bits
+
+
+class TestMasksAndSingleBits:
+    def test_bit_mask_widths(self):
+        assert bits.bit_mask(0) == 0
+        assert bits.bit_mask(1) == 1
+        assert bits.bit_mask(8) == 0xFF
+        assert bits.bit_mask(39) == (1 << 39) - 1
+
+    def test_bit_mask_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.bit_mask(-1)
+
+    def test_bit_at_is_msb_first(self):
+        assert bits.bit_at(0, 8) == 0x80
+        assert bits.bit_at(7, 8) == 0x01
+        assert bits.bit_at(0, 39) == 1 << 38
+
+    def test_bit_at_out_of_range(self):
+        with pytest.raises(ValueError):
+            bits.bit_at(8, 8)
+        with pytest.raises(ValueError):
+            bits.bit_at(-1, 8)
+
+    def test_get_set_clear_flip(self):
+        value = 0b1010_0000
+        assert bits.get_bit(value, 0, 8) == 1
+        assert bits.get_bit(value, 1, 8) == 0
+        assert bits.set_bit(value, 1, 8) == 0b1110_0000
+        assert bits.clear_bit(value, 0, 8) == 0b0010_0000
+        assert bits.flip_bit(value, 2, 8) == 0b1000_0000
+
+    def test_flip_bits_cancels_duplicates(self):
+        assert bits.flip_bits(0, [3, 3], 8) == 0
+        assert bits.flip_bits(0, [0, 1], 8) == 0b1100_0000
+
+
+class TestCountsAndDistance:
+    def test_popcount(self):
+        assert bits.popcount(0) == 0
+        assert bits.popcount(0b1011) == 3
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.popcount(-1)
+
+    def test_parity(self):
+        assert bits.parity(0b111) == 1
+        assert bits.parity(0b11) == 0
+
+    def test_hamming_distance(self):
+        assert bits.hamming_distance(0b1010, 0b0101) == 4
+        assert bits.hamming_distance(5, 5) == 0
+
+    @given(st.integers(0, 2**39 - 1), st.integers(0, 2**39 - 1))
+    def test_hamming_distance_is_a_metric(self, a, b):
+        assert bits.hamming_distance(a, b) == bits.hamming_distance(b, a)
+        assert (bits.hamming_distance(a, b) == 0) == (a == b)
+
+    @given(
+        st.integers(0, 2**20 - 1),
+        st.integers(0, 2**20 - 1),
+        st.integers(0, 2**20 - 1),
+    )
+    def test_hamming_triangle_inequality(self, a, b, c):
+        assert bits.hamming_distance(a, c) <= (
+            bits.hamming_distance(a, b) + bits.hamming_distance(b, c)
+        )
+
+
+class TestBitSequences:
+    def test_bits_of_msb_first(self):
+        assert bits.bits_of(0b101, 4) == (0, 1, 0, 1)
+
+    def test_support(self):
+        assert bits.support(0b1001, 4) == (0, 3)
+        assert bits.support(0, 4) == ()
+
+    def test_pack_roundtrip(self):
+        value = 0b110101
+        assert bits.pack_bits(bits.bits_of(value, 6)) == value
+
+    def test_pack_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits.pack_bits([0, 2, 1])
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_bits_roundtrip_property(self, value):
+        assert bits.bits_to_int(bits.int_to_bits(value, 16)) == value
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_reverse_twice_is_identity(self, value):
+        assert bits.reverse_bits(bits.reverse_bits(value, 16), 16) == value
+
+
+class TestFields:
+    def test_extract_opcode_like_field(self):
+        word = 0xAC_85_00_04  # sw $a1, 4($a0): opcode 0x2B
+        assert bits.extract_field(word, 31, 26) == 0x2B
+        assert bits.extract_field(word, 15, 0) == 4
+
+    def test_insert_then_extract(self):
+        word = bits.insert_field(0, 31, 26, 0x23)
+        assert bits.extract_field(word, 31, 26) == 0x23
+
+    def test_insert_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            bits.insert_field(0, 5, 0, 64)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            bits.extract_field(0, 3, 5)
+        with pytest.raises(ValueError):
+            bits.extract_field(0, 32, 0)
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 31),
+        st.integers(0, 31),
+        st.data(),
+    )
+    def test_insert_extract_roundtrip_property(self, word, a, b, data):
+        low, high = min(a, b), max(a, b)
+        value = data.draw(st.integers(0, (1 << (high - low + 1)) - 1))
+        updated = bits.insert_field(word, high, low, value)
+        assert bits.extract_field(updated, high, low) == value
+        # Bits outside the field are untouched.
+        mask = ((1 << (high - low + 1)) - 1) << low
+        assert (updated & ~mask) == (word & ~mask)
+
+
+class TestWeightVectorsAndPairs:
+    def test_weight_k_count(self):
+        vectors = list(bits.weight_k_vectors(39, 2))
+        assert len(vectors) == 741
+        assert all(bits.popcount(v) == 2 for v in vectors)
+
+    def test_paper_enumeration_order(self):
+        vectors = list(bits.weight_k_vectors(39, 2))
+        # Pattern 0 is 1100...0, pattern 1 is 1010...0, last is 0...011.
+        assert vectors[0] == (0b11 << 37)
+        assert vectors[1] == (0b101 << 36)
+        assert vectors[-1] == 0b11
+
+    def test_weight_zero_and_overweight(self):
+        assert list(bits.weight_k_vectors(4, 0)) == [0]
+        assert list(bits.weight_k_vectors(4, 5)) == []
+
+    def test_pair_index_roundtrip_exhaustive(self):
+        index = 0
+        for i in range(39):
+            for j in range(i + 1, 39):
+                assert bits.pair_index(i, j, 39) == index
+                assert bits.pair_from_index(index, 39) == (i, j)
+                index += 1
+        assert index == 741
+
+    def test_pair_index_rejects_bad_pairs(self):
+        with pytest.raises(ValueError):
+            bits.pair_index(3, 3, 39)
+        with pytest.raises(ValueError):
+            bits.pair_index(5, 2, 39)
+        with pytest.raises(ValueError):
+            bits.pair_from_index(741, 39)

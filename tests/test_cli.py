@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigureCommands:
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out and "741" in out
+
+    def test_fig5_reduced(self, capsys):
+        assert main(["fig5", "--instructions", "3"]) == 0
+        assert "Fig. 5" in capsys.readouterr().out
+
+    def test_fig6_reduced(self, capsys):
+        assert main(["fig6", "--instructions", "2"]) == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "lw" in out and "povray" in out
+
+    def test_legality(self, capsys):
+        assert main(["legality"]) == 0
+        out = capsys.readouterr().out
+        assert "41" in out and "37" in out
+
+    def test_properties(self, capsys):
+        assert main(["properties"]) == 0
+        assert "(39,32)" in capsys.readouterr().out
+
+
+class TestToolCommands:
+    def test_synth_and_disasm_roundtrip(self, tmp_path, capsys):
+        elf_path = tmp_path / "bench.elf"
+        assert main([
+            "synth", "mcf", "--length", "64", "--out", str(elf_path)
+        ]) == 0
+        assert elf_path.exists()
+        capsys.readouterr()
+        assert main(["disasm", str(elf_path), "--limit", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "lui $gp" in out
+
+    def test_recover_command(self, capsys):
+        assert main(["recover", "0x8fbf0018", "--bits", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "lw $ra, 24($sp)" in out
+        assert "chosen" in out
+
+    def test_recover_rejects_bad_bits(self, capsys):
+        assert main(["recover", "0x0", "--bits", "1"]) == 2
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReportCommand:
+    def test_report_runs_every_section(self, capsys):
+        assert main(["report", "--instructions", "2"]) == 0
+        out = capsys.readouterr().out
+        for section in ("ISA legality", "code properties", "Fig. 4",
+                        "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8"):
+            assert section in out, section

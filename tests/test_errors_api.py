@@ -1,0 +1,81 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestExceptionHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__all__:
+            if name == "ReproError":
+                continue
+            exception_class = getattr(errors, name)
+            assert issubclass(exception_class, errors.ReproError), name
+
+    def test_subsystem_grouping(self):
+        assert issubclass(errors.IllegalInstructionError, errors.IsaError)
+        assert issubclass(errors.AssemblerError, errors.IsaError)
+        assert issubclass(errors.ElfFormatError, errors.ProgramImageError)
+        assert issubclass(errors.UncorrectableError, errors.MemoryFaultError)
+        assert issubclass(errors.CpuFault, errors.SimulationError)
+
+    def test_illegal_instruction_carries_word_and_reason(self):
+        error = errors.IllegalInstructionError(0xFC000000, "reserved opcode")
+        assert error.word == 0xFC000000
+        assert "fc000000" in str(error)
+        assert "reserved opcode" in str(error)
+
+    def test_uncorrectable_error_carries_location(self):
+        error = errors.UncorrectableError(0x1000, 0x5A)
+        assert error.address == 0x1000
+        assert error.syndrome == 0x5A
+        assert "0x1000" in str(error)
+
+    def test_cpu_fault_carries_symptom(self):
+        fault = errors.CpuFault("illegal-instruction", 0x400000, "opcode 0x3f")
+        assert fault.symptom == "illegal-instruction"
+        assert fault.pc == 0x400000
+        assert "0x00400000" in str(fault)
+
+    def test_one_except_clause_catches_the_library(self):
+        from repro.ecc import canonical_secded_39_32
+
+        code = canonical_secded_39_32()
+        with pytest.raises(errors.ReproError):
+            code.encode(1 << 32)
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version_is_set(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_subpackage_all_lists_are_accurate(self):
+        import importlib
+
+        for module_name in (
+            "repro.ecc", "repro.isa", "repro.program", "repro.memory",
+            "repro.sim", "repro.core", "repro.analysis",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_sixty_second_tour_runs(self):
+        # The snippet from the package docstring, at tiny scale.
+        from repro.analysis import run_fig8
+        from repro.program import synthesize_benchmark
+
+        images = [synthesize_benchmark("mcf", length=64)]
+        result = run_fig8(images=images, num_instructions=2)
+        assert 0.0 <= result.overall_mean <= 1.0

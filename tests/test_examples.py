@@ -1,0 +1,61 @@
+"""Smoke tests: the shipped examples must run and tell their stories."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv: list[str] | None = None) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "DUE" in out
+        assert "candidate codewords" in out
+        assert "correct recovery: True" in out
+
+    def test_data_memory_recovery(self, capsys):
+        out = run_example("data_memory_recovery.py", capsys)
+        assert "counter" in out and "pointer" in out
+        # The heuristic rows must report materially better rates than
+        # the random rows; spot check the rendering contains rates.
+        assert "0." in out
+
+    def test_fault_tolerant_execution(self, capsys):
+        out = run_example("fault_tolerant_execution.py", capsys)
+        assert "CRASH" in out
+        assert "recovered heuristically" in out
+        assert "forked execution" in out
+
+    @pytest.mark.slow
+    def test_instruction_memory_recovery(self, capsys):
+        out = run_example("instruction_memory_recovery.py", capsys, ["bzip2"])
+        assert "filter-and-rank" in out
+        assert "recovery rate vs error-pattern index" in out
+
+    def test_code_design_exploration(self, capsys):
+        out = run_example("code_design_exploration.py", capsys)
+        assert "canonical Hsiao (39,32)" in out
+        assert "miscorrected" in out
+        assert "DECTED" in out
+
+    def test_riscv_recovery(self, capsys):
+        out = run_example("riscv_recovery.py", capsys)
+        assert "rv32i" in out or "RV32I" in out
+        assert "recovered correctly" in out

@@ -1,0 +1,134 @@
+"""Robustness fuzzing: malformed inputs must raise library errors,
+never crash with arbitrary exceptions, and stateful use of the memory
+model must preserve its invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.ecc.code import DecodeStatus
+from repro.ecc.matrices import canonical_secded_39_32
+from repro.errors import ElfFormatError, MemoryFaultError, ReproError
+from repro.memory.model import EccMemory
+from repro.program.elf import read_elf, write_elf
+from repro.program.image import ProgramImage
+
+
+class TestElfFuzz:
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=200)
+    def test_random_bytes_never_crash_the_parser(self, data):
+        try:
+            read_elf(data)
+        except ElfFormatError:
+            pass  # the only acceptable failure mode
+
+    @given(st.integers(0, 200), st.integers(0, 255))
+    @settings(max_examples=200)
+    def test_single_byte_corruptions_are_contained(self, offset, value):
+        image = ProgramImage.from_words("fuzz", [1, 2, 3], base_address=0x400000)
+        data = bytearray(write_elf(image))
+        offset %= len(data)
+        data[offset] = value
+        try:
+            parsed = read_elf(bytes(data))
+        except ElfFormatError:
+            return
+        # If it still parses, the result must be structurally sane.
+        assert len(parsed.words) >= 0
+        assert parsed.base_address % 4 == 0
+
+    @given(st.integers(0, 160))
+    @settings(max_examples=100)
+    def test_truncations_are_contained(self, keep):
+        image = ProgramImage.from_words("fuzz", [7, 8], base_address=0x400000)
+        data = write_elf(image)[: keep]
+        try:
+            read_elf(data)
+        except ElfFormatError:
+            pass
+
+
+class TestAssemblerFuzz:
+    @given(st.text(max_size=120))
+    @settings(max_examples=200)
+    def test_garbage_source_never_crashes(self, source):
+        from repro.errors import AssemblerError
+        from repro.isa.assembler import assemble
+
+        try:
+            assemble(source)
+        except (AssemblerError, ReproError):
+            pass
+
+
+class TestCompilerFuzz:
+    @given(st.text(max_size=120))
+    @settings(max_examples=150)
+    def test_garbage_minilang_never_crashes(self, source):
+        from repro.program.compiler import CompileError, compile_source
+
+        try:
+            compile_source(source)
+        except CompileError:
+            pass
+
+
+class EccMemoryMachine(RuleBasedStateMachine):
+    """Stateful model check: the memory behaves like a dict of words,
+    with ECC transparently correcting the single-bit faults we inject."""
+
+    def __init__(self):
+        super().__init__()
+        self.code = canonical_secded_39_32()
+        self.memory = EccMemory(self.code)
+        self.shadow: dict[int, int] = {}
+        self.faulted: set[int] = set()
+
+    addresses = st.integers(0, 63).map(lambda index: 0x1000 + 4 * index)
+    words = st.integers(0, 0xFFFFFFFF)
+
+    @rule(address=addresses, word=words)
+    def write(self, address, word):
+        self.memory.write(address, word)
+        self.shadow[address] = word
+        self.faulted.discard(address)
+
+    @rule(address=addresses, position=st.integers(0, 38))
+    def inject_single_bit(self, address, position):
+        if address not in self.shadow:
+            return
+        if address in self.faulted:
+            return  # keep at most one latent flip per word
+        from repro.ecc.channel import pattern_from_positions
+
+        self.memory.corrupt(
+            address, pattern_from_positions((position,), self.code.n)
+        )
+        self.faulted.add(address)
+
+    @rule(address=addresses)
+    def read(self, address):
+        if address not in self.shadow:
+            with pytest.raises(MemoryFaultError):
+                self.memory.read(address)
+            return
+        result = self.memory.read(address)
+        assert result.word == self.shadow[address]
+        if address in self.faulted:
+            assert result.status in (
+                DecodeStatus.CORRECTED, DecodeStatus.OK
+            )
+            self.faulted.discard(address)  # read scrubs in line
+        else:
+            assert result.status is DecodeStatus.OK
+
+    @invariant()
+    def mapped_addresses_match_shadow(self):
+        assert set(self.memory.addresses()) == set(self.shadow)
+
+
+TestEccMemoryStateful = EccMemoryMachine.TestCase
