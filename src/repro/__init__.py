@@ -27,6 +27,9 @@ Package map
     Fig. 3 system recovery ladder.
 ``repro.analysis``
     Exhaustive DUE sweeps and drivers for every figure of the paper.
+``repro.obs``
+    Observability: metrics registry, tracing spans, and structured
+    per-DUE event logging across the recovery pipeline.
 
 Sixty-second tour::
 

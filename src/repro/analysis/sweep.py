@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 import random
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -27,6 +28,8 @@ from repro.core.swdecc import SwdEcc, TieBreak, success_probability
 from repro.ecc.channel import ErrorPattern, double_bit_patterns
 from repro.ecc.code import LinearBlockCode
 from repro.errors import AnalysisError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.program.image import ProgramImage
 from repro.program.stats import FrequencyTable
 
@@ -169,30 +172,42 @@ class DueSweep:
         )
         code = self._code
         engine = self._engine
-        encoded = [code.encode(word) for word in image.words[:window]]
-        originals = image.words[:window]
-        outcomes = []
-        for pattern in self._patterns:
-            success_total = 0.0
-            candidates_total = 0
-            valid_total = 0
-            for codeword, original in zip(encoded, originals):
-                received = pattern.apply(codeword)
-                result = engine.recover(received, context)
-                candidates_total += result.num_candidates
-                valid_total += (
-                    result.num_valid if not result.filter_fell_back else 0
+        start_ns = time.perf_counter_ns()
+        with span(f"sweep.run[{image.name}]"):
+            encoded = [code.encode(word) for word in image.words[:window]]
+            originals = image.words[:window]
+            outcomes = []
+            for pattern in self._patterns:
+                success_total = 0.0
+                candidates_total = 0
+                valid_total = 0
+                for codeword, original in zip(encoded, originals):
+                    received = pattern.apply(codeword)
+                    result = engine.recover(received, context)
+                    candidates_total += result.num_candidates
+                    valid_total += (
+                        result.num_valid if not result.filter_fell_back else 0
+                    )
+                    success_total += success_probability(result, original)
+                outcomes.append(
+                    PatternOutcome(
+                        index=pattern.index,
+                        positions=pattern.positions,
+                        success_rate=success_total / window,
+                        mean_candidates=candidates_total / window,
+                        mean_valid=valid_total / window,
+                    )
                 )
-                success_total += success_probability(result, original)
-            outcomes.append(
-                PatternOutcome(
-                    index=pattern.index,
-                    positions=pattern.positions,
-                    success_rate=success_total / window,
-                    mean_candidates=candidates_total / window,
-                    mean_valid=valid_total / window,
-                )
-            )
+        elapsed_seconds = (time.perf_counter_ns() - start_ns) / 1e9
+        registry = obs_metrics.get_registry()
+        registry.counter("sweep.benchmarks").inc()
+        registry.counter("sweep.patterns_swept").inc(len(self._patterns))
+        registry.histogram("sweep.benchmark_wall_seconds").observe(
+            elapsed_seconds
+        )
+        registry.gauge(f"sweep.wall_seconds[{image.name}]").set(
+            elapsed_seconds
+        )
         return BenchmarkSweepResult(
             benchmark=image.name,
             strategy=self._strategy,

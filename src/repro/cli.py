@@ -3,16 +3,24 @@
 Usage (also ``python -m repro``)::
 
     repro fig4                     # candidate-count heatmap
-    repro fig5 [--benchmark mcf] [--instructions 25]
-    repro fig6 [--benchmark bzip2] [--instructions 25]
+    repro fig5 [--benchmark mcf] [--instructions 25] [--seed 2016]
+    repro fig6 [--benchmark bzip2] [--instructions 25] [--seed 2016]
     repro fig7
     repro fig8 [--instructions 25]
     repro legality                 # Sec. III-B counts
     repro properties               # Sec. IV-B code properties
-    repro resilience [--trials 5]  # survival study (future-work item)
+    repro resilience [--trials 5] [--json]
     repro synth mcf --length 1024 --out mcf.elf
     repro disasm mcf.elf [--limit 32]
-    repro recover 0x8fbf0018 --bits 1,4 [--benchmark mcf]
+    repro recover 0x8fbf0018 --bits 1,4 [--benchmark mcf] [--json]
+    repro stats fig8 --instructions 5   # any command + profiling summary
+
+Every command also accepts the observability flags (see
+``docs/observability.md``): ``--profile`` prints metric and
+stage-latency tables after the run, ``--trace`` prints just the
+stage-latency table, and ``--events PATH`` writes one JSON line per DUE
+handled.  ``repro stats <command> ...`` is shorthand for running
+*command* with ``--profile``.
 """
 
 from __future__ import annotations
@@ -37,6 +45,10 @@ from repro.analysis.resilience import ResilienceConfig, survival_study
 from repro.core import RecoveryContext, SwdEcc
 from repro.isa.disassembler import disassemble, render_instruction
 from repro.isa.decoder import try_decode
+from repro.obs import events as obs_events
+from repro.obs import export as obs_export
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.program.elf import read_elf, write_elf
 from repro.program.stats import FrequencyTable
 from repro.program.synth import synthesize_benchmark
@@ -49,42 +61,75 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Software-Defined ECC (DSN 2016) reproduction toolkit",
     )
+    # Observability flags shared by every subcommand.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--profile", action="store_true",
+        help="print metric, stage-latency, and DUE-event summaries "
+        "after the command (implies --trace)",
+    )
+    obs_flags.add_argument(
+        "--trace", action="store_true",
+        help="collect tracing spans and print the stage-latency table",
+    )
+    obs_flags.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="write per-DUE event records to PATH as JSON lines",
+    )
+
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     for figure in ("fig4", "fig7", "legality", "properties"):
-        subparsers.add_parser(figure, help=f"regenerate {figure}")
+        subparsers.add_parser(
+            figure, help=f"regenerate {figure}", parents=[obs_flags]
+        )
 
     for figure, default_benchmark in (("fig5", "mcf"), ("fig6", "bzip2")):
-        sub = subparsers.add_parser(figure, help=f"regenerate {figure}")
+        sub = subparsers.add_parser(
+            figure, help=f"regenerate {figure}", parents=[obs_flags]
+        )
         sub.add_argument("--benchmark", default=default_benchmark)
         sub.add_argument("--instructions", type=int, default=25)
+        sub.add_argument("--seed", type=int, default=2016,
+                         help="benchmark synthesis seed (pins the image)")
 
-    fig8 = subparsers.add_parser("fig8", help="regenerate the headline Fig. 8")
+    fig8 = subparsers.add_parser(
+        "fig8", help="regenerate the headline Fig. 8", parents=[obs_flags]
+    )
     fig8.add_argument("--instructions", type=int, default=25)
 
     report = subparsers.add_parser(
-        "report", help="regenerate every figure/table in one run"
+        "report", help="regenerate every figure/table in one run",
+        parents=[obs_flags],
     )
     report.add_argument("--instructions", type=int, default=15)
 
     resilience = subparsers.add_parser(
-        "resilience", help="survival study: crash vs SWD-ECC, +/- scrubbing"
+        "resilience", help="survival study: crash vs SWD-ECC, +/- scrubbing",
+        parents=[obs_flags],
     )
     resilience.add_argument("--trials", type=int, default=5)
     resilience.add_argument("--epochs", type=int, default=40)
+    resilience.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON results")
 
-    synth = subparsers.add_parser("synth", help="generate a synthetic benchmark ELF")
+    synth = subparsers.add_parser(
+        "synth", help="generate a synthetic benchmark ELF", parents=[obs_flags]
+    )
     synth.add_argument("benchmark")
     synth.add_argument("--length", type=int, default=1024)
     synth.add_argument("--seed", type=int, default=2016)
     synth.add_argument("--out", required=True)
 
-    disasm = subparsers.add_parser("disasm", help="disassemble an ELF .text")
+    disasm = subparsers.add_parser(
+        "disasm", help="disassemble an ELF .text", parents=[obs_flags]
+    )
     disasm.add_argument("path")
     disasm.add_argument("--limit", type=int, default=None)
 
     recover = subparsers.add_parser(
-        "recover", help="recover one instruction word from a 2-bit DUE"
+        "recover", help="recover one instruction word from a 2-bit DUE",
+        parents=[obs_flags],
     )
     recover.add_argument("word", help="32-bit instruction word, e.g. 0x8fbf0018")
     recover.add_argument(
@@ -94,6 +139,18 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--benchmark", default="mcf",
                          help="benchmark supplying the frequency table")
     recover.add_argument("--seed", type=int, default=0)
+    recover.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON results")
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="run any repro command with profiling enabled "
+        "(shorthand for <command> --profile)",
+    )
+    stats.add_argument("--events", metavar="PATH", default=None,
+                       help="also write per-DUE events to PATH")
+    stats.add_argument("rest", nargs=argparse.REMAINDER,
+                       help="the command to run, e.g. fig8 --instructions 5")
     return parser
 
 
@@ -134,6 +191,14 @@ def _command_resilience(args: argparse.Namespace) -> int:
         trials=args.trials,
         base_config=ResilienceConfig(epochs=args.epochs),
     )
+    if args.json:
+        print(obs_export.to_json({
+            "command": "resilience",
+            "trials": args.trials,
+            "epochs": args.epochs,
+            "configurations": study,
+        }))
+        return 0
     rows = [
         [
             label,
@@ -161,8 +226,6 @@ def _command_recover(args: argparse.Namespace) -> int:
         print("--bits needs exactly two comma-separated positions", file=sys.stderr)
         return 2
     instruction = try_decode(word)
-    print(f"original:  0x{word:08x}  "
-          f"{render_instruction(instruction) if instruction else '<illegal>'}")
     received = code.encode(word)
     for position in positions:
         received ^= 1 << (code.n - 1 - position)
@@ -170,6 +233,39 @@ def _command_recover(args: argparse.Namespace) -> int:
     context = RecoveryContext.for_instructions(FrequencyTable.from_image(image))
     engine = SwdEcc(code, rng=random.Random(args.seed))
     result = engine.recover(received, context)
+    # The CLI knows ground truth: annotate the DUE event the engine
+    # just emitted so the events API reports the verdict too.
+    obs_events.get_event_log().annotate_last(true_message=word)
+    if args.json:
+        print(obs_export.to_json({
+            "command": "recover",
+            "original": word,
+            "original_text": (
+                render_instruction(instruction) if instruction else None
+            ),
+            "flipped_bits": positions,
+            "received": result.received,
+            "num_candidates": result.num_candidates,
+            "num_valid": result.num_valid,
+            "filter_fell_back": result.filter_fell_back,
+            "tied": result.tied,
+            "chosen_message": result.chosen_message,
+            "recovered": result.recovered(word),
+            "valid_messages": [
+                {
+                    "word": message,
+                    "text": (
+                        render_instruction(decoded)
+                        if (decoded := try_decode(message)) else None
+                    ),
+                    "chosen": message == result.chosen_message,
+                }
+                for message in result.valid_messages
+            ],
+        }))
+        return 0
+    print(f"original:  0x{word:08x}  "
+          f"{render_instruction(instruction) if instruction else '<illegal>'}")
     print(f"candidates: {result.num_candidates}, "
           f"legal: {result.num_valid}"
           f"{' (filter fell back)' if result.filter_fell_back else ''}")
@@ -182,17 +278,30 @@ def _command_recover(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit status."""
-    args = _build_parser().parse_args(argv)
+def _command_stats(args: argparse.Namespace) -> int:
+    """``repro stats <command> ...`` = run the command with --profile."""
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest or rest[0] == "stats":
+        print("stats needs a command to profile, e.g. "
+              "repro stats fig8 --instructions 5", file=sys.stderr)
+        return 2
+    forwarded = [*rest, "--profile"]
+    if args.events:
+        forwarded += ["--events", args.events]
+    return main(forwarded)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     command = args.command
     if command == "fig4":
         print(run_fig4().render())
     elif command == "fig5":
-        image = synthesize_benchmark(args.benchmark)
+        image = synthesize_benchmark(args.benchmark, seed=args.seed)
         print(run_fig5(image=image, num_instructions=args.instructions).render())
     elif command == "fig6":
-        image = synthesize_benchmark(args.benchmark)
+        image = synthesize_benchmark(args.benchmark, seed=args.seed)
         print(run_fig6(image=image, num_instructions=args.instructions).render())
     elif command == "fig7":
         print(run_fig7().render())
@@ -221,6 +330,47 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif command == "recover":
         return _command_recover(args)
     return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "stats":
+        return _command_stats(args)
+    profile = getattr(args, "profile", False)
+    want_trace = profile or getattr(args, "trace", False)
+    events_path = getattr(args, "events", None)
+    collector = obs_trace.enable_tracing() if want_trace else None
+    try:
+        status = _dispatch(args)
+    finally:
+        if collector is not None:
+            obs_trace.disable_tracing()
+    if profile:
+        print()
+        print(obs_export.render_metrics(
+            obs_metrics.get_registry(), title="metrics"
+        ))
+        print()
+        print(obs_export.render_spans(collector, title="stage latency"))
+        print()
+        print(obs_export.render_events_summary(obs_events.get_event_log()))
+    elif collector is not None:
+        # --trace alone: the process exits right after, so an unprinted
+        # collector would be useless — show the stage-latency table.
+        print()
+        print(obs_export.render_spans(collector, title="stage latency"))
+    if events_path is not None:
+        try:
+            written = obs_export.write_events(
+                events_path, obs_events.get_event_log()
+            )
+        except OSError as error:
+            print(f"--events: cannot write {events_path}: {error.strerror}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {written} DUE event(s) to {events_path}")
+    return status
 
 
 if __name__ == "__main__":

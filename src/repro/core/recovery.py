@@ -20,6 +20,9 @@ from typing import Protocol, runtime_checkable
 
 from repro.core.sideinfo import RecoveryContext
 from repro.core.swdecc import RecoveryResult, SwdEcc
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 __all__ = [
     "RecoveryAction",
@@ -122,6 +125,12 @@ class RecoveryPipeline:
         self._page_source = page_source
         self._checkpoint_source = checkpoint_source
         self._allow_heuristic = allow_heuristic
+        registry = obs_metrics.get_registry()
+        self._m_dues = registry.counter("recovery.dues_handled")
+        self._m_actions = {
+            action: registry.counter(f"recovery.action.{action.value}")
+            for action in RecoveryAction
+        }
 
     @property
     def engine(self) -> SwdEcc:
@@ -135,6 +144,18 @@ class RecoveryPipeline:
         context: RecoveryContext | None = None,
     ) -> RecoveryOutcome:
         """Run the ladder for the DUE word *received* at *address*."""
+        with span("recovery.handle_due"):
+            outcome = self._run_ladder(address, received, context)
+        self._m_dues.inc()
+        self._m_actions[outcome.action].inc()
+        return outcome
+
+    def _run_ladder(
+        self,
+        address: int,
+        received: int,
+        context: RecoveryContext | None,
+    ) -> RecoveryOutcome:
         if self._page_source is not None:
             clean = self._page_source.clean_copy(address)
             if clean is not None:
@@ -149,6 +170,9 @@ class RecoveryPipeline:
             return RecoveryOutcome(action=RecoveryAction.ROLLBACK)
         if self._allow_heuristic:
             result = self._engine.recover(received, context)
+            # The engine cannot know the faulting address; enrich the
+            # event it just emitted now that the pipeline does.
+            obs_events.get_event_log().annotate_last(address=address)
             return RecoveryOutcome(
                 action=RecoveryAction.HEURISTIC,
                 word=result.chosen_message,

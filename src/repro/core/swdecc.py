@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 import random
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -30,6 +31,9 @@ from repro.core.sideinfo import RecoveryContext
 from repro.ecc.candidates import CandidateEnumerator
 from repro.ecc.code import LinearBlockCode
 from repro.errors import RecoveryError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 __all__ = ["TieBreak", "RecoveryResult", "SwdEcc", "success_probability"]
 
@@ -134,6 +138,21 @@ class SwdEcc:
         self._ranker = ranker if ranker is not None else FrequencyRanker()
         self._tie_break = tie_break
         self._rng = rng if rng is not None else random.Random()
+        # Metric objects are cached here so the per-recover() cost is a
+        # couple of attribute reads and integer adds (counters are
+        # default-on; see repro.obs).
+        registry = obs_metrics.get_registry()
+        self._event_log = obs_events.get_event_log()
+        self._m_recoveries = registry.counter("swdecc.recoveries")
+        self._m_fallbacks = registry.counter("swdecc.filter_fallbacks")
+        self._m_escalations = registry.counter("swdecc.radius_escalations")
+        self._m_ties = registry.counter("swdecc.tie_breaks")
+        self._h_candidates = registry.histogram(
+            "swdecc.candidates", buckets=obs_metrics.DEFAULT_COUNT_BUCKETS
+        )
+        self._h_valid = registry.histogram(
+            "swdecc.valid_messages", buckets=obs_metrics.DEFAULT_COUNT_BUCKETS
+        )
 
     @property
     def code(self) -> LinearBlockCode:
@@ -161,6 +180,7 @@ class SwdEcc:
         candidates = self._enumerator.candidates(received)
         if candidates:
             return candidates
+        self._m_escalations.inc()
         radius = self._code.correctable_bits() + 2
         candidates = self._enumerator.candidates_within_radius(received, radius)
         if not candidates:
@@ -184,31 +204,62 @@ class SwdEcc:
         """
         if context is None:
             context = RecoveryContext()
-        candidates = self._candidates_with_escalation(received)
-        candidate_messages = tuple(
-            self._code.extract_message(codeword) for codeword in candidates
-        )
-        valid_messages = self._filter.apply(candidate_messages, context)
-        fell_back = not valid_messages
+        start_ns = time.perf_counter_ns()
+        with span("swdecc.recover"):
+            with span("swdecc.enumerate"):
+                candidates = self._candidates_with_escalation(received)
+                candidate_messages = tuple(
+                    self._code.extract_message(codeword)
+                    for codeword in candidates
+                )
+            with span("swdecc.filter"):
+                valid_messages = self._filter.apply(candidate_messages, context)
+            fell_back = not valid_messages
+            if fell_back:
+                # The side information's premise failed (e.g. the original
+                # word was not a legal instruction): recover from the raw
+                # candidate list rather than giving up.
+                valid_messages = candidate_messages
+            with span("swdecc.rank"):
+                scores = tuple(
+                    self._ranker.score(message, context)
+                    for message in valid_messages
+                )
+            with span("swdecc.choose"):
+                best_score = max(scores)
+                tied_messages = [
+                    message
+                    for message, score in zip(valid_messages, scores)
+                    if score == best_score
+                ]
+                if len(tied_messages) == 1 or self._tie_break is TieBreak.FIRST:
+                    chosen_message = min(tied_messages)
+                else:
+                    chosen_message = self._rng.choice(tied_messages)
+                chosen_codeword = candidates[
+                    candidate_messages.index(chosen_message)
+                ]
+        latency_ns = time.perf_counter_ns() - start_ns
+        num_valid = 0 if fell_back else len(valid_messages)
+        self._m_recoveries.inc()
         if fell_back:
-            # The side information's premise failed (e.g. the original
-            # word was not a legal instruction): recover from the raw
-            # candidate list rather than giving up.
-            valid_messages = candidate_messages
-        scores = tuple(
-            self._ranker.score(message, context) for message in valid_messages
+            self._m_fallbacks.inc()
+        if len(tied_messages) > 1:
+            self._m_ties.inc()
+        self._h_candidates.observe(len(candidates))
+        self._h_valid.observe(num_valid)
+        self._event_log.record(
+            obs_events.DueEvent(
+                received=received,
+                num_candidates=len(candidates),
+                num_valid=num_valid,
+                filter_fell_back=fell_back,
+                chosen_message=chosen_message,
+                chosen_codeword=chosen_codeword,
+                tied=len(tied_messages),
+                latency_ns=latency_ns,
+            )
         )
-        best_score = max(scores)
-        tied_messages = [
-            message
-            for message, score in zip(valid_messages, scores)
-            if score == best_score
-        ]
-        if len(tied_messages) == 1 or self._tie_break is TieBreak.FIRST:
-            chosen_message = min(tied_messages)
-        else:
-            chosen_message = self._rng.choice(tied_messages)
-        chosen_codeword = candidates[candidate_messages.index(chosen_message)]
         return RecoveryResult(
             received=received,
             candidates=candidates,

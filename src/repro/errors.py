@@ -23,6 +23,7 @@ __all__ = [
     "SimulationError",
     "CpuFault",
     "AnalysisError",
+    "ObservabilityError",
 ]
 
 
@@ -124,3 +125,11 @@ class CpuFault(SimulationError):
 
 class AnalysisError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class ObservabilityError(ReproError):
+    """A metric, span, or event API was used inconsistently.
+
+    Raised, for example, when one metric name is requested as two
+    different types, or a counter is asked to decrease.
+    """

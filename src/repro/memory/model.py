@@ -14,10 +14,12 @@ flow* between decoder, policy, and recovery engine.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.bits import bit_mask
+from repro.obs import metrics as obs_metrics
 from repro.ecc.channel import ErrorPattern
 from repro.ecc.code import DecodeStatus, LinearBlockCode
 from repro.errors import MemoryFaultError
@@ -27,9 +29,18 @@ from repro.core.swdecc import RecoveryResult
 __all__ = ["EccMemory", "MemoryReadResult", "MemoryStats"]
 
 
-@dataclass
+@dataclass(eq=False)
 class MemoryStats:
-    """Event counters accumulated by an :class:`EccMemory`."""
+    """Event counters accumulated by an :class:`EccMemory`.
+
+    Backed by :mod:`repro.obs` via the collector pattern: instances
+    register themselves in a weak set at construction, and a metrics
+    collector sums every live instance into the registry's ``memory.*``
+    gauges whenever the registry is snapshotted (``repro stats``,
+    ``--profile``, ``registry.as_dict()``).  The hot read/write paths
+    therefore stay plain integer increments — observability costs
+    nothing until somebody looks.
+    """
 
     writes: int = 0
     reads: int = 0
@@ -38,6 +49,9 @@ class MemoryStats:
     detected_uncorrectable: int = 0
     heuristic_recoveries: int = 0
     poisoned_reads: int = 0
+
+    def __post_init__(self) -> None:
+        _LIVE_STATS.add(self)
 
     def as_dict(self) -> dict[str, int]:
         """Counters as a plain dict (for reports)."""
@@ -50,6 +64,27 @@ class MemoryStats:
             "heuristic_recoveries": self.heuristic_recoveries,
             "poisoned_reads": self.poisoned_reads,
         }
+
+
+#: Live MemoryStats instances, summed into ``memory.*`` gauges by the
+#: snapshot-time collector below.
+_LIVE_STATS: "weakref.WeakSet[MemoryStats]" = weakref.WeakSet()
+
+
+def _collect_memory_stats() -> None:
+    registry = obs_metrics.get_registry()
+    totals: dict[str, int] = {}
+    for stats in list(_LIVE_STATS):
+        for name, value in stats.as_dict().items():
+            totals[name] = totals.get(name, 0) + value
+    for name, value in totals.items():
+        registry.gauge(
+            f"memory.{name}",
+            help="sum over all live EccMemory instances",
+        ).set(value)
+
+
+obs_metrics.add_collector(_collect_memory_stats)
 
 
 @dataclass(frozen=True)

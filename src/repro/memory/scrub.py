@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from repro.ecc.code import DecodeStatus
 from repro.errors import MemoryFaultError
 from repro.memory.model import EccMemory
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 __all__ = ["ScrubReport", "Scrubber", "PageRetirement"]
 
@@ -46,6 +48,10 @@ class Scrubber:
     def __init__(self, memory: EccMemory) -> None:
         self._memory = memory
         self._due_addresses: list[int] = []
+        registry = obs_metrics.get_registry()
+        self._m_passes = registry.counter("scrub.passes")
+        self._m_corrected = registry.counter("scrub.errors_corrected")
+        self._m_dues = registry.counter("scrub.dues_found")
 
     @property
     def due_addresses(self) -> list[int]:
@@ -58,17 +64,21 @@ class Scrubber:
         corrected = 0
         dues = 0
         scanned = 0
-        for address in sorted(self._memory.addresses()):
-            scanned += 1
-            result = code.decode(self._memory.raw_codeword(address))
-            if result.status is DecodeStatus.CORRECTED:
-                assert result.message is not None
-                self._memory.write(address, result.message)
-                corrected += 1
-            elif result.status is DecodeStatus.DUE:
-                dues += 1
-                if address not in self._due_addresses:
-                    self._due_addresses.append(address)
+        with span("scrub.pass"):
+            for address in sorted(self._memory.addresses()):
+                scanned += 1
+                result = code.decode(self._memory.raw_codeword(address))
+                if result.status is DecodeStatus.CORRECTED:
+                    assert result.message is not None
+                    self._memory.write(address, result.message)
+                    corrected += 1
+                elif result.status is DecodeStatus.DUE:
+                    dues += 1
+                    if address not in self._due_addresses:
+                        self._due_addresses.append(address)
+        self._m_passes.inc()
+        self._m_corrected.inc(corrected)
+        self._m_dues.inc(dues)
         return ScrubReport(
             words_scanned=scanned, errors_corrected=corrected, dues_found=dues
         )

@@ -1,0 +1,68 @@
+"""Observability: metrics, tracing spans, and structured DUE events.
+
+The recovery pipeline is a pipeline of heuristics, and the paper's own
+evaluation (candidate counts, filtering rates, per-bit-position success)
+is exactly the data a metrics layer produces as a byproduct of normal
+runs.  This package provides that layer with zero dependencies:
+
+- :mod:`repro.obs.metrics` — process-local counters, gauges, and
+  histograms in a named registry.  Counter collection is **default on**
+  and cheap enough for hot paths.
+- :mod:`repro.obs.trace` — nestable wall-clock spans around pipeline
+  stages.  Span *collection* is **opt-in** (:func:`enable_tracing`);
+  when disabled a span is a shared no-op object.
+- :mod:`repro.obs.events` — one JSON-serializable :class:`DueEvent`
+  record per DUE handled by :meth:`repro.core.swdecc.SwdEcc.recover`,
+  kept in a bounded in-memory log.
+- :mod:`repro.obs.export` — text tables (via
+  :func:`repro.analysis.heatmap.render_table`) and a JSON encoder for
+  all of the above.
+
+See ``docs/observability.md`` for a worked example.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import DueEvent, EventLog, get_event_log, set_event_log
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    Span,
+    SpanCollector,
+    current_collector,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    # trace
+    "Span",
+    "SpanCollector",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "current_collector",
+    # events
+    "DueEvent",
+    "EventLog",
+    "get_event_log",
+    "set_event_log",
+]

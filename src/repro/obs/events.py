@@ -1,0 +1,227 @@
+"""Structured event logging: one record per DUE handled.
+
+Every call to :meth:`repro.core.swdecc.SwdEcc.recover` emits one
+:class:`DueEvent` into the process-wide :class:`EventLog` — a bounded
+ring buffer, so long sweeps cannot grow memory without bound.  Events
+are named tuples (construction sits on the recovery hot path, and a
+``NamedTuple`` builds several times faster than a frozen dataclass)
+that round-trip through JSON
+(:meth:`DueEvent.to_dict` / :meth:`DueEvent.from_dict`), which is what
+the CLI's ``--events PATH`` flag writes as JSON lines.
+
+The emitter knows the received word and what the engine chose; it
+cannot know the *true* original word.  Harnesses that do (sweeps, the
+``repro recover`` command) annotate the event afterwards with
+:meth:`DueEvent.with_truth`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Iterator, NamedTuple
+
+__all__ = [
+    "DueEvent",
+    "EventLog",
+    "NullEventLog",
+    "get_event_log",
+    "set_event_log",
+]
+
+
+class DueEvent(NamedTuple):
+    """One DUE handled by the SWD-ECC engine.
+
+    Attributes
+    ----------
+    received:
+        The n-bit DUE word as read from memory.
+    num_candidates:
+        Size of the unfiltered equidistant candidate list.
+    num_valid:
+        Candidates surviving the filter stage (before any fallback).
+    filter_fell_back:
+        True when filtering rejected everything and the engine reverted
+        to the unfiltered list.
+    chosen_message / chosen_codeword:
+        The recovery target the engine picked.
+    tied:
+        Number of candidates sharing the winning score.
+    latency_ns:
+        Wall-clock nanoseconds spent inside ``recover()``.
+    address:
+        Faulting word address, when the caller knows it.
+    true_message:
+        The actual original message, when a harness knows ground truth.
+    """
+
+    received: int
+    num_candidates: int
+    num_valid: int
+    filter_fell_back: bool
+    chosen_message: int
+    chosen_codeword: int
+    tied: int
+    latency_ns: int
+    address: int | None = None
+    true_message: int | None = None
+
+    @property
+    def recovered(self) -> bool | None:
+        """Whether the chosen message matches ground truth; ``None``
+        when no ground truth was attached."""
+        if self.true_message is None:
+            return None
+        return self.chosen_message == self.true_message
+
+    def with_truth(self, true_message: int) -> "DueEvent":
+        """A copy annotated with the known original message."""
+        return self._replace(true_message=true_message)
+
+    def with_address(self, address: int) -> "DueEvent":
+        """A copy annotated with the faulting address."""
+        return self._replace(address=address)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable record (includes the derived verdict)."""
+        return {
+            "received": self.received,
+            "num_candidates": self.num_candidates,
+            "num_valid": self.num_valid,
+            "filter_fell_back": self.filter_fell_back,
+            "chosen_message": self.chosen_message,
+            "chosen_codeword": self.chosen_codeword,
+            "tied": self.tied,
+            "latency_ns": self.latency_ns,
+            "address": self.address,
+            "true_message": self.true_message,
+            "recovered": self.recovered,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, object]) -> "DueEvent":
+        """Rebuild an event from :meth:`to_dict` output (the derived
+        ``recovered`` key, if present, is ignored)."""
+        return cls(
+            received=int(record["received"]),  # type: ignore[arg-type]
+            num_candidates=int(record["num_candidates"]),  # type: ignore[arg-type]
+            num_valid=int(record["num_valid"]),  # type: ignore[arg-type]
+            filter_fell_back=bool(record["filter_fell_back"]),
+            chosen_message=int(record["chosen_message"]),  # type: ignore[arg-type]
+            chosen_codeword=int(record["chosen_codeword"]),  # type: ignore[arg-type]
+            tied=int(record["tied"]),  # type: ignore[arg-type]
+            latency_ns=int(record["latency_ns"]),  # type: ignore[arg-type]
+            address=(
+                None if record.get("address") is None
+                else int(record["address"])  # type: ignore[arg-type]
+            ),
+            true_message=(
+                None if record.get("true_message") is None
+                else int(record["true_message"])  # type: ignore[arg-type]
+            ),
+        )
+
+
+class EventLog:
+    """Bounded in-memory DUE event log (newest events win)."""
+
+    DEFAULT_CAPACITY = 8192
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._events: deque[DueEvent] = deque(maxlen=capacity)
+        self._total = 0
+
+    @property
+    def capacity(self) -> int:
+        """Ring-buffer size."""
+        return self._events.maxlen or 0
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded, including any evicted by the bound."""
+        return self._total
+
+    def record(self, event: DueEvent) -> None:
+        """Append an event (evicting the oldest when full)."""
+        self._events.append(event)
+        self._total += 1
+
+    def events(self) -> tuple[DueEvent, ...]:
+        """The retained events, oldest first."""
+        return tuple(self._events)
+
+    def last(self) -> DueEvent | None:
+        """The most recent event, or ``None``."""
+        return self._events[-1] if self._events else None
+
+    def annotate_last(self, **changes: object) -> DueEvent | None:
+        """Replace fields of the most recent event in place.
+
+        Harnesses that learn ground truth (or the faulting address)
+        right after a ``recover()`` call use this to enrich the event
+        the engine just emitted.  Returns the updated event.
+        """
+        if not self._events:
+            return None
+        updated = self._events[-1]._replace(**changes)  # type: ignore[arg-type]
+        self._events[-1] = updated
+        return updated
+
+    def drain(self) -> tuple[DueEvent, ...]:
+        """Return and remove all retained events."""
+        drained = tuple(self._events)
+        self._events.clear()
+        return drained
+
+    def clear(self) -> None:
+        """Drop all retained events and zero the total."""
+        self._events.clear()
+        self._total = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[DueEvent]:
+        return iter(tuple(self._events))
+
+    def to_json_lines(self) -> str:
+        """All retained events as newline-delimited JSON."""
+        return "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in self)
+
+    @classmethod
+    def from_json_lines(cls, text: str, capacity: int | None = None) -> "EventLog":
+        """Rebuild a log from :meth:`to_json_lines` output."""
+        log = cls(capacity if capacity is not None else cls.DEFAULT_CAPACITY)
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                log.record(DueEvent.from_dict(json.loads(line)))
+        return log
+
+
+class NullEventLog(EventLog):
+    """An event log that discards records (overhead baseline)."""
+
+    def record(self, event: DueEvent) -> None:
+        pass
+
+
+_default_log = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-wide DUE event log."""
+    return _default_log
+
+
+def set_event_log(log: EventLog) -> EventLog:
+    """Replace the default log; returns the previous one.
+
+    Like :func:`repro.obs.metrics.set_registry`, only objects
+    constructed after the swap pick up the new log.
+    """
+    global _default_log
+    previous = _default_log
+    _default_log = log
+    return previous

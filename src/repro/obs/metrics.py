@@ -1,0 +1,408 @@
+"""Process-local metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named metrics.  The
+module keeps one default registry that instrumented code fetches with
+:func:`get_registry`; hot classes cache the metric *objects* at
+construction time so the steady-state cost of an increment is one
+attribute access and an integer add.
+
+Collection is default-on.  To measure the cost of instrumentation
+itself (``benchmarks/bench_obs_overhead.py``) install
+:data:`NULL_REGISTRY`, whose metrics accept updates and discard them.
+
+Naming convention: dotted lowercase paths, subsystem first —
+``swdecc.recoveries``, ``memory.reads``, ``sweep.benchmark_wall_seconds``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "add_collector",
+    "run_collectors",
+]
+
+#: Latency-style bucket upper bounds, in seconds (Prometheus defaults).
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Small-integer bucket upper bounds (candidate counts, list sizes).
+DEFAULT_COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 128,
+)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    @property
+    def value(self) -> int | float:
+        """Current count."""
+        return self._value
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self._value += amount
+
+    def reset(self) -> None:
+        """Zero the counter (registry resets, test isolation)."""
+        self._value = 0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot."""
+        return {"type": "counter", "name": self.name, "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (sizes, last-seen readings)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current reading."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Replace the reading."""
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Adjust the reading upward."""
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Adjust the reading downward."""
+        self._value -= amount
+
+    def reset(self) -> None:
+        """Zero the gauge."""
+        self._value = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot."""
+        return {"type": "gauge", "name": self.name, "value": self._value}
+
+
+class Histogram:
+    """A distribution summarised by fixed buckets plus running moments.
+
+    Buckets are *upper bounds* of cumulative-style bins; an observation
+    lands in the first bucket whose bound is >= the value, or in the
+    implicit overflow bucket.  ``count``/``sum``/``min``/``max`` are
+    exact regardless of bucketing.
+    """
+
+    __slots__ = (
+        "name", "help", "buckets", "_bucket_counts",
+        "_count", "_sum", "_min", "_max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] | None = None,
+        help: str = "",
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_TIME_BUCKETS
+        if not bounds:
+            raise ObservabilityError(f"histogram {name!r} needs buckets")
+        if list(bounds) != sorted(bounds):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be sorted: {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +1 = overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        # bisect_left lands v == bound in that bucket (le semantics)
+        # and v beyond every bound in the overflow slot.
+        self._bucket_counts[bisect_left(self.buckets, value)] += 1
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations."""
+        return self._sum
+
+    @property
+    def min(self) -> float | None:
+        """Smallest observation, or ``None`` when empty."""
+        return self._min
+
+    @property
+    def max(self) -> float | None:
+        """Largest observation, or ``None`` when empty."""
+        return self._max
+
+    @property
+    def mean(self) -> float | None:
+        """Arithmetic mean, or ``None`` when empty."""
+        return self._sum / self._count if self._count else None
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """(upper bound, count) pairs; the overflow bound is ``inf``."""
+        bounds = [*self.buckets, float("inf")]
+        return list(zip(bounds, self._bucket_counts))
+
+    def quantile(self, q: float) -> float | None:
+        """Bucket-resolution estimate of the *q*-quantile (0..1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile {q} outside [0, 1]")
+        if not self._count:
+            return None
+        rank = q * self._count
+        cumulative = 0
+        for bound, count in self.bucket_counts():
+            cumulative += count
+            if cumulative >= rank:
+                return min(bound, self._max if self._max is not None else bound)
+        return self._max
+
+    def reset(self) -> None:
+        """Drop all observations (buckets are kept)."""
+        self._bucket_counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot."""
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in self.bucket_counts()
+            ],
+        }
+
+
+#: Callbacks that refresh *derived* metrics right before a snapshot.
+#: Subsystems with hot paths too cheap to instrument inline (e.g. the
+#: per-instance ``MemoryStats`` counters) register a collector instead:
+#: it runs when the registry is read, not when events happen.
+_collectors: list = []
+
+
+def add_collector(callback) -> None:
+    """Register a zero-argument callback run before registry snapshots."""
+    _collectors.append(callback)
+
+
+def run_collectors() -> None:
+    """Run every registered collector (snapshot refresh)."""
+    for callback in list(_collectors):
+        callback()
+
+
+class MetricsRegistry:
+    """A flat, get-or-create namespace of metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, kind):
+            raise ObservabilityError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter *name*."""
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge *name*."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] | None = None,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create the histogram *name*.
+
+        *buckets* only takes effect on creation; later calls return the
+        existing histogram unchanged.
+        """
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets, help)
+        )
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The metric registered under *name*, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def __iter__(self):
+        run_collectors()
+        for name in self.names():
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric, keeping registrations (cached references
+        held by instrumented objects stay valid)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every registration.  Cached references keep updating
+        their orphaned metrics; prefer :meth:`reset` between runs."""
+        self._metrics.clear()
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        """Snapshot of every metric, keyed by name."""
+        run_collectors()
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+
+class _NullCounter(Counter):
+    """A counter that discards updates (overhead baseline)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    """A gauge that discards updates."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    """A histogram that discards observations."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose metrics accept and discard all updates.
+
+    Install with ``set_registry(NULL_REGISTRY)`` to measure (or remove)
+    instrumentation cost; objects constructed afterwards cache the null
+    metrics and become no-op instrumented.
+    """
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(
+            name, Counter, lambda: _NullCounter(name, help)
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: _NullGauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] | None = None,
+        help: str = "",
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: _NullHistogram(name, buckets, help)
+        )
+
+
+#: Shared no-op registry for overhead baselines.
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: MetricsRegistry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the default registry; returns the previous one.
+
+    Only objects constructed *after* the swap pick up the new registry —
+    instrumented classes cache metric objects at construction time.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

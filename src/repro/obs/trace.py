@@ -1,0 +1,217 @@
+"""Lightweight tracing spans around pipeline stages.
+
+A span measures the wall-clock time (``time.perf_counter_ns``) spent in
+a ``with`` block and records it — with its nesting depth and parent —
+into the active :class:`SpanCollector`.  Collection is **opt-in**: until
+:func:`enable_tracing` installs a collector, :func:`span` returns a
+shared no-op context manager and instrumented code pays only a function
+call and an attribute read per stage.
+
+Spans nest naturally::
+
+    with span("sweep.run"):
+        with span("swdecc.recover"):
+            ...
+
+and the collector's :meth:`SpanCollector.summary` aggregates per-name
+count/total/min/max/mean for the stage-latency tables that ``repro
+stats`` and ``--profile`` print.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "Span",
+    "SpanCollector",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "current_collector",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished timing span.
+
+    Attributes
+    ----------
+    name:
+        Stage name (``swdecc.filter``, ``cpu.run``, ...).
+    start_ns / end_ns:
+        ``perf_counter_ns`` readings at entry and exit.
+    depth:
+        Nesting depth at the time the span opened (0 = root).
+    span_id:
+        Identifier assigned at entry, unique within the collector.
+    parent_id:
+        ``span_id`` of the enclosing span, or ``None`` for a root span.
+    """
+
+    name: str
+    start_ns: int
+    end_ns: int
+    depth: int
+    span_id: int
+    parent_id: int | None
+
+    @property
+    def duration_ns(self) -> int:
+        """Elapsed nanoseconds."""
+        return self.end_ns - self.start_ns
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly record."""
+        return {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "depth": self.depth,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
+
+class SpanCollector:
+    """Accumulates finished spans and aggregates them per name."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        # Open spans: (name, span_id, parent_id, start_ns).
+        self._stack: list[tuple[str, int, int | None, int]] = []
+        self._next_id = 0
+
+    # -- recording (called by the span context manager) -----------------
+
+    def _enter(self, name: str) -> None:
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1][1] if self._stack else None
+        self._stack.append((name, span_id, parent_id, time.perf_counter_ns()))
+
+    def _exit(self) -> None:
+        end_ns = time.perf_counter_ns()
+        name, span_id, parent_id, start_ns = self._stack.pop()
+        self._spans.append(
+            Span(
+                name=name,
+                start_ns=start_ns,
+                end_ns=end_ns,
+                depth=len(self._stack),
+                span_id=span_id,
+                parent_id=parent_id,
+            )
+        )
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """All finished spans, in completion order."""
+        return tuple(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def clear(self) -> None:
+        """Drop every finished span (open spans are unaffected)."""
+        self._spans.clear()
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-name aggregate: count, total/min/max/mean nanoseconds."""
+        aggregate: dict[str, dict[str, float]] = {}
+        for item in self._spans:
+            entry = aggregate.get(item.name)
+            duration = item.duration_ns
+            if entry is None:
+                aggregate[item.name] = {
+                    "count": 1,
+                    "total_ns": duration,
+                    "min_ns": duration,
+                    "max_ns": duration,
+                }
+            else:
+                entry["count"] += 1
+                entry["total_ns"] += duration
+                if duration < entry["min_ns"]:
+                    entry["min_ns"] = duration
+                if duration > entry["max_ns"]:
+                    entry["max_ns"] = duration
+        for entry in aggregate.values():
+            entry["mean_ns"] = entry["total_ns"] / entry["count"]
+        return aggregate
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+class _LiveSpan:
+    """Context manager that records into the active collector."""
+
+    __slots__ = ("_name", "_collector")
+
+    def __init__(self, name: str, collector: SpanCollector) -> None:
+        self._name = name
+        self._collector = collector
+
+    def __enter__(self) -> "_LiveSpan":
+        self._collector._enter(self._name)
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._collector._exit()
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_active: SpanCollector | None = None
+
+
+def span(name: str) -> _NullSpan | _LiveSpan:
+    """A context manager timing the enclosed block as *name*.
+
+    No-op (and allocation-free) while tracing is disabled.
+    """
+    collector = _active
+    if collector is None:
+        return _NULL_SPAN
+    return _LiveSpan(name, collector)
+
+
+def enable_tracing(collector: SpanCollector | None = None) -> SpanCollector:
+    """Install (and return) the active span collector."""
+    global _active
+    _active = collector if collector is not None else SpanCollector()
+    return _active
+
+
+def disable_tracing() -> SpanCollector | None:
+    """Remove the active collector; returns it for post-hoc reading."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+def tracing_enabled() -> bool:
+    """True when a collector is installed."""
+    return _active is not None
+
+
+def current_collector() -> SpanCollector | None:
+    """The active collector, or ``None``."""
+    return _active

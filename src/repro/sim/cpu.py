@@ -30,6 +30,8 @@ from repro.isa.opcodes import (
     COP2_OPCODE,
     COP3_OPCODE,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.sim.mem_iface import PoisonError, WordMemory
 from repro.sim.symptoms import Symptom
 
@@ -214,13 +216,22 @@ class Cpu:
         """Run until exit, a symptom, or the watchdog expires."""
         exit_code: int | None = None
         symptom: Symptom | None = None
+        steps_before = self._steps
         try:
-            while self._steps < max_steps:
-                self._step()
-            symptom = Symptom.WATCHDOG_TIMEOUT
+            with span("cpu.run"):
+                while self._steps < max_steps:
+                    self._step()
+                symptom = Symptom.WATCHDOG_TIMEOUT
         except _Halt as halt:
             exit_code = halt.exit_code
             symptom = halt.symptom
+        # Counters are updated once per run, not per step, so the hot
+        # execution loop stays instrumentation free.
+        registry = obs_metrics.get_registry()
+        registry.counter("cpu.runs").inc()
+        registry.counter("cpu.instructions").inc(self._steps - steps_before)
+        if symptom is not None:
+            registry.counter(f"cpu.symptom.{symptom.value}").inc()
         return ExecutionResult(
             exit_code=exit_code,
             symptom=symptom,

@@ -1,0 +1,18 @@
+"""Shared fixtures: isolate each obs test from prior global state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import events as obs_events
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Start each test with an empty event log and tracing disabled."""
+    obs_events.get_event_log().clear()
+    obs_trace.disable_tracing()
+    yield
+    obs_events.get_event_log().clear()
+    obs_trace.disable_tracing()

@@ -1,0 +1,99 @@
+"""Unit tests for DUE event records and the bounded event log."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.events import DueEvent, EventLog
+from repro.obs.export import to_json, to_jsonable
+
+
+def _event(**overrides) -> DueEvent:
+    fields = dict(
+        received=0x1234,
+        num_candidates=12,
+        num_valid=3,
+        filter_fell_back=False,
+        chosen_message=0x8FBF0018,
+        chosen_codeword=0x11_8FBF0018,
+        tied=1,
+        latency_ns=42_000,
+    )
+    fields.update(overrides)
+    return DueEvent(**fields)
+
+
+class TestDueEvent:
+    def test_round_trips_through_json(self):
+        event = _event(address=0x400000, true_message=0x8FBF0018)
+        rebuilt = DueEvent.from_dict(json.loads(json.dumps(event.to_dict())))
+        assert rebuilt == event
+
+    def test_round_trip_preserves_optional_none(self):
+        event = _event()
+        rebuilt = DueEvent.from_dict(json.loads(json.dumps(event.to_dict())))
+        assert rebuilt == event
+        assert rebuilt.address is None and rebuilt.true_message is None
+
+    def test_recovered_verdict(self):
+        assert _event().recovered is None
+        assert _event(true_message=0x8FBF0018).recovered is True
+        assert _event(true_message=0xDEAD).recovered is False
+
+    def test_with_truth_and_address_are_copies(self):
+        event = _event()
+        annotated = event.with_truth(0x8FBF0018).with_address(0x100)
+        assert annotated.recovered is True
+        assert annotated.address == 0x100
+        assert event.true_message is None  # original untouched
+
+    def test_to_jsonable_passthrough(self):
+        payload = to_jsonable(_event())
+        assert payload["received"] == 0x1234
+        assert json.loads(to_json(_event()))["num_candidates"] == 12
+
+
+class TestEventLog:
+    def test_record_and_read(self):
+        log = EventLog()
+        log.record(_event())
+        assert len(log) == 1
+        assert log.last() == _event()
+        assert log.events() == (_event(),)
+
+    def test_bounded_capacity_evicts_oldest(self):
+        log = EventLog(capacity=3)
+        for received in range(5):
+            log.record(_event(received=received))
+        assert len(log) == 3
+        assert [e.received for e in log.events()] == [2, 3, 4]
+        assert log.total_recorded == 5
+
+    def test_annotate_last(self):
+        log = EventLog()
+        log.record(_event())
+        updated = log.annotate_last(true_message=0x8FBF0018, address=0x40)
+        assert updated is not None and updated.recovered is True
+        assert log.last().address == 0x40
+
+    def test_annotate_last_on_empty_log(self):
+        assert EventLog().annotate_last(address=1) is None
+
+    def test_drain_empties_but_keeps_total(self):
+        log = EventLog()
+        log.record(_event())
+        drained = log.drain()
+        assert drained == (_event(),)
+        assert len(log) == 0
+        assert log.total_recorded == 1
+
+    def test_json_lines_round_trip(self):
+        log = EventLog()
+        log.record(_event(received=1))
+        log.record(_event(received=2, true_message=0x8FBF0018))
+        rebuilt = EventLog.from_json_lines(log.to_json_lines())
+        assert rebuilt.events() == log.events()
+
+    def test_empty_json_lines(self):
+        assert EventLog().to_json_lines() == ""
+        assert EventLog.from_json_lines("").events() == ()

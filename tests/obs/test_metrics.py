@@ -1,0 +1,151 @@
+"""Unit tests for the metrics registry: counter/gauge/histogram math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("c")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_as_dict(self):
+        counter = Counter("swdecc.recoveries")
+        counter.inc(3)
+        assert counter.as_dict() == {
+            "type": "counter", "name": "swdecc.recoveries", "value": 3,
+        }
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec(0.5)
+        assert gauge.value == pytest.approx(12.0)
+
+
+class TestHistogram:
+    def test_bucket_assignment_is_le(self):
+        histogram = Histogram("h", buckets=(1, 2, 4))
+        for value in (0.5, 1, 1.5, 2, 4, 100):
+            histogram.observe(value)
+        counts = dict(histogram.bucket_counts())
+        # le semantics: 0.5 and 1 land in the first bucket, 1.5 and 2
+        # in the second, 4 in the third, 100 in the overflow bucket.
+        assert counts[1] == 2
+        assert counts[2] == 2
+        assert counts[4] == 1
+        assert counts[float("inf")] == 1
+
+    def test_exact_moments(self):
+        histogram = Histogram("h", buckets=(10,))
+        for value in (1, 2, 3, 4):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 10
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.min == 1
+        assert histogram.max == 4
+
+    def test_empty_histogram_moments(self):
+        histogram = Histogram("h", buckets=(1,))
+        assert histogram.count == 0
+        assert histogram.mean is None
+        assert histogram.min is None and histogram.max is None
+
+    def test_quantile_estimate(self):
+        histogram = Histogram("h", buckets=(1, 2, 4, 8))
+        for value in (1, 1, 2, 2, 4, 8):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 1
+        assert histogram.quantile(1.0) == 8
+        assert histogram.quantile(0.5) in (1, 2)
+
+    def test_quantile_range_check(self):
+        histogram = Histogram("h", buckets=(1,))
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=(2, 1))
+
+    def test_reset_keeps_buckets(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        histogram.observe(1.5)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.buckets == (1, 2)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("a")
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.counter("a") is counter
+
+    def test_iteration_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(2)
+        names = [metric.name for metric in registry]
+        assert names == ["a", "b"]  # sorted
+        snapshot = registry.as_dict()
+        assert snapshot["b"]["value"] == 1
+
+    def test_null_registry_discards(self):
+        NULL_REGISTRY.counter("x").inc(100)
+        assert NULL_REGISTRY.counter("x").value == 0
+        NULL_REGISTRY.histogram("y", buckets=(1,)).observe(5)
+        assert NULL_REGISTRY.histogram("y", buckets=(1,)).count == 0
+
+    def test_default_registry_swap(self):
+        original = get_registry()
+        replacement = MetricsRegistry()
+        try:
+            previous = set_registry(replacement)
+            assert previous is original
+            assert get_registry() is replacement
+        finally:
+            set_registry(original)

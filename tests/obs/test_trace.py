@@ -1,0 +1,123 @@
+"""Unit tests for tracing spans: nesting, timing monotonicity, no-op mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import (
+    SpanCollector,
+    current_collector,
+    disable_tracing,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture
+def collector():
+    """Tracing enabled for the test, always disabled afterwards."""
+    active = enable_tracing()
+    yield active
+    disable_tracing()
+
+
+class TestSpanLifecycle:
+    def test_disabled_by_default_and_null_span_is_noop(self):
+        assert not tracing_enabled()
+        with span("anything"):
+            pass  # must not raise, must not record anywhere
+        assert current_collector() is None
+
+    def test_enable_disable_roundtrip(self):
+        active = enable_tracing()
+        assert tracing_enabled() and current_collector() is active
+        assert disable_tracing() is active
+        assert not tracing_enabled()
+
+    def test_span_records_name_and_duration(self, collector):
+        with span("stage"):
+            pass
+        assert len(collector) == 1
+        recorded = collector.spans[0]
+        assert recorded.name == "stage"
+        assert recorded.duration_ns >= 0
+        assert recorded.end_ns >= recorded.start_ns
+
+    def test_timing_monotonicity_across_spans(self, collector):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        first, second = collector.spans
+        assert second.start_ns >= first.end_ns
+
+    def test_span_survives_exceptions(self, collector):
+        with pytest.raises(ValueError):
+            with span("fails"):
+                raise ValueError("boom")
+        assert len(collector) == 1
+        assert collector.spans[0].name == "fails"
+
+
+class TestNesting:
+    def test_child_closes_before_parent_and_links_to_it(self, collector):
+        with span("parent"):
+            with span("child"):
+                pass
+        child, parent = collector.spans  # completion order
+        assert child.name == "child" and parent.name == "parent"
+        assert child.depth == 1 and parent.depth == 0
+        assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+        # The child's interval nests inside the parent's.
+        assert parent.start_ns <= child.start_ns
+        assert child.end_ns <= parent.end_ns
+
+    def test_sibling_spans_share_parent(self, collector):
+        with span("parent"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        a, b, parent = collector.spans
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+        assert a.span_id != b.span_id
+
+    def test_deep_nesting_depths(self, collector):
+        with span("d0"):
+            with span("d1"):
+                with span("d2"):
+                    pass
+        depths = {item.name: item.depth for item in collector.spans}
+        assert depths == {"d0": 0, "d1": 1, "d2": 2}
+
+
+class TestSummary:
+    def test_summary_aggregates_per_name(self):
+        collector = SpanCollector()
+        enable_tracing(collector)
+        try:
+            for _ in range(3):
+                with span("repeated"):
+                    pass
+            with span("once"):
+                pass
+        finally:
+            disable_tracing()
+        summary = collector.summary()
+        assert summary["repeated"]["count"] == 3
+        assert summary["once"]["count"] == 1
+        entry = summary["repeated"]
+        assert entry["min_ns"] <= entry["mean_ns"] <= entry["max_ns"]
+        assert entry["total_ns"] == pytest.approx(
+            entry["mean_ns"] * entry["count"]
+        )
+
+    def test_clear(self, collector):
+        with span("x"):
+            pass
+        collector.clear()
+        assert len(collector) == 0
+        assert collector.summary() == {}
