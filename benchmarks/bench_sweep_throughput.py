@@ -1,0 +1,121 @@
+"""Sweep-throughput benchmark: the acceleration stack's report card.
+
+Measures ``recover()``/second on the Fig. 8 workload (filter-and-rank
+strategy, exhaustive double-bit patterns over a synthetic image) for
+three engine configurations:
+
+- **serial-uncached** — all memoization disabled (``cache=False``),
+  the cost model of the original implementation;
+- **memoized** — syndrome-keyed enumeration plus filter/ranker context
+  caches (the default configuration);
+- **parallel** — memoized engines fanned out over worker processes
+  (``jobs=2``; chunk setup dominates on small hosts, so no scaling is
+  asserted — the parallel row is recorded for cross-host comparison).
+
+The memoized configuration is asserted to reach at least 3x the
+uncached throughput, and every run appends a record to
+``BENCH_sweep.json`` at the repo root so regressions are visible in
+history.  See ``docs/performance.md`` for what each layer does.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.analysis.sweep import DueSweep, RecoveryStrategy
+from repro.ecc.channel import double_bit_patterns
+from repro.program.synth import synthesize_benchmark
+
+MIN_MEMOIZED_SPEEDUP = 3.0
+PARALLEL_JOBS = 2
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def _throughput(code, image, window, *, cache, jobs=1):
+    """Run the Fig. 8-shaped sweep once; return recover() calls/second."""
+    sweep = DueSweep(
+        code, RecoveryStrategy.FILTER_AND_RANK, window, cache=cache
+    )
+    start = time.perf_counter()
+    result = sweep.run(image, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    recovers = len(result.outcomes) * result.num_instructions
+    return recovers / elapsed, recovers, elapsed
+
+
+def _append_history(record) -> None:
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_memoized_sweep_at_least_3x_uncached(code, scale):
+    window = scale.instructions
+    image = synthesize_benchmark("mcf", length=scale.image_length)
+    num_patterns = len(double_bit_patterns(code.n))
+
+    uncached_rps, recovers, uncached_s = _throughput(
+        code, image, window, cache=False
+    )
+    memoized_rps, _, memoized_s = _throughput(code, image, window, cache=True)
+    parallel_rps, _, parallel_s = _throughput(
+        code, image, window, cache=True, jobs=PARALLEL_JOBS
+    )
+
+    memoized_speedup = memoized_rps / uncached_rps
+    parallel_speedup = parallel_rps / uncached_rps
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "workload": {
+            "benchmark": image.name,
+            "strategy": RecoveryStrategy.FILTER_AND_RANK.value,
+            "instructions": window,
+            "patterns": num_patterns,
+            "recovers": recovers,
+        },
+        "serial_uncached_rps": round(uncached_rps, 1),
+        "memoized_rps": round(memoized_rps, 1),
+        "parallel_rps": round(parallel_rps, 1),
+        "parallel_jobs": PARALLEL_JOBS,
+        "memoized_speedup": round(memoized_speedup, 2),
+        "parallel_speedup": round(parallel_speedup, 2),
+    }
+    _append_history(record)
+
+    emit(
+        "Performance | sweep throughput (recover()/sec, Fig. 8 workload)",
+        "\n".join(
+            [
+                f"workload         : {recovers} recovers "
+                f"({num_patterns} patterns x {window} instructions, "
+                f"{image.name})",
+                f"serial uncached  : {uncached_rps:10.0f}/s "
+                f"({uncached_s * 1e3:8.1f} ms)",
+                f"memoized         : {memoized_rps:10.0f}/s "
+                f"({memoized_s * 1e3:8.1f} ms, "
+                f"{memoized_speedup:.2f}x)",
+                f"parallel (j={PARALLEL_JOBS})   : {parallel_rps:10.0f}/s "
+                f"({parallel_s * 1e3:8.1f} ms, "
+                f"{parallel_speedup:.2f}x)",
+                f"history          : {RESULTS_PATH.name}",
+            ]
+        ),
+    )
+
+    assert memoized_speedup >= MIN_MEMOIZED_SPEEDUP, (
+        f"memoized sweep is only {memoized_speedup:.2f}x the uncached "
+        f"baseline; the acceleration stack promises >= "
+        f"{MIN_MEMOIZED_SPEEDUP:.1f}x"
+    )

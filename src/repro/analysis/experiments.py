@@ -29,9 +29,9 @@ from repro.analysis.metrics import (
     rate_histogram,
     region_means,
 )
+from repro.analysis.parallel import chunk_evenly, parallel_map
 from repro.analysis.sweep import BenchmarkSweepResult, DueSweep, RecoveryStrategy
 from repro.core.sideinfo import RecoveryContext
-from repro.core.swdecc import success_probability
 from repro.ecc.candidates import CandidateCountProfile, candidate_count_profile
 from repro.ecc.channel import double_bit_patterns
 from repro.ecc.code import LinearBlockCode
@@ -246,40 +246,65 @@ class Fig6Result:
         return "\n".join(sections)
 
 
+def _fig6_pattern_rates(payload) -> list[tuple[float, float, float]]:
+    """Fig. 6 rates for one chunk of patterns (parallel-map worker).
+
+    Returns ``(random_rate, filter_rate, filter_best)`` per pattern.
+    Module-level and driven by plain data so it pickles into worker
+    processes; the serial path runs the same code in-process.
+    """
+    code, image, window, patterns = payload
+    context = RecoveryContext.for_instructions(FrequencyTable.from_image(image))
+    originals = image.words[:window]
+    random_engine = DueSweep(code, RecoveryStrategy.RANDOM_CANDIDATE, window).engine
+    filter_engine = DueSweep(code, RecoveryStrategy.FILTER_ONLY, window).engine
+    rows = []
+    for pattern in patterns:
+        random_stats = random_engine.sweep_probabilities(
+            originals, pattern.vector, context
+        )
+        filter_stats = filter_engine.sweep_probabilities(
+            originals, pattern.vector, context
+        )
+        random_total = 0.0
+        filter_total = 0.0
+        best = 0.0
+        for (p_random, _, _), (p_filter, _, _) in zip(
+            random_stats, filter_stats
+        ):
+            random_total += p_random
+            filter_total += p_filter
+            best = max(best, p_filter)
+        rows.append((random_total / window, filter_total / window, best))
+    return rows
+
+
 def run_fig6(
     code: LinearBlockCode | None = None,
     image: ProgramImage | None = None,
     num_instructions: int = 100,
+    jobs: int = 1,
 ) -> Fig6Result:
-    """Compute Fig. 6 for *image* (synthetic bzip2 by default)."""
+    """Compute Fig. 6 for *image* (synthetic bzip2 by default).
+
+    With ``jobs > 1`` the pattern sweep fans out over worker processes;
+    results are bit-identical to the serial run.
+    """
     code = code or default_code()
     image = image or synthesize_benchmark("bzip2", length=_DEFAULT_IMAGE_LENGTH)
     window = min(num_instructions, len(image))
-    context = RecoveryContext.for_instructions(FrequencyTable.from_image(image))
-    encoded = [code.encode(word) for word in image.words[:window]]
-    originals = image.words[:window]
-    random_engine = DueSweep(code, RecoveryStrategy.RANDOM_CANDIDATE, window).engine
-    filter_engine = DueSweep(code, RecoveryStrategy.FILTER_ONLY, window).engine
-    random_rates = []
-    filter_rates = []
-    filter_best = []
-    for pattern in double_bit_patterns(code.n):
-        random_total = 0.0
-        filter_total = 0.0
-        best = 0.0
-        for codeword, original in zip(encoded, originals):
-            received = pattern.apply(codeword)
-            random_total += success_probability(
-                random_engine.recover(received, context), original
-            )
-            p_filter = success_probability(
-                filter_engine.recover(received, context), original
-            )
-            filter_total += p_filter
-            best = max(best, p_filter)
-        random_rates.append(random_total / window)
-        filter_rates.append(filter_total / window)
-        filter_best.append(best)
+    payloads = [
+        (code, image, window, chunk)
+        for chunk in chunk_evenly(tuple(double_bit_patterns(code.n)), jobs)
+    ]
+    rows = [
+        row
+        for chunk_rows in parallel_map(_fig6_pattern_rates, payloads, jobs)
+        for row in chunk_rows
+    ]
+    random_rates = [row[0] for row in rows]
+    filter_rates = [row[1] for row in rows]
+    filter_best = [row[2] for row in rows]
     return Fig6Result(
         benchmark=image.name,
         random_rates=tuple(random_rates),
@@ -390,12 +415,18 @@ def run_fig8(
     code: LinearBlockCode | None = None,
     images: list[ProgramImage] | None = None,
     num_instructions: int = 100,
+    jobs: int = 1,
 ) -> Fig8Result:
-    """Run the headline sweep (Fig. 8) over *images*."""
+    """Run the headline sweep (Fig. 8) over *images*.
+
+    With ``jobs > 1`` each image's pattern sweep fans out over worker
+    processes (see :meth:`~repro.analysis.sweep.DueSweep.run`); output
+    is bit-identical to the serial run.
+    """
     code = code or default_code()
     images = images or default_images()
     sweep = DueSweep(code, RecoveryStrategy.FILTER_AND_RANK, num_instructions)
-    return Fig8Result(sweeps=tuple(sweep.run_many(images)))
+    return Fig8Result(sweeps=tuple(sweep.run_many(images, jobs=jobs)))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,105 @@
+"""Process-parallel fan-out with deterministic merge and obs aggregation.
+
+The exhaustive sweeps are embarrassingly parallel — every error pattern
+(and every benchmark image) is independent — but plain
+``ProcessPoolExecutor`` use would silently drop the observability
+counters the workers accumulate.  :func:`parallel_map` fixes both ends:
+
+- **Determinism**: results come back in payload order (``Executor.map``
+  semantics), so callers can concatenate chunk results and obtain
+  output bit-identical to a serial run.
+- **Metrics**: each worker task runs against a freshly-reset
+  process-local registry, snapshots it afterwards, and ships the
+  snapshot home; the parent folds the snapshots into its own registry
+  with :func:`repro.obs.metrics.merge_snapshot`, in submission order.
+
+Tracing spans and DUE event records are process-local and are *not*
+shipped back (spans are opt-in diagnostics; the event log is a bounded
+ring that parallel chunks would interleave meaninglessly) — see
+``docs/performance.md``.
+
+Workers are separate processes, so the callable and every payload must
+be picklable: pass module-level functions and plain data (codes,
+images, and patterns all qualify).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Any, TypeVar
+
+from repro.errors import AnalysisError
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["chunk_evenly", "parallel_map"]
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def chunk_evenly(items: Sequence[_P], num_chunks: int) -> list[tuple[_P, ...]]:
+    """Split *items* into at most *num_chunks* contiguous, non-empty runs.
+
+    Chunk sizes differ by at most one, so process-pool workers receive
+    balanced work; concatenating the chunks reproduces *items* exactly.
+    """
+    if num_chunks < 1:
+        raise AnalysisError(f"num_chunks must be >= 1, got {num_chunks}")
+    items = tuple(items)
+    num_chunks = min(num_chunks, len(items))
+    if num_chunks <= 1:
+        return [items] if items else []
+    base, extra = divmod(len(items), num_chunks)
+    chunks = []
+    start = 0
+    for index in range(num_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def _run_isolated(fn: Callable[[Any], Any], payload: Any):
+    """Worker-side wrapper: isolate metrics and snapshot the delta.
+
+    The worker process was forked from (or spawned by) the parent, so
+    its registry may hold inherited or previous-task counts; resetting
+    at task entry makes the snapshot a per-task delta the parent can
+    add without double counting.
+    """
+    registry = obs_metrics.get_registry()
+    registry.reset()
+    result = fn(payload)
+    return result, registry.as_dict()
+
+
+def parallel_map(
+    fn: Callable[[_P], _R],
+    payloads: Sequence[_P],
+    jobs: int,
+) -> list[_R]:
+    """Map *fn* over *payloads*, fanning out across *jobs* processes.
+
+    Results return in payload order.  Worker metric deltas are merged
+    into the parent registry in that same order, so counter totals
+    equal a serial run's and last-wins metrics (gauges, info) are
+    deterministic.  With ``jobs <= 1`` (or a single payload) the map
+    runs in-process and metrics flow directly — no pool, no snapshot
+    round-trip.
+    """
+    if jobs < 1:
+        raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+    payloads = list(payloads)
+    if jobs <= 1 or len(payloads) <= 1:
+        return [fn(payload) for payload in payloads]
+    registry = obs_metrics.get_registry()
+    results: list[_R] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        for result, snapshot in pool.map(
+            partial(_run_isolated, fn), payloads
+        ):
+            results.append(result)
+            obs_metrics.merge_snapshot(snapshot, registry)
+    return results

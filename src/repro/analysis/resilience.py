@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.analysis.parallel import parallel_map
 from repro.core.recovery import RecoveryPipeline
 from repro.core.sideinfo import RecoveryContext
 from repro.core.swdecc import SwdEcc
@@ -149,16 +150,27 @@ def run_resilience_trial(
     )
 
 
+def _resilience_trial_worker(payload) -> ResilienceOutcome:
+    """Run one fully-seeded trial (parallel-map worker)."""
+    code, image, config = payload
+    return run_resilience_trial(code, image, config)
+
+
 def survival_study(
     code: LinearBlockCode,
     image: ProgramImage,
     trials: int = 10,
     base_config: ResilienceConfig | None = None,
+    jobs: int = 1,
 ) -> dict[str, dict[str, float]]:
     """Compare four system configurations over repeated trials.
 
     Returns ``{configuration: {metric: mean value}}`` for the four
     combinations of {crash, SWD-ECC} x {no scrub, scrub}.
+
+    With ``jobs > 1`` the trials fan out over worker processes; every
+    trial is fully seeded by its config, so the study is deterministic
+    regardless of *jobs*.
     """
     if trials < 1:
         raise AnalysisError("trials must be >= 1")
@@ -169,30 +181,34 @@ def survival_study(
         "SWD-ECC, no scrub": (True, 0),
         "SWD-ECC + scrubbing": (True, 5),
     }
-    study: dict[str, dict[str, float]] = {}
-    for label, (use_heuristic, scrub_interval) in configurations.items():
-        survived = 0.0
-        completed = 0.0
-        recovered = 0.0
-        corrupted = 0.0
-        for trial in range(trials):
-            config = ResilienceConfig(
+    payloads = [
+        (
+            code,
+            image,
+            ResilienceConfig(
                 epochs=base.epochs,
                 reads_per_epoch=base.reads_per_epoch,
                 flip_probability=base.flip_probability,
                 scrub_interval=scrub_interval,
                 use_heuristic=use_heuristic,
                 seed=base.seed + trial,
-            )
-            outcome = run_resilience_trial(code, image, config)
-            survived += outcome.survived_epochs
-            completed += float(not outcome.crashed)
-            recovered += outcome.correct_recoveries
-            corrupted += outcome.silent_corruptions
+            ),
+        )
+        for use_heuristic, scrub_interval in configurations.values()
+        for trial in range(trials)
+    ]
+    outcomes = parallel_map(_resilience_trial_worker, payloads, jobs)
+    study: dict[str, dict[str, float]] = {}
+    for index, label in enumerate(configurations):
+        block = outcomes[index * trials : (index + 1) * trials]
         study[label] = {
-            "mean_survived_epochs": survived / trials,
-            "completion_rate": completed / trials,
-            "mean_correct_recoveries": recovered / trials,
-            "mean_silent_corruptions": corrupted / trials,
+            "mean_survived_epochs":
+                sum(o.survived_epochs for o in block) / trials,
+            "completion_rate":
+                sum(float(not o.crashed) for o in block) / trials,
+            "mean_correct_recoveries":
+                sum(o.correct_recoveries for o in block) / trials,
+            "mean_silent_corruptions":
+                sum(o.silent_corruptions for o in block) / trials,
         }
     return study

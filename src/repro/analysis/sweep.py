@@ -10,6 +10,13 @@ Success is measured with
 probability that the strategy picks the original message — rather than
 a single sampled tie-break, so sweep output is deterministic and equals
 the expectation of the paper's sampled procedure.
+
+Two acceleration layers sit under the sweep (see
+``docs/performance.md``): the engine's syndrome-memoized enumeration
+and filter/rank caches make the serial path fast, and ``jobs > 1``
+fans pattern chunks out over worker processes with a deterministic
+merge — parallel results are bit-identical to serial ones, and worker
+metrics are folded back into the parent registry.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.analysis.metrics import PatternOutcome
+from repro.analysis.parallel import chunk_evenly, parallel_map
 from repro.core.filters import InstructionLegalityFilter
 from repro.core.rankers import FrequencyRanker, UniformRanker
 from repro.core.sideinfo import RecoveryContext
@@ -51,26 +59,30 @@ class RecoveryStrategy(enum.Enum):
 
 
 def _engine_for(
-    strategy: RecoveryStrategy, code: LinearBlockCode
+    strategy: RecoveryStrategy, code: LinearBlockCode, cache: bool = True
 ) -> SwdEcc:
     # The sweep consumes exact probabilities, so the tie-break RNG is
     # never sampled; a fixed instance keeps construction cheap.
     rng = random.Random(0)
     if strategy is RecoveryStrategy.RANDOM_CANDIDATE:
-        return SwdEcc(code, filters=(), ranker=UniformRanker(), rng=rng)
+        return SwdEcc(
+            code, filters=(), ranker=UniformRanker(), rng=rng, cache=cache
+        )
     if strategy is RecoveryStrategy.FILTER_ONLY:
         return SwdEcc(
             code,
             filters=(InstructionLegalityFilter(),),
             ranker=UniformRanker(),
             rng=rng,
+            cache=cache,
         )
     return SwdEcc(
         code,
         filters=(InstructionLegalityFilter(),),
-        ranker=FrequencyRanker(),
+        ranker=FrequencyRanker(cache=cache),
         tie_break=TieBreak.RANDOM,
         rng=rng,
+        cache=cache,
     )
 
 
@@ -121,6 +133,9 @@ class DueSweep:
     patterns:
         Error patterns to apply; defaults to all C(n, 2) double-bit
         patterns in paper order.
+    cache:
+        Enable the engine's memoization layers (default); disable only
+        for uncached baseline measurements.
     """
 
     def __init__(
@@ -129,6 +144,7 @@ class DueSweep:
         strategy: RecoveryStrategy = RecoveryStrategy.FILTER_AND_RANK,
         num_instructions: int = 100,
         patterns: Sequence[ErrorPattern] | None = None,
+        cache: bool = True,
     ) -> None:
         if num_instructions < 1:
             raise AnalysisError(
@@ -137,6 +153,7 @@ class DueSweep:
         self._code = code
         self._strategy = strategy
         self._num_instructions = num_instructions
+        self._cache = cache
         self._patterns = (
             tuple(patterns) if patterns is not None
             else tuple(double_bit_patterns(code.n))
@@ -146,7 +163,7 @@ class DueSweep:
                 raise AnalysisError(
                     f"pattern width {pattern.width} != code length {code.n}"
                 )
-        self._engine = _engine_for(strategy, code)
+        self._engine = _engine_for(strategy, code, cache=cache)
 
     @property
     def patterns(self) -> tuple[ErrorPattern, ...]:
@@ -158,13 +175,15 @@ class DueSweep:
         """The engine configured for the sweep's strategy."""
         return self._engine
 
-    def run(self, image: ProgramImage) -> BenchmarkSweepResult:
-        """Sweep one benchmark image.
+    def _outcomes_for(
+        self, image: ProgramImage, patterns: Sequence[ErrorPattern]
+    ) -> list[PatternOutcome]:
+        """Per-pattern outcomes over the image's leading window.
 
-        The frequency table is computed over the *whole* image (as in
-        the paper: "the relative frequency that their mnemonics appear
-        in the entire program image") while errors are injected only
-        into the leading window.
+        This is the sweep kernel both the serial path and the parallel
+        workers run; it must stay a pure function of (engine config,
+        image, patterns) so chunked results concatenate into exactly
+        the serial output.
         """
         window = min(self._num_instructions, len(image))
         context = RecoveryContext.for_instructions(
@@ -172,32 +191,84 @@ class DueSweep:
         )
         code = self._code
         engine = self._engine
-        start_ns = time.perf_counter_ns()
-        with span(f"sweep.run[{image.name}]"):
-            encoded = [code.encode(word) for word in image.words[:window]]
-            originals = image.words[:window]
-            outcomes = []
-            for pattern in self._patterns:
-                success_total = 0.0
-                candidates_total = 0
-                valid_total = 0
-                for codeword, original in zip(encoded, originals):
-                    received = pattern.apply(codeword)
-                    result = engine.recover(received, context)
+        originals = image.words[:window]
+        if not self._cache:
+            encoded = [code.encode(word) for word in originals]
+        outcomes = []
+        for pattern in patterns:
+            success_total = 0.0
+            candidates_total = 0
+            valid_total = 0
+            if self._cache:
+                # Vectorized fast path: one error pattern => one
+                # syndrome, so the engine computes the flip-pair offsets
+                # once and each word's candidates are pure XORs.
+                stats = engine.sweep_probabilities(
+                    originals, pattern.vector, context
+                )
+                for probability, num_candidates, num_valid in stats:
+                    success_total += probability
+                    candidates_total += num_candidates
+                    valid_total += num_valid
+            else:
+                # Uncached baseline: full per-word recover() calls, the
+                # original cost model the throughput benchmark compares
+                # against.
+                results = engine.recover_batch(
+                    [pattern.apply(codeword) for codeword in encoded],
+                    context,
+                )
+                for result, original in zip(results, originals):
                     candidates_total += result.num_candidates
                     valid_total += (
-                        result.num_valid if not result.filter_fell_back else 0
+                        result.num_valid if not result.filter_fell_back
+                        else 0
                     )
                     success_total += success_probability(result, original)
-                outcomes.append(
-                    PatternOutcome(
-                        index=pattern.index,
-                        positions=pattern.positions,
-                        success_rate=success_total / window,
-                        mean_candidates=candidates_total / window,
-                        mean_valid=valid_total / window,
-                    )
+            outcomes.append(
+                PatternOutcome(
+                    index=pattern.index,
+                    positions=pattern.positions,
+                    success_rate=success_total / window,
+                    mean_candidates=candidates_total / window,
+                    mean_valid=valid_total / window,
                 )
+            )
+        return outcomes
+
+    def run(self, image: ProgramImage, jobs: int = 1) -> BenchmarkSweepResult:
+        """Sweep one benchmark image.
+
+        The frequency table is computed over the *whole* image (as in
+        the paper: "the relative frequency that their mnemonics appear
+        in the entire program image") while errors are injected only
+        into the leading window.
+
+        With ``jobs > 1`` the pattern list is split into contiguous
+        chunks swept by worker processes; the merged result is
+        bit-identical to the serial one, and worker metrics (recovery
+        counters, cache hit/miss totals, histograms) are aggregated
+        into this process's registry.
+        """
+        if jobs < 1:
+            raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+        start_ns = time.perf_counter_ns()
+        with span(f"sweep.run[{image.name}]"):
+            if jobs > 1 and len(self._patterns) > 1:
+                payloads = [
+                    (self._code, self._strategy, self._num_instructions,
+                     self._cache, image, chunk)
+                    for chunk in chunk_evenly(self._patterns, jobs)
+                ]
+                outcomes = [
+                    outcome
+                    for chunk_outcomes in parallel_map(
+                        _sweep_chunk_worker, payloads, jobs
+                    )
+                    for outcome in chunk_outcomes
+                ]
+            else:
+                outcomes = self._outcomes_for(image, self._patterns)
         elapsed_seconds = (time.perf_counter_ns() - start_ns) / 1e9
         registry = obs_metrics.get_registry()
         registry.counter("sweep.benchmarks").inc()
@@ -205,20 +276,41 @@ class DueSweep:
         registry.histogram("sweep.benchmark_wall_seconds").observe(
             elapsed_seconds
         )
-        registry.gauge(f"sweep.wall_seconds[{image.name}]").set(
-            elapsed_seconds
-        )
+        # Identity goes in an info metric, not a per-image gauge name:
+        # minting one gauge per benchmark would grow the registry without
+        # bound on user-supplied image names.
+        registry.gauge("sweep.last_wall_seconds").set(elapsed_seconds)
+        registry.info("sweep.last_benchmark").set(image.name)
         return BenchmarkSweepResult(
             benchmark=image.name,
             strategy=self._strategy,
-            num_instructions=window,
+            num_instructions=min(self._num_instructions, len(image)),
             outcomes=tuple(outcomes),
         )
 
     def run_many(
-        self, images: Sequence[ProgramImage]
+        self, images: Sequence[ProgramImage], jobs: int = 1
     ) -> list[BenchmarkSweepResult]:
-        """Sweep several benchmark images."""
+        """Sweep several benchmark images.
+
+        Images are swept in order, each fanning its patterns out over
+        *jobs* workers, so per-benchmark wall-time metrics keep their
+        serial meaning and results stay deterministic.
+        """
         if not images:
             raise AnalysisError("no images supplied to sweep")
-        return [self.run(image) for image in images]
+        return [self.run(image, jobs=jobs) for image in images]
+
+
+def _sweep_chunk_worker(payload) -> list[PatternOutcome]:
+    """Sweep one pattern chunk in a worker process.
+
+    Module-level so it pickles; rebuilds the sweep (and its engine,
+    with fresh caches) from plain data because engines hold
+    process-local metric objects that must bind to the worker registry.
+    """
+    code, strategy, num_instructions, cache, image, patterns = payload
+    sweep = DueSweep(
+        code, strategy, num_instructions, patterns=patterns, cache=cache
+    )
+    return sweep._outcomes_for(image, patterns)

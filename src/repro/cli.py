@@ -4,12 +4,13 @@ Usage (also ``python -m repro``)::
 
     repro fig4                     # candidate-count heatmap
     repro fig5 [--benchmark mcf] [--instructions 25] [--seed 2016]
-    repro fig6 [--benchmark bzip2] [--instructions 25] [--seed 2016]
+    repro fig6 [--benchmark bzip2] [--instructions 25] [--seed 2016] [--jobs 4]
     repro fig7
-    repro fig8 [--instructions 25]
+    repro fig8 [--instructions 25] [--jobs 4]
     repro legality                 # Sec. III-B counts
     repro properties               # Sec. IV-B code properties
-    repro resilience [--trials 5] [--json]
+    repro resilience [--trials 5] [--jobs 4] [--json]
+    repro sweep [--benchmark mcf] [--strategy filter-and-rank] [--jobs 4]
     repro synth mcf --length 1024 --out mcf.elf
     repro disasm mcf.elf [--limit 32]
     repro recover 0x8fbf0018 --bits 1,4 [--benchmark mcf] [--json]
@@ -21,6 +22,10 @@ stage-latency tables after the run, ``--trace`` prints just the
 stage-latency table, and ``--events PATH`` writes one JSON line per DUE
 handled.  ``repro stats <command> ...`` is shorthand for running
 *command* with ``--profile``.
+
+``--jobs N`` (on ``fig6``, ``fig8``, ``resilience``, and ``sweep``)
+fans the work out over N processes with results bit-identical to the
+serial run — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.heatmap import render_table
 from repro.analysis.resilience import ResilienceConfig, survival_study
+from repro.analysis.sweep import DueSweep, RecoveryStrategy
 from repro.core import RecoveryContext, SwdEcc
 from repro.isa.disassembler import disassemble, render_instruction
 from repro.isa.decoder import try_decode
@@ -76,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--events", metavar="PATH", default=None,
         help="write per-DUE event records to PATH as JSON lines",
     )
+    # Parallelism flag shared by the sweep-shaped subcommands.
+    jobs_flag = argparse.ArgumentParser(add_help=False)
+    jobs_flag.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan the sweep out over N worker processes "
+        "(results are bit-identical to --jobs 1)",
+    )
 
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -85,8 +98,9 @@ def _build_parser() -> argparse.ArgumentParser:
         )
 
     for figure, default_benchmark in (("fig5", "mcf"), ("fig6", "bzip2")):
+        parents = [obs_flags] if figure == "fig5" else [obs_flags, jobs_flag]
         sub = subparsers.add_parser(
-            figure, help=f"regenerate {figure}", parents=[obs_flags]
+            figure, help=f"regenerate {figure}", parents=parents
         )
         sub.add_argument("--benchmark", default=default_benchmark)
         sub.add_argument("--instructions", type=int, default=25)
@@ -94,9 +108,31 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="benchmark synthesis seed (pins the image)")
 
     fig8 = subparsers.add_parser(
-        "fig8", help="regenerate the headline Fig. 8", parents=[obs_flags]
+        "fig8", help="regenerate the headline Fig. 8",
+        parents=[obs_flags, jobs_flag],
     )
     fig8.add_argument("--instructions", type=int, default=25)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="exhaustive DUE sweep of one benchmark image",
+        parents=[obs_flags, jobs_flag],
+    )
+    sweep.add_argument("--benchmark", default="mcf")
+    sweep.add_argument(
+        "--strategy",
+        choices=[strategy.value for strategy in RecoveryStrategy],
+        default=RecoveryStrategy.FILTER_AND_RANK.value,
+    )
+    sweep.add_argument("--instructions", type=int, default=25)
+    sweep.add_argument("--length", type=int, default=2048,
+                       help="synthetic image length in instructions")
+    sweep.add_argument("--seed", type=int, default=2016,
+                       help="benchmark synthesis seed (pins the image)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable memoization and sweep word-by-word "
+                            "(slow reference path; logs every DUE event)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON results")
 
     report = subparsers.add_parser(
         "report", help="regenerate every figure/table in one run",
@@ -106,7 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     resilience = subparsers.add_parser(
         "resilience", help="survival study: crash vs SWD-ECC, +/- scrubbing",
-        parents=[obs_flags],
+        parents=[obs_flags, jobs_flag],
     )
     resilience.add_argument("--trials", type=int, default=5)
     resilience.add_argument("--epochs", type=int, default=40)
@@ -190,6 +226,7 @@ def _command_resilience(args: argparse.Namespace) -> int:
         image,
         trials=args.trials,
         base_config=ResilienceConfig(epochs=args.epochs),
+        jobs=args.jobs,
     )
     if args.json:
         print(obs_export.to_json({
@@ -214,6 +251,45 @@ def _command_resilience(args: argparse.Namespace) -> int:
          "silent corruptions"],
         rows,
         title="Survival study (mcf image, BSC fault arrivals)",
+    ))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    code = default_code()
+    image = synthesize_benchmark(
+        args.benchmark, length=args.length, seed=args.seed
+    )
+    sweep = DueSweep(
+        code, RecoveryStrategy(args.strategy), args.instructions,
+        cache=not args.no_cache,
+    )
+    result = sweep.run(image, jobs=args.jobs)
+    if args.json:
+        print(obs_export.to_json({
+            "command": "sweep",
+            "benchmark": result.benchmark,
+            "strategy": result.strategy.value,
+            "instructions": result.num_instructions,
+            "jobs": args.jobs,
+            "mean_success_rate": result.mean_success_rate,
+            "success_rates": result.success_series(),
+        }))
+        return 0
+    rates = result.success_series()
+    print(render_table(
+        ["benchmark", "strategy", "instructions", "patterns",
+         "mean recovery rate", "min", "max"],
+        [[
+            result.benchmark,
+            result.strategy.value,
+            result.num_instructions,
+            len(result.outcomes),
+            f"{result.mean_success_rate:.4f}",
+            f"{min(rates):.3f}",
+            f"{max(rates):.3f}",
+        ]],
+        title=f"Exhaustive 2-bit DUE sweep (jobs={args.jobs})",
     ))
     return 0
 
@@ -302,11 +378,15 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(run_fig5(image=image, num_instructions=args.instructions).render())
     elif command == "fig6":
         image = synthesize_benchmark(args.benchmark, seed=args.seed)
-        print(run_fig6(image=image, num_instructions=args.instructions).render())
+        print(run_fig6(
+            image=image, num_instructions=args.instructions, jobs=args.jobs
+        ).render())
     elif command == "fig7":
         print(run_fig7().render())
     elif command == "fig8":
-        print(run_fig8(num_instructions=args.instructions).render())
+        print(run_fig8(
+            num_instructions=args.instructions, jobs=args.jobs
+        ).render())
     elif command == "legality":
         print(run_isa_legality().render())
     elif command == "properties":
@@ -315,6 +395,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_report(args)
     elif command == "resilience":
         return _command_resilience(args)
+    elif command == "sweep":
+        return _command_sweep(args)
     elif command == "synth":
         image = synthesize_benchmark(args.benchmark, length=args.length,
                                      seed=args.seed)

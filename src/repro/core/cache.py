@@ -1,0 +1,82 @@
+"""Context-keyed memoization for the filter/rank hot path.
+
+Filter verdicts and ranker scores are pure functions of the k-bit
+message *given a fixed* :class:`~repro.core.sideinfo.RecoveryContext`
+(contexts are frozen dataclasses; their tables never mutate).  Sweeps
+call those functions hundreds of thousands of times with one context
+per benchmark image, so a per-context ``message -> value`` memo turns
+the dominant cost — MIPS decode plus table lookups per candidate —
+into a dict hit.
+
+:class:`ContextCache` keys on context *identity* (``is``), not
+equality: equality on a context would hash its frequency tables on
+every lookup, costing more than the work it saves.  The cache keeps
+one context generation at a time — rebinding to a new context clears
+it — which matches how the sweep engine uses contexts and bounds the
+memory to one workload's distinct messages.  A hard entry cap guards
+pathological churn.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["ContextCache", "MISSING"]
+
+#: Sentinel distinguishing "not cached" from a cached ``None``/0 value.
+MISSING = object()
+
+#: Entries per generation before the memo is dropped and restarted.
+#: 2^16 comfortably covers an exhaustive 741-pattern sweep (at most
+#: ~12 candidate messages per pattern) while bounding worst-case RAM.
+MAX_ENTRIES = 1 << 16
+
+
+class ContextCache:
+    """A one-generation ``(context, message) -> value`` memo.
+
+    The caller owns the value semantics; this class only handles
+    generation tracking (context identity) and the size cap.
+    """
+
+    __slots__ = ("_context", "_values")
+
+    def __init__(self) -> None:
+        self._context: Any = MISSING
+        self._values: dict[int, Any] = {}
+
+    def lookup(self, context: Any, message: int) -> Any:
+        """Return the cached value for *message*, or :data:`MISSING`.
+
+        Rebinding to a different context (by identity) clears the memo.
+        """
+        if context is not self._context:
+            self._context = context
+            self._values = {}
+            return MISSING
+        return self._values.get(message, MISSING)
+
+    def store(self, message: int, value: Any) -> None:
+        """Record *value* for *message* under the current generation."""
+        if len(self._values) >= MAX_ENTRIES:
+            self._values = {}
+        self._values[message] = value
+
+    def values_for(self, context: Any) -> dict[int, Any]:
+        """The live memo dict for *context*, for inlined hot loops.
+
+        Callers that look up many messages per call can fetch the dict
+        once and use plain ``dict.get``/``dict.__setitem__``, skipping a
+        method call per message.  Rebinding to a new context — or
+        arriving at the entry cap — clears the memo, exactly like
+        :meth:`lookup`/:meth:`store` would.
+        """
+        if context is not self._context:
+            self._context = context
+            self._values = {}
+        elif len(self._values) >= MAX_ENTRIES:
+            self._values = {}
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)

@@ -16,10 +16,13 @@ reproducible (randomness enters only through the engine's tie-breaker).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 
 from repro.bits import popcount
+from repro.core.cache import MISSING, ContextCache
 from repro.core.sideinfo import RecoveryContext
 from repro.isa.decoder import try_decode
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "CandidateRanker",
@@ -43,8 +46,77 @@ class CandidateRanker(ABC):
     def score(self, message: int, context: RecoveryContext) -> float:
         """Return the plausibility score of *message*."""
 
+    def score_many(
+        self, messages: Sequence[int], context: RecoveryContext
+    ) -> list[float]:
+        """Score several messages: ``[self.score(m, context) ...]``.
 
-class FrequencyRanker(CandidateRanker):
+        Subclasses may override with a batched implementation; results
+        must equal the per-message ones exactly.
+        """
+        return [self.score(message, context) for message in messages]
+
+
+class _MemoizedRanker(CandidateRanker):
+    """Base for rankers whose score is a pure function of (message,
+    context): memoizes ``message -> score`` per context identity (see
+    :mod:`repro.core.cache`).  Subclasses implement
+    :meth:`_compute_score`; hit/miss totals are exported as
+    ``ranker.cache_hits`` / ``ranker.cache_misses``.
+    """
+
+    def __init__(self, cache: bool = True) -> None:
+        self._cache = ContextCache() if cache else None
+        registry = obs_metrics.get_registry()
+        self._m_hits = registry.counter("ranker.cache_hits")
+        self._m_misses = registry.counter("ranker.cache_misses")
+
+    def score(self, message: int, context: RecoveryContext) -> float:
+        cache = self._cache
+        if cache is None:
+            return self._compute_score(message, context)
+        value = cache.lookup(context, message)
+        if value is not MISSING:
+            self._m_hits.inc()
+            return value
+        self._m_misses.inc()
+        value = self._compute_score(message, context)
+        cache.store(message, value)
+        return value
+
+    def score_many(
+        self, messages: Sequence[int], context: RecoveryContext
+    ) -> list[float]:
+        """Batched :meth:`score`: one memo fetch, inline dict lookups."""
+        cache = self._cache
+        compute = self._compute_score
+        if cache is None:
+            return [compute(message, context) for message in messages]
+        values = cache.values_for(context)
+        get = values.get
+        hits = 0
+        scores = []
+        for message in messages:
+            value = get(message, MISSING)
+            if value is MISSING:
+                value = compute(message, context)
+                values[message] = value
+            else:
+                hits += 1
+            scores.append(value)
+        if hits:
+            self._m_hits.inc(hits)
+        misses = len(messages) - hits
+        if misses:
+            self._m_misses.inc(misses)
+        return scores
+
+    @abstractmethod
+    def _compute_score(self, message: int, context: RecoveryContext) -> float:
+        """The uncached scoring function."""
+
+
+class FrequencyRanker(_MemoizedRanker):
     """Score by the mnemonic's relative frequency in the program image.
 
     Messages that are not legal instructions score 0.0 (they only
@@ -56,7 +128,7 @@ class FrequencyRanker(CandidateRanker):
 
     name = "mnemonic-frequency"
 
-    def score(self, message: int, context: RecoveryContext) -> float:
+    def _compute_score(self, message: int, context: RecoveryContext) -> float:
         instruction = try_decode(message)
         if instruction is None:
             return 0.0
@@ -65,7 +137,7 @@ class FrequencyRanker(CandidateRanker):
         return context.frequency_table.frequency(instruction.mnemonic)
 
 
-class OracleFrequencyRanker(CandidateRanker):
+class OracleFrequencyRanker(_MemoizedRanker):
     """Frequency ranking for any ISA, via a supplied mnemonic oracle.
 
     The ISA-agnostic counterpart of :class:`FrequencyRanker`: scores
@@ -74,11 +146,17 @@ class OracleFrequencyRanker(CandidateRanker):
     for illegal words, which score 0.0).
     """
 
-    def __init__(self, mnemonic_of_word, name: str = "oracle-frequency") -> None:
+    def __init__(
+        self,
+        mnemonic_of_word,
+        name: str = "oracle-frequency",
+        cache: bool = True,
+    ) -> None:
+        super().__init__(cache=cache)
         self._mnemonic = mnemonic_of_word
         self.name = name
 
-    def score(self, message: int, context: RecoveryContext) -> float:
+    def _compute_score(self, message: int, context: RecoveryContext) -> float:
         mnemonic = self._mnemonic(message)
         if mnemonic is None:
             return 0.0
@@ -106,13 +184,18 @@ class BigramContextRanker(CandidateRanker):
 
     name = "bigram-context"
 
+    def __init__(self) -> None:
+        # Degradation path when the context carries no bigram table;
+        # built once because ranker construction resolves obs counters.
+        self._unigram_fallback = FrequencyRanker()
+
     def score(self, message: int, context: RecoveryContext) -> float:
         instruction = try_decode(message)
         if instruction is None:
             return 0.0
         table = context.bigram_table
         if table is None:
-            return FrequencyRanker().score(message, context)
+            return self._unigram_fallback.score(message, context)
         mnemonic = instruction.mnemonic
         if context.preceding_mnemonic is not None:
             forward = table.conditional(mnemonic, context.preceding_mnemonic)
@@ -125,7 +208,7 @@ class BigramContextRanker(CandidateRanker):
         return forward * backward
 
 
-class PairFrequencyRanker(CandidateRanker):
+class PairFrequencyRanker(_MemoizedRanker):
     """Frequency ranking for 64-bit messages holding two instructions.
 
     Scores the product of the two halves' mnemonic frequencies
@@ -136,7 +219,7 @@ class PairFrequencyRanker(CandidateRanker):
 
     name = "pair-mnemonic-frequency"
 
-    def score(self, message: int, context: RecoveryContext) -> float:
+    def _compute_score(self, message: int, context: RecoveryContext) -> float:
         high = try_decode(message >> 32)
         low = try_decode(message & 0xFFFF_FFFF)
         if high is None or low is None:

@@ -30,7 +30,7 @@ from repro.core.rankers import CandidateRanker, FrequencyRanker
 from repro.core.sideinfo import RecoveryContext
 from repro.ecc.candidates import CandidateEnumerator
 from repro.ecc.code import LinearBlockCode
-from repro.errors import RecoveryError
+from repro.errors import DecodingError, RecoveryError
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
@@ -120,6 +120,11 @@ class SwdEcc:
     rng:
         RNG for random tie-breaking; supply a seeded instance for
         reproducible sweeps.
+    cache:
+        Enable the syndrome-memoized enumerator and the filter/ranker
+        context caches (default).  Disable only to measure the uncached
+        baseline; a ranker supplied by the caller keeps whatever cache
+        setting it was built with.
     """
 
     def __init__(
@@ -129,13 +134,14 @@ class SwdEcc:
         ranker: CandidateRanker | None = None,
         tie_break: TieBreak = TieBreak.RANDOM,
         rng: random.Random | None = None,
+        cache: bool = True,
     ) -> None:
         self._code = code
-        self._enumerator = CandidateEnumerator(code)
+        self._enumerator = CandidateEnumerator(code, memoize=cache)
         if filters is None:
             filters = (InstructionLegalityFilter(),)
-        self._filter = FilterChain(filters)
-        self._ranker = ranker if ranker is not None else FrequencyRanker()
+        self._filter = FilterChain(filters, cache=cache)
+        self._ranker = ranker if ranker is not None else FrequencyRanker(cache=cache)
         self._tie_break = tie_break
         self._rng = rng if rng is not None else random.Random()
         # Metric objects are cached here so the per-recover() cost is a
@@ -271,6 +277,144 @@ class SwdEcc:
             chosen_codeword=chosen_codeword,
             tied=len(tied_messages),
         )
+
+    def recover_batch(
+        self,
+        received_words: Sequence[int],
+        context: RecoveryContext | None = None,
+    ) -> list[RecoveryResult]:
+        """Recover a batch of DUE words sharing one side-info context.
+
+        The batch entry point the sweep engine uses: the context is
+        resolved once, and because enumeration is syndrome-memoized
+        (words corrupted by the same error pattern share a syndrome),
+        the pair set is computed once per coset and every subsequent
+        word in the batch enumerates by pure XORs.  Results match
+        word-by-word :meth:`recover` calls exactly.
+        """
+        if context is None:
+            context = RecoveryContext()
+        with span("swdecc.recover_batch"):
+            return [self.recover(received, context) for received in received_words]
+
+    def sweep_probabilities(
+        self,
+        messages: Sequence[int],
+        error: int,
+        context: RecoveryContext | None = None,
+    ) -> list[tuple[float, int, int]]:
+        """Exact per-message recovery stats for one error pattern.
+
+        The pattern-vectorized fast path behind
+        :class:`~repro.analysis.sweep.DueSweep` (see
+        ``docs/performance.md``): every flip-pair mask of the pattern's
+        syndrome satisfies ``H @ (error ^ mask) = 0``, so each
+        ``error ^ mask`` is itself a codeword and the candidate
+        *messages* of ``encode(m) ^ error`` are exactly
+        ``m ^ extract_message(error ^ mask)``.  Per stored message,
+        enumeration and extraction collapse into XORs against offsets
+        computed once per pattern; filtering and ranking run through
+        their usual (cached) paths.
+
+        Returns ``(success_probability, num_candidates, num_valid)``
+        per message — ``num_valid`` is 0 when the filter fell back —
+        bit-identical to recovering ``encode(m) ^ error`` with
+        :meth:`recover` and scoring the trace with
+        :func:`success_probability` under this engine's tie-break.
+        Recovery counters and histograms advance as usual; per-DUE
+        *events* are not recorded (an exhaustive sweep would only churn
+        the bounded ring).
+        """
+        if context is None:
+            context = RecoveryContext()
+        if not messages:
+            return []
+        code = self._code
+        try:
+            syndrome = self._enumerator._check_due(error)
+        except DecodingError:
+            return self._sweep_probabilities_slow(messages, error, context)
+        masks = self._enumerator.pair_masks(syndrome)
+        if not masks:
+            # No distance-2 candidates: the per-word path escalates.
+            return self._sweep_probabilities_slow(messages, error, context)
+        offsets = tuple(
+            code.extract_message(error ^ mask) for mask in masks
+        )
+        # Guard the linearity assumption (extract_message(a ^ b) ==
+        # extract_message(a) ^ extract_message(b)) against exotic code
+        # subclasses by checking the first word exhaustively.
+        received0 = code.encode(messages[0]) ^ error
+        if any(
+            code.extract_message(received0 ^ mask) != messages[0] ^ offset
+            for mask, offset in zip(masks, offsets)
+        ):
+            return self._sweep_probabilities_slow(messages, error, context)
+
+        filter_chain = self._filter
+        score_many = self._ranker.score_many
+        tie_first = self._tie_break is TieBreak.FIRST
+        num_candidates = len(offsets)
+        stats: list[tuple[float, int, int]] = []
+        fallbacks = 0
+        tie_count = 0
+        h_candidates = self._h_candidates
+        h_valid = self._h_valid
+        for message in messages:
+            candidate_messages = [message ^ offset for offset in offsets]
+            valid = filter_chain.apply(candidate_messages, context)
+            if valid:
+                pool = valid
+                num_valid = len(valid)
+            else:
+                pool = candidate_messages
+                num_valid = 0
+                fallbacks += 1
+            scores = score_many(pool, context)
+            best_score = max(scores)
+            tied = [
+                m for m, score in zip(pool, scores) if score == best_score
+            ]
+            if len(tied) > 1:
+                tie_count += 1
+            if message not in pool or message not in tied:
+                probability = 0.0
+            elif tie_first:
+                probability = 1.0 if message == min(tied) else 0.0
+            else:
+                probability = 1.0 / len(tied)
+            h_candidates.observe(num_candidates)
+            h_valid.observe(num_valid)
+            stats.append((probability, num_candidates, num_valid))
+        self._m_recoveries.inc(len(messages))
+        if fallbacks:
+            self._m_fallbacks.inc(fallbacks)
+        if tie_count:
+            self._m_ties.inc(tie_count)
+        return stats
+
+    def _sweep_probabilities_slow(
+        self,
+        messages: Sequence[int],
+        error: int,
+        context: RecoveryContext,
+    ) -> list[tuple[float, int, int]]:
+        """Per-word reference path for :meth:`sweep_probabilities`.
+
+        Used when the pattern is not a clean 2-bit DUE coset (so the
+        per-word path can escalate or raise exactly as :meth:`recover`
+        would) or the code's message extraction is not linear.
+        """
+        code = self._code
+        stats = []
+        for message in messages:
+            result = self.recover(code.encode(message) ^ error, context)
+            stats.append((
+                success_probability(result, message, self._tie_break),
+                result.num_candidates,
+                0 if result.filter_fell_back else result.num_valid,
+            ))
+        return stats
 
     def recovery_probability(
         self, received: int, original_message: int, context: RecoveryContext | None = None

@@ -13,6 +13,16 @@ shortcut — flipping bit *i* XORs column *i* of H into the syndrome, so
 each trial is one table lookup instead of a full re-decode — plus a
 generic ``radius`` mode for stronger codes (e.g. 3-bit DUEs under a
 DECTED code).
+
+Because the code is linear, the *flip patterns* that turn a DUE into a
+codeword depend only on the word's syndrome, never on the word itself:
+a pair (i, j) works exactly when column i XOR column j of H equals the
+syndrome.  The enumerator therefore memoizes ``syndrome -> flip
+masks``, so repeat enumerations over the same coset — the common case
+in exhaustive sweeps, where all 741 double-bit patterns map onto at
+most ``2^r`` distinct syndromes — are pure XORs instead of a fresh
+n-column walk.  Cache hits and misses are exported through
+``repro.obs`` as ``candidates.cache_hits`` / ``candidates.cache_misses``.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from itertools import combinations
 from repro.bits import bit_mask, popcount
 from repro.ecc.code import DecodeStatus, LinearBlockCode
 from repro.errors import DecodingError
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "CandidateEnumerator",
@@ -38,28 +49,60 @@ class CandidateEnumerator:
     ----------
     code:
         The linear block code protecting the memory.
+    memoize:
+        Cache per-syndrome flip masks (and radius offsets) so repeat
+        enumerations over the same coset are pure XORs.  On by default;
+        disable only to measure the uncached baseline (the throughput
+        benchmark does).
     """
 
-    def __init__(self, code: LinearBlockCode) -> None:
+    def __init__(self, code: LinearBlockCode, memoize: bool = True) -> None:
         self._code = code
         self._n = code.n
         self._column_syndromes = code.column_syndromes
         self._syndrome_to_position = code.syndrome_to_position
+        self._memoize = memoize
+        # syndrome -> flip masks whose XOR reaches a distance-2 codeword
+        self._pair_masks: dict[int, tuple[int, ...]] = {}
+        # (syndrome, radius) -> flip offsets for the escalated search
+        self._radius_offsets: dict[tuple[int, int], tuple[int, ...]] = {}
+        registry = obs_metrics.get_registry()
+        self._m_hits = registry.counter("candidates.cache_hits")
+        self._m_misses = registry.counter("candidates.cache_misses")
 
     @property
     def code(self) -> LinearBlockCode:
         """The code this enumerator works over."""
         return self._code
 
-    def candidates(self, received: int) -> tuple[int, ...]:
-        """Return all codewords at Hamming distance 2 from *received*.
+    def pair_masks(self, syndrome: int) -> tuple[int, ...]:
+        """Flip masks reaching every distance-2 codeword of a coset.
 
-        *received* must be a 2-bit DUE (non-zero syndrome that matches
-        no single column of H).  The true original codeword is always in
-        the returned tuple when the actual error had weight 2.
-
-        Returns candidates in increasing numeric order.
+        For each unordered column pair (i, j) of H with
+        ``column_i XOR column_j == syndrome``, the returned tuple holds
+        the n-bit mask with bits i and j set; XOR-ing any received word
+        of that syndrome with each mask yields exactly the distance-2
+        candidate codewords.  Results are memoized per syndrome.
         """
+        masks = self._pair_masks.get(syndrome)
+        if masks is not None:
+            self._m_hits.inc()
+            return masks
+        self._m_misses.inc()
+        top_bit = 1 << (self._n - 1)
+        found = []
+        for position, column in enumerate(self._column_syndromes):
+            partner = self._syndrome_to_position.get(syndrome ^ column)
+            # Each pair is discovered from both ends; keep the i < j view.
+            if partner is not None and partner > position:
+                found.append((top_bit >> position) | (top_bit >> partner))
+        masks = tuple(found)
+        if self._memoize:
+            self._pair_masks[syndrome] = masks
+        return masks
+
+    def _check_due(self, received: int) -> int:
+        """Validate *received* as a DUE and return its syndrome."""
         n = self._n
         if received < 0 or received > bit_mask(n):
             raise DecodingError(
@@ -74,15 +117,21 @@ class CandidateEnumerator:
             raise DecodingError(
                 "received word is a correctable 1-bit error, not a DUE"
             )
-        found: set[int] = set()
-        top_bit = 1 << (n - 1)
-        for position, column in enumerate(self._column_syndromes):
-            trial_syndrome = syndrome ^ column
-            partner = self._syndrome_to_position.get(trial_syndrome)
-            if partner is not None and partner != position:
-                candidate = received ^ (top_bit >> position) ^ (top_bit >> partner)
-                found.add(candidate)
-        return tuple(sorted(found))
+        return syndrome
+
+    def candidates(self, received: int) -> tuple[int, ...]:
+        """Return all codewords at Hamming distance 2 from *received*.
+
+        *received* must be a 2-bit DUE (non-zero syndrome that matches
+        no single column of H).  The true original codeword is always in
+        the returned tuple when the actual error had weight 2.
+
+        Returns candidates in increasing numeric order.
+        """
+        syndrome = self._check_due(received)
+        return tuple(sorted(
+            received ^ mask for mask in self.pair_masks(syndrome)
+        ))
 
     def candidate_messages(self, received: int) -> tuple[int, ...]:
         """Return the k-bit messages of :meth:`candidates`, same order."""
@@ -98,6 +147,12 @@ class CandidateEnumerator:
         ``t`` bits: trial-flips every combination of up to
         ``radius - t`` bits and collects the successful decodes.  The
         enumeration cost grows as ``C(n, radius - t)``.
+
+        The set of *offsets* ``codeword XOR received`` reached this way
+        is a function of (syndrome, radius) alone — each trial decode
+        corrects based purely on the trial word's syndrome, which the
+        flip set determines given the received word's syndrome — so the
+        offsets are memoized per coset, like :meth:`pair_masks`.
         """
         if radius < 0:
             raise ValueError(f"radius must be non-negative, got {radius}")
@@ -106,6 +161,13 @@ class CandidateEnumerator:
             raise DecodingError(
                 f"received word 0x{received:x} does not fit in {n} bits"
             )
+        syndrome = self._code.syndrome(received)
+        key = (syndrome, radius)
+        offsets = self._radius_offsets.get(key)
+        if offsets is not None:
+            self._m_hits.inc()
+            return tuple(sorted(received ^ offset for offset in offsets))
+        self._m_misses.inc()
         t = self._code.correctable_bits()
         extra_flips = max(radius - t, 0)
         top_bit = 1 << (n - 1)
@@ -122,6 +184,10 @@ class CandidateEnumerator:
                 assert codeword is not None
                 if popcount(codeword ^ received) <= radius:
                     found.add(codeword)
+        if self._memoize:
+            self._radius_offsets[key] = tuple(
+                codeword ^ received for codeword in found
+            )
         return tuple(sorted(found))
 
 

@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.analysis.heatmap import render_table
 from repro.obs.events import EventLog
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, Info, MetricsRegistry
 from repro.obs.trace import SpanCollector
 
 __all__ = [
@@ -71,6 +71,8 @@ def render_metrics(registry: MetricsRegistry, title: str = "metrics") -> str:
             scalar_rows.append([metric.name, "counter", metric.value])
         elif isinstance(metric, Gauge):
             scalar_rows.append([metric.name, "gauge", metric.value])
+        elif isinstance(metric, Info):
+            scalar_rows.append([metric.name, "info", metric.value or "-"])
         elif isinstance(metric, Histogram):
             histogram_rows.append([
                 metric.name,

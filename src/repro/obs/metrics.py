@@ -25,6 +25,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Info",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "DEFAULT_TIME_BUCKETS",
@@ -33,6 +34,7 @@ __all__ = [
     "set_registry",
     "add_collector",
     "run_collectors",
+    "merge_snapshot",
 ]
 
 #: Latency-style bucket upper bounds, in seconds (Prometheus defaults).
@@ -215,6 +217,35 @@ class Histogram:
         self._min = None
         self._max = None
 
+    def merge_dict(self, snapshot: dict) -> None:
+        """Fold another histogram's :meth:`as_dict` snapshot into this one.
+
+        Used when aggregating worker-process metrics into the parent
+        registry (see :func:`merge_snapshot`).  The snapshot must have
+        the same bucket bounds; merged ``count``/``sum``/``min``/``max``
+        stay exact.
+        """
+        bounds = tuple(entry["le"] for entry in snapshot["buckets"][:-1])
+        if bounds != self.buckets:
+            raise ObservabilityError(
+                f"histogram {self.name!r} bucket mismatch while merging: "
+                f"{bounds} != {self.buckets}"
+            )
+        for index, entry in enumerate(snapshot["buckets"]):
+            self._bucket_counts[index] += entry["count"]
+        self._count += snapshot["count"]
+        self._sum += snapshot["sum"]
+        for bound_key, better in (("min", min), ("max", max)):
+            other = snapshot[bound_key]
+            if other is None:
+                continue
+            current = self._min if bound_key == "min" else self._max
+            merged = other if current is None else better(current, other)
+            if bound_key == "min":
+                self._min = merged
+            else:
+                self._max = merged
+
     def as_dict(self) -> dict[str, object]:
         """JSON-friendly snapshot."""
         return {
@@ -230,6 +261,40 @@ class Histogram:
                 for bound, count in self.bucket_counts()
             ],
         }
+
+
+class Info:
+    """A string-valued annotation metric (last set wins).
+
+    The numeric metrics cannot carry identity ("which benchmark ran
+    last?") without minting one metric per identity — unbounded
+    cardinality.  An info metric holds a single string instead, so hot
+    loops over arbitrary names stay at O(1) registered metrics.
+    """
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = ""
+
+    @property
+    def value(self) -> str:
+        """Current annotation."""
+        return self._value
+
+    def set(self, value: str) -> None:
+        """Replace the annotation."""
+        self._value = str(value)
+
+    def reset(self) -> None:
+        """Clear the annotation."""
+        self._value = ""
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot."""
+        return {"type": "info", "name": self.name, "value": self._value}
 
 
 #: Callbacks that refresh *derived* metrics right before a snapshot.
@@ -254,7 +319,7 @@ class MetricsRegistry:
     """A flat, get-or-create namespace of metrics."""
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram | Info] = {}
 
     def _get_or_create(self, name: str, kind: type, factory):
         metric = self._metrics.get(name)
@@ -292,7 +357,11 @@ class MetricsRegistry:
             name, Histogram, lambda: Histogram(name, buckets, help)
         )
 
-    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+    def info(self, name: str, help: str = "") -> Info:
+        """Get or create the info metric *name*."""
+        return self._get_or_create(name, Info, lambda: Info(name, help))
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | Info | None:
         """The metric registered under *name*, or ``None``."""
         return self._metrics.get(name)
 
@@ -358,6 +427,15 @@ class _NullHistogram(Histogram):
         pass
 
 
+class _NullInfo(Info):
+    """An info metric that discards updates."""
+
+    __slots__ = ()
+
+    def set(self, value: str) -> None:
+        pass
+
+
 class NullRegistry(MetricsRegistry):
     """A registry whose metrics accept and discard all updates.
 
@@ -384,6 +462,9 @@ class NullRegistry(MetricsRegistry):
             name, Histogram, lambda: _NullHistogram(name, buckets, help)
         )
 
+    def info(self, name: str, help: str = "") -> Info:
+        return self._get_or_create(name, Info, lambda: _NullInfo(name, help))
+
 
 #: Shared no-op registry for overhead baselines.
 NULL_REGISTRY = NullRegistry()
@@ -406,3 +487,35 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
     previous = _default_registry
     _default_registry = registry
     return previous
+
+
+def merge_snapshot(
+    snapshot: dict[str, dict[str, object]],
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Fold an :meth:`MetricsRegistry.as_dict` snapshot into *registry*.
+
+    This is how the process-parallel sweep aggregates worker metrics:
+    each worker resets its (fork-copied) registry, runs its task,
+    snapshots, and ships the snapshot back; the parent merges them in
+    task order.  Counters and histograms accumulate; gauges and info
+    metrics take the snapshot's value (last merge wins), which is
+    deterministic because the parent merges in submission order.
+    """
+    registry = registry if registry is not None else get_registry()
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type")
+        if kind == "counter":
+            registry.counter(name).inc(data["value"])
+        elif kind == "gauge":
+            registry.gauge(name).set(data["value"])
+        elif kind == "info":
+            registry.info(name).set(data["value"])
+        elif kind == "histogram":
+            bounds = tuple(entry["le"] for entry in data["buckets"][:-1])
+            registry.histogram(name, buckets=bounds).merge_dict(data)
+        else:
+            raise ObservabilityError(
+                f"cannot merge metric {name!r} of unknown type {kind!r}"
+            )

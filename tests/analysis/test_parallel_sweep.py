@@ -1,0 +1,197 @@
+"""Parallel sweeps: bit-identical results, correctly aggregated metrics.
+
+The acceleration contract (see ``docs/performance.md``) has two halves:
+
+- results: a ``jobs > 1`` sweep — and the memoized/vectorized serial
+  path itself — must be *bit-identical* to the uncached per-word
+  reference implementation;
+- observability: worker-process metric deltas must fold back into the
+  parent registry so counter totals match a serial run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_fig6
+from repro.analysis.parallel import chunk_evenly, parallel_map
+from repro.analysis.resilience import ResilienceConfig, survival_study
+from repro.analysis.sweep import DueSweep, RecoveryStrategy
+from repro.ecc.channel import double_bit_patterns
+from repro.errors import AnalysisError
+from repro.obs import metrics as obs_metrics
+
+JOBS = 4
+WINDOW = 4
+NUM_PATTERNS = 48  # a prefix of the 741: enough syndrome variety, fast
+
+
+@pytest.fixture(scope="module")
+def patterns(code):
+    return tuple(double_bit_patterns(code.n))[:NUM_PATTERNS]
+
+
+def _run(code, image, patterns, *, cache=True, jobs=1):
+    sweep = DueSweep(
+        code,
+        RecoveryStrategy.FILTER_AND_RANK,
+        num_instructions=WINDOW,
+        patterns=patterns,
+        cache=cache,
+    )
+    return sweep.run(image, jobs=jobs)
+
+
+class TestChunkEvenly:
+    def test_chunks_concatenate_to_input(self):
+        items = list(range(11))
+        chunks = chunk_evenly(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+    def test_more_chunks_than_items(self):
+        assert chunk_evenly([1, 2], 5) == [(1,), (2,)]
+        assert chunk_evenly([], 3) == []
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            chunk_evenly([1], 0)
+
+
+class TestBitIdentical:
+    def test_parallel_equals_serial(self, code, mcf_image, patterns):
+        serial = _run(code, mcf_image, patterns, jobs=1)
+        parallel = _run(code, mcf_image, patterns, jobs=JOBS)
+        assert parallel == serial  # outcomes, ordering, window, name
+
+    def test_memoized_fast_path_equals_uncached_reference(
+        self, code, mcf_image, patterns
+    ):
+        fast = _run(code, mcf_image, patterns, cache=True)
+        reference = _run(code, mcf_image, patterns, cache=False)
+        assert fast.outcomes == reference.outcomes
+
+    def test_run_many_parallel_equals_serial(
+        self, code, mcf_image, bzip2_image, patterns
+    ):
+        sweep = DueSweep(
+            code,
+            RecoveryStrategy.FILTER_AND_RANK,
+            num_instructions=WINDOW,
+            patterns=patterns,
+        )
+        serial = sweep.run_many([mcf_image, bzip2_image])
+        parallel = sweep.run_many([mcf_image, bzip2_image], jobs=2)
+        assert parallel == serial
+
+    def test_fig6_parallel_equals_serial(self, code, bzip2_image):
+        serial = run_fig6(code, bzip2_image, num_instructions=3)
+        parallel = run_fig6(code, bzip2_image, num_instructions=3, jobs=3)
+        assert parallel == serial
+
+    def test_survival_study_parallel_equals_serial(self, code, mcf_image):
+        base = ResilienceConfig(epochs=4, reads_per_epoch=16)
+        serial = survival_study(code, mcf_image, trials=2, base_config=base)
+        parallel = survival_study(
+            code, mcf_image, trials=2, base_config=base, jobs=4
+        )
+        assert parallel == serial
+
+    def test_rejects_nonpositive_jobs(self, code, mcf_image, patterns):
+        sweep = DueSweep(
+            code, RecoveryStrategy.FILTER_AND_RANK,
+            num_instructions=WINDOW, patterns=patterns,
+        )
+        with pytest.raises(AnalysisError):
+            sweep.run(mcf_image, jobs=0)
+
+
+class TestWorkerMetricsAggregation:
+    def _sweep_with_registry(self, code, image, patterns, jobs):
+        registry = obs_metrics.MetricsRegistry()
+        saved = obs_metrics.set_registry(registry)
+        try:
+            _run(code, image, patterns, jobs=jobs)
+        finally:
+            obs_metrics.set_registry(saved)
+        return registry
+
+    def test_parallel_recovery_counter_equals_serial(
+        self, code, mcf_image, patterns
+    ):
+        serial = self._sweep_with_registry(code, mcf_image, patterns, 1)
+        parallel = self._sweep_with_registry(code, mcf_image, patterns, JOBS)
+        expected = len(patterns) * WINDOW
+        assert serial.counter("swdecc.recoveries").value == expected
+        assert parallel.counter("swdecc.recoveries").value == expected
+
+    def test_cache_counter_totals_survive_aggregation(
+        self, code, mcf_image, patterns
+    ):
+        parallel = self._sweep_with_registry(code, mcf_image, patterns, JOBS)
+        # Every pattern asks the enumerator for its syndrome's pair set
+        # exactly once, in whichever worker swept it.
+        candidate_lookups = (
+            parallel.counter("candidates.cache_hits").value
+            + parallel.counter("candidates.cache_misses").value
+        )
+        assert candidate_lookups == len(patterns)
+        # Filter and ranker caches see every per-message query; the
+        # hit/miss split depends on chunking but the total does not.
+        serial = self._sweep_with_registry(code, mcf_image, patterns, 1)
+        for name in ("filter", "ranker"):
+            serial_total = (
+                serial.counter(f"{name}.cache_hits").value
+                + serial.counter(f"{name}.cache_misses").value
+            )
+            parallel_total = (
+                parallel.counter(f"{name}.cache_hits").value
+                + parallel.counter(f"{name}.cache_misses").value
+            )
+            assert parallel_total == serial_total, name
+
+    def test_worker_histograms_merge_into_parent(
+        self, code, mcf_image, patterns
+    ):
+        parallel = self._sweep_with_registry(code, mcf_image, patterns, JOBS)
+        histogram = parallel.histogram("swdecc.candidates")
+        assert histogram.count == len(patterns) * WINDOW
+
+    def test_no_per_image_gauge_is_minted(self, code, mcf_image, patterns):
+        registry = self._sweep_with_registry(code, mcf_image, patterns, JOBS)
+        snapshot = registry.as_dict()
+        assert f"sweep.wall_seconds[{mcf_image.name}]" not in snapshot
+        assert registry.gauge("sweep.last_wall_seconds").value > 0
+        assert registry.info("sweep.last_benchmark").value == mcf_image.name
+
+
+class TestParallelMap:
+    def test_serial_fallback_preserves_order(self):
+        assert parallel_map(_double, [1, 2, 3], jobs=1) == [2, 4, 6]
+
+    def test_parallel_preserves_order(self):
+        assert parallel_map(_double, list(range(8)), jobs=4) == [
+            0, 2, 4, 6, 8, 10, 12, 14
+        ]
+
+    def test_worker_counters_fold_into_parent(self):
+        registry = obs_metrics.MetricsRegistry()
+        saved = obs_metrics.set_registry(registry)
+        try:
+            parallel_map(_count_one, list(range(6)), jobs=3)
+            assert registry.counter("parallel.test_units").value == 6
+        finally:
+            obs_metrics.set_registry(saved)
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(AnalysisError):
+            parallel_map(_double, [1], jobs=0)
+
+
+def _double(value):
+    return value * 2
+
+
+def _count_one(value):
+    obs_metrics.get_registry().counter("parallel.test_units").inc()
+    return value

@@ -1,0 +1,128 @@
+"""Info metrics and cross-process snapshot merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.export import render_metrics
+from repro.obs.metrics import (
+    Info,
+    MetricsRegistry,
+    NullRegistry,
+    merge_snapshot,
+)
+
+
+class TestInfo:
+    def test_last_set_wins(self):
+        info = Info("sweep.last_benchmark", help="benchmark identity")
+        assert info.value == ""
+        info.set("mcf")
+        info.set("bzip2")
+        assert info.value == "bzip2"
+
+    def test_set_coerces_to_string(self):
+        info = Info("test.info")
+        info.set(42)
+        assert info.value == "42"
+
+    def test_reset_clears(self):
+        info = Info("test.info")
+        info.set("mcf")
+        info.reset()
+        assert info.value == ""
+
+    def test_as_dict_round_trip(self):
+        info = Info("test.info")
+        info.set("mcf")
+        assert info.as_dict() == {
+            "type": "info", "name": "test.info", "value": "mcf",
+        }
+
+    def test_registry_get_or_create_and_reset(self):
+        registry = MetricsRegistry()
+        info = registry.info("sweep.last_benchmark")
+        assert registry.info("sweep.last_benchmark") is info
+        info.set("mcf")
+        registry.reset()
+        assert registry.info("sweep.last_benchmark").value == ""
+
+    def test_name_collision_with_other_type_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("taken")
+        with pytest.raises(ObservabilityError):
+            registry.info("taken")
+
+    def test_null_registry_discards_updates(self):
+        info = NullRegistry().info("test.info")
+        info.set("mcf")
+        assert info.value == ""
+
+    def test_render_metrics_shows_info_rows(self):
+        registry = MetricsRegistry()
+        registry.info("sweep.last_benchmark").set("mcf")
+        text = render_metrics(registry)
+        assert "sweep.last_benchmark" in text
+        assert "mcf" in text
+
+
+class TestMergeSnapshot:
+    def test_counters_accumulate(self):
+        source = MetricsRegistry()
+        source.counter("swdecc.recoveries").inc(7)
+        target = MetricsRegistry()
+        target.counter("swdecc.recoveries").inc(3)
+        merge_snapshot(source.as_dict(), target)
+        merge_snapshot(source.as_dict(), target)
+        assert target.counter("swdecc.recoveries").value == 17
+
+    def test_gauges_and_info_take_last_merge(self):
+        first = MetricsRegistry()
+        first.gauge("sweep.last_wall_seconds").set(1.5)
+        first.info("sweep.last_benchmark").set("mcf")
+        second = MetricsRegistry()
+        second.gauge("sweep.last_wall_seconds").set(0.25)
+        second.info("sweep.last_benchmark").set("bzip2")
+        target = MetricsRegistry()
+        merge_snapshot(first.as_dict(), target)
+        merge_snapshot(second.as_dict(), target)
+        assert target.gauge("sweep.last_wall_seconds").value == 0.25
+        assert target.info("sweep.last_benchmark").value == "bzip2"
+
+    def test_histograms_merge_exactly(self):
+        bounds = (1.0, 10.0)
+        source = MetricsRegistry()
+        histogram = source.histogram("latency", buckets=bounds)
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        target = MetricsRegistry()
+        target.histogram("latency", buckets=bounds).observe(2.0)
+        merge_snapshot(source.as_dict(), target)
+        merged = target.histogram("latency", buckets=bounds)
+        assert merged.count == 4
+        assert merged.sum == pytest.approx(57.5)
+        assert merged.min == 0.5
+        assert merged.max == 50.0
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        source = MetricsRegistry()
+        source.histogram("latency", buckets=(1.0, 2.0)).observe(1.0)
+        target = MetricsRegistry()
+        target.histogram("latency", buckets=(5.0, 6.0))
+        with pytest.raises(ObservabilityError):
+            merge_snapshot(source.as_dict(), target)
+
+    def test_unknown_metric_type_rejected(self):
+        snapshot = {"weird": {"type": "summary", "name": "weird"}}
+        with pytest.raises(ObservabilityError):
+            merge_snapshot(snapshot, MetricsRegistry())
+
+    def test_merge_creates_missing_metrics(self):
+        source = MetricsRegistry()
+        source.counter("only.in.worker").inc(2)
+        source.info("worker.note").set("hello")
+        target = MetricsRegistry()
+        merge_snapshot(source.as_dict(), target)
+        assert target.counter("only.in.worker").value == 2
+        assert target.info("worker.note").value == "hello"

@@ -36,6 +36,28 @@ class TestFigureCommands:
         assert "(39,32)" in capsys.readouterr().out
 
 
+class TestSweepCommand:
+    def test_sweep_renders_table(self, capsys):
+        assert main([
+            "sweep", "--benchmark", "mcf", "--instructions", "2",
+            "--length", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "mean recovery rate" in out
+
+    def test_sweep_json_with_jobs_matches_serial(self, capsys):
+        import json
+
+        argv = ["sweep", "--benchmark", "bzip2", "--instructions", "2",
+                "--length", "64", "--json"]
+        assert main(argv) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial["success_rates"] == parallel["success_rates"]
+        assert serial["mean_success_rate"] == parallel["mean_success_rate"]
+
+
 class TestToolCommands:
     def test_synth_and_disasm_roundtrip(self, tmp_path, capsys):
         elf_path = tmp_path / "bench.elf"
