@@ -37,6 +37,7 @@ from repro.ecc.channel import double_bit_patterns
 from repro.ecc.code import LinearBlockCode
 from repro.ecc.matrices import canonical_secded_39_32
 from repro.isa.opcodes import COP1_FMTS, LEGAL_OPCODES, SPECIAL_FUNCTS
+from repro.obs.progress import SweepProgress
 from repro.program.image import ProgramImage
 from repro.program.profiles import BENCHMARK_NAMES
 from repro.program.stats import FrequencyTable, power_law_fit
@@ -284,24 +285,39 @@ def run_fig6(
     image: ProgramImage | None = None,
     num_instructions: int = 100,
     jobs: int = 1,
+    progress: SweepProgress | None = None,
 ) -> Fig6Result:
     """Compute Fig. 6 for *image* (synthetic bzip2 by default).
 
     With ``jobs > 1`` the pattern sweep fans out over worker processes;
-    results are bit-identical to the serial run.
+    results are bit-identical to the serial run.  The
+    ``sweep.progress.*`` gauges advance as each pattern chunk completes
+    (live through a ``--serve`` endpoint); pass *progress* to also
+    render a console line.
     """
     code = code or default_code()
     image = image or synthesize_benchmark("bzip2", length=_DEFAULT_IMAGE_LENGTH)
     window = min(num_instructions, len(image))
-    payloads = [
-        (code, image, window, chunk)
-        for chunk in chunk_evenly(tuple(double_bit_patterns(code.n)), jobs)
-    ]
+    chunks = chunk_evenly(tuple(double_bit_patterns(code.n)), jobs)
+    payloads = [(code, image, window, chunk) for chunk in chunks]
+    if progress is None:
+        progress = SweepProgress()
+    progress.add_total(sum(len(chunk) for chunk in chunks))
+
+    def _chunk_done(index, chunk_rows, wall_seconds):
+        progress.on_chunk(
+            len(chunk_rows), wall_seconds,
+            sum(row[1] for row in chunk_rows),
+        )
+
     rows = [
         row
-        for chunk_rows in parallel_map(_fig6_pattern_rates, payloads, jobs)
+        for chunk_rows in parallel_map(
+            _fig6_pattern_rates, payloads, jobs, on_result=_chunk_done
+        )
         for row in chunk_rows
     ]
+    progress.finish()
     random_rates = [row[0] for row in rows]
     filter_rates = [row[1] for row in rows]
     filter_best = [row[2] for row in rows]
@@ -416,17 +432,25 @@ def run_fig8(
     images: list[ProgramImage] | None = None,
     num_instructions: int = 100,
     jobs: int = 1,
+    progress: SweepProgress | None = None,
 ) -> Fig8Result:
     """Run the headline sweep (Fig. 8) over *images*.
 
     With ``jobs > 1`` each image's pattern sweep fans out over worker
     processes (see :meth:`~repro.analysis.sweep.DueSweep.run`); output
-    is bit-identical to the serial run.
+    is bit-identical to the serial run.  One shared progress tracker
+    spans all the images, so live rate/ETA reflects the whole figure.
     """
     code = code or default_code()
     images = images or default_images()
     sweep = DueSweep(code, RecoveryStrategy.FILTER_AND_RANK, num_instructions)
-    return Fig8Result(sweeps=tuple(sweep.run_many(images, jobs=jobs)))
+    if progress is None:
+        progress = SweepProgress()
+    result = Fig8Result(
+        sweeps=tuple(sweep.run_many(images, jobs=jobs, progress=progress))
+    )
+    progress.finish()
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -5,38 +5,52 @@ The exhaustive sweeps are embarrassingly parallel — every error pattern
 ``ProcessPoolExecutor`` use would silently drop the observability
 counters the workers accumulate.  :func:`parallel_map` fixes both ends:
 
-- **Determinism**: results come back in payload order (``Executor.map``
-  semantics), so callers can concatenate chunk results and obtain
-  output bit-identical to a serial run.
+- **Determinism**: results are returned in payload order, and the
+  worker metric/event aggregates are folded into the parent in that
+  same submission order, so callers can concatenate chunk results and
+  obtain output bit-identical to a serial run.
 - **Metrics**: each worker task runs against a freshly-reset
   process-local registry, snapshots it afterwards, and ships the
   snapshot home; the parent folds the snapshots into its own registry
-  with :func:`repro.obs.metrics.merge_snapshot`, in submission order.
+  with :func:`repro.obs.metrics.merge_snapshot`.
+- **Events**: worker DUE event *rings* stay process-local (parallel
+  chunks would interleave the bounded ring meaninglessly), but each
+  task ships a fixed-size :class:`repro.obs.events.EventDigest` that
+  the parent absorbs, so ``--profile`` summaries of ``--jobs N`` runs
+  report worker DUE activity.
+- **Liveness**: tasks complete out of order under the hood
+  (``as_completed``), and the optional *on_result* callback fires as
+  each one finishes — this is how sweep progress gauges advance while
+  the run is in flight instead of only at merge time.
 
-Tracing spans and DUE event records are process-local and are *not*
-shipped back (spans are opt-in diagnostics; the event log is a bounded
-ring that parallel chunks would interleave meaninglessly) — see
+Tracing spans are opt-in diagnostics and are not shipped back — see
 ``docs/performance.md``.
 
 Workers are separate processes, so the callable and every payload must
 be picklable: pass module-level functions and plain data (codes,
-images, and patterns all qualify).
+images, and patterns all qualify).  The *on_result* callback runs in
+the parent and needs no such property.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
-from functools import partial
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, TypeVar
 
 from repro.errors import AnalysisError
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 
 __all__ = ["chunk_evenly", "parallel_map"]
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
+
+#: Callback invoked in the parent as each task completes (completion
+#: order): ``on_result(index, result, wall_seconds)``.
+OnResult = Callable[[int, Any, float], None]
 
 
 def chunk_evenly(items: Sequence[_P], num_chunks: int) -> list[tuple[_P, ...]]:
@@ -62,44 +76,85 @@ def chunk_evenly(items: Sequence[_P], num_chunks: int) -> list[tuple[_P, ...]]:
 
 
 def _run_isolated(fn: Callable[[Any], Any], payload: Any):
-    """Worker-side wrapper: isolate metrics and snapshot the delta.
+    """Worker-side wrapper: isolate obs state and snapshot the delta.
 
     The worker process was forked from (or spawned by) the parent, so
-    its registry may hold inherited or previous-task counts; resetting
-    at task entry makes the snapshot a per-task delta the parent can
-    add without double counting.
+    its registry and event log may hold inherited or previous-task
+    state; resetting at task entry makes the snapshot and digest
+    per-task deltas the parent can add without double counting.
+    Returns ``(result, metrics snapshot, event digest, wall seconds)``.
     """
     registry = obs_metrics.get_registry()
     registry.reset()
+    event_log = obs_events.get_event_log()
+    event_log.clear()
+    started = time.perf_counter()
     result = fn(payload)
-    return result, registry.as_dict()
+    wall_seconds = time.perf_counter() - started
+    digest = obs_events.EventDigest.from_log(event_log)
+    snapshot = registry.as_dict()
+    # The live-progress gauges are parent-owned: the parent advances
+    # them as tasks complete, *before* this snapshot is merged.  A
+    # forked worker inherits their registrations zeroed, and merging
+    # those zeroes back (gauges are last-wins) would clobber the
+    # in-flight progress, so they never leave the worker.
+    for name in list(snapshot):
+        if name.startswith("sweep.progress."):
+            del snapshot[name]
+    return result, snapshot, digest, wall_seconds
 
 
 def parallel_map(
     fn: Callable[[_P], _R],
     payloads: Sequence[_P],
     jobs: int,
+    on_result: OnResult | None = None,
 ) -> list[_R]:
     """Map *fn* over *payloads*, fanning out across *jobs* processes.
 
-    Results return in payload order.  Worker metric deltas are merged
-    into the parent registry in that same order, so counter totals
-    equal a serial run's and last-wins metrics (gauges, info) are
-    deterministic.  With ``jobs <= 1`` (or a single payload) the map
-    runs in-process and metrics flow directly — no pool, no snapshot
-    round-trip.
+    Results return in payload order.  Worker metric deltas and event
+    digests are merged into the parent registry/event log in that same
+    order — after every task has finished — so counter totals equal a
+    serial run's and last-wins metrics (gauges, info) are
+    deterministic.  *on_result*, by contrast, fires in **completion
+    order** as each task lands; use it for live progress, not for
+    anything order-sensitive.  With ``jobs <= 1`` (or a single payload)
+    the map runs in-process and metrics/events flow directly — no pool,
+    no snapshot round-trip — while *on_result* still fires per payload.
     """
     if jobs < 1:
         raise AnalysisError(f"jobs must be >= 1, got {jobs}")
     payloads = list(payloads)
     if jobs <= 1 or len(payloads) <= 1:
-        return [fn(payload) for payload in payloads]
-    registry = obs_metrics.get_registry()
-    results: list[_R] = []
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-        for result, snapshot in pool.map(
-            partial(_run_isolated, fn), payloads
-        ):
+        results = []
+        for index, payload in enumerate(payloads):
+            started = time.perf_counter()
+            result = fn(payload)
+            if on_result is not None:
+                on_result(index, result, time.perf_counter() - started)
             results.append(result)
-            obs_metrics.merge_snapshot(snapshot, registry)
+        return results
+    registry = obs_metrics.get_registry()
+    event_log = obs_events.get_event_log()
+    completed: list[tuple[_R, dict, obs_events.EventDigest] | None] = [
+        None
+    ] * len(payloads)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        futures = {
+            pool.submit(_run_isolated, fn, payload): index
+            for index, payload in enumerate(payloads)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            result, snapshot, digest, wall_seconds = future.result()
+            completed[index] = (result, snapshot, digest)
+            if on_result is not None:
+                on_result(index, result, wall_seconds)
+    results = []
+    for entry in completed:  # submission order: the deterministic merge
+        assert entry is not None  # every future resolved or raised above
+        result, snapshot, digest = entry
+        obs_metrics.merge_snapshot(snapshot, registry)
+        event_log.absorb_digest(digest)
+        results.append(result)
     return results

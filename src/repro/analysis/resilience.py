@@ -25,6 +25,7 @@ from repro.core.swdecc import SwdEcc
 from repro.ecc.code import DecodeStatus, LinearBlockCode
 from repro.errors import AnalysisError, RecoveryError, UncorrectableError
 from repro.memory.faults import FaultInjector
+from repro.obs.progress import SweepProgress
 from repro.memory.model import EccMemory
 from repro.memory.policy import CrashPolicy, HeuristicPolicy
 from repro.memory.scrub import Scrubber
@@ -162,6 +163,7 @@ def survival_study(
     trials: int = 10,
     base_config: ResilienceConfig | None = None,
     jobs: int = 1,
+    progress: SweepProgress | None = None,
 ) -> dict[str, dict[str, float]]:
     """Compare four system configurations over repeated trials.
 
@@ -170,7 +172,9 @@ def survival_study(
 
     With ``jobs > 1`` the trials fan out over worker processes; every
     trial is fully seeded by its config, so the study is deterministic
-    regardless of *jobs*.
+    regardless of *jobs*.  Trial completions advance the shared
+    ``sweep.progress.*`` gauges (one unit per trial) as they land, so a
+    ``--serve`` scraper can watch the study move.
     """
     if trials < 1:
         raise AnalysisError("trials must be >= 1")
@@ -197,7 +201,19 @@ def survival_study(
         for use_heuristic, scrub_interval in configurations.values()
         for trial in range(trials)
     ]
-    outcomes = parallel_map(_resilience_trial_worker, payloads, jobs)
+    owns_progress = progress is None
+    if progress is None:
+        progress = SweepProgress(unit="trials")
+    progress.add_total(len(payloads))
+
+    def _trial_done(index, outcome, wall_seconds):
+        progress.on_chunk(1, wall_seconds)
+
+    outcomes = parallel_map(
+        _resilience_trial_worker, payloads, jobs, on_result=_trial_done
+    )
+    if owns_progress:
+        progress.finish()
     study: dict[str, dict[str, float]] = {}
     for index, label in enumerate(configurations):
         block = outcomes[index * trials : (index + 1) * trials]

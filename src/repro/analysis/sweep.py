@@ -22,6 +22,7 @@ metrics are folded back into the parent registry.
 from __future__ import annotations
 
 import enum
+import logging
 import random
 import time
 from collections.abc import Sequence
@@ -36,10 +37,14 @@ from repro.core.swdecc import SwdEcc, TieBreak, success_probability
 from repro.ecc.channel import ErrorPattern, double_bit_patterns
 from repro.ecc.code import LinearBlockCode
 from repro.errors import AnalysisError
+from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
+from repro.obs.progress import SweepProgress
 from repro.obs.trace import span
 from repro.program.image import ProgramImage
 from repro.program.stats import FrequencyTable
+
+_log = obs_logging.get_logger("analysis.sweep")
 
 __all__ = ["RecoveryStrategy", "BenchmarkSweepResult", "DueSweep"]
 
@@ -236,7 +241,12 @@ class DueSweep:
             )
         return outcomes
 
-    def run(self, image: ProgramImage, jobs: int = 1) -> BenchmarkSweepResult:
+    def run(
+        self,
+        image: ProgramImage,
+        jobs: int = 1,
+        progress: SweepProgress | None = None,
+    ) -> BenchmarkSweepResult:
         """Sweep one benchmark image.
 
         The frequency table is computed over the *whole* image (as in
@@ -247,13 +257,51 @@ class DueSweep:
         With ``jobs > 1`` the pattern list is split into contiguous
         chunks swept by worker processes; the merged result is
         bit-identical to the serial one, and worker metrics (recovery
-        counters, cache hit/miss totals, histograms) are aggregated
-        into this process's registry.
+        counters, cache hit/miss totals, histograms) plus a digest of
+        worker DUE events are aggregated into this process's registry
+        and event log.
+
+        Progress is live either way: the ``sweep.progress.*`` gauges
+        advance as each chunk *completes* (a serial run is one chunk),
+        so a scraper watching ``/metrics`` sees patterns_done climb
+        during the run.  Pass a :class:`SweepProgress` to share one
+        rate/ETA estimate across several benchmarks (``run_many``
+        does); otherwise the sweep creates its own.
         """
         if jobs < 1:
             raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+        owns_progress = progress is None
+        if progress is None:
+            progress = SweepProgress()
+        progress.add_total(len(self._patterns))
+
+        def _chunk_done(
+            chunk_index: int,
+            chunk_outcomes: Sequence[PatternOutcome],
+            wall_seconds: float,
+        ) -> None:
+            success_sum = sum(o.success_rate for o in chunk_outcomes)
+            progress.on_chunk(
+                len(chunk_outcomes), wall_seconds, success_sum
+            )
+            obs_logging.emit(
+                _log, logging.INFO, "sweep chunk completed",
+                benchmark=image.name,
+                chunk=chunk_index,
+                patterns=len(chunk_outcomes),
+                wall_seconds=round(wall_seconds, 6),
+                mean_success=(
+                    round(success_sum / len(chunk_outcomes), 6)
+                    if chunk_outcomes else None
+                ),
+                done=progress.done,
+                total=progress.total,
+            )
+
         start_ns = time.perf_counter_ns()
-        with span(f"sweep.run[{image.name}]"):
+        with obs_logging.bind(
+            benchmark=image.name, strategy=self._strategy.value
+        ), span(f"sweep.run[{image.name}]"):
             if jobs > 1 and len(self._patterns) > 1:
                 payloads = [
                     (self._code, self._strategy, self._num_instructions,
@@ -263,13 +311,18 @@ class DueSweep:
                 outcomes = [
                     outcome
                     for chunk_outcomes in parallel_map(
-                        _sweep_chunk_worker, payloads, jobs
+                        _sweep_chunk_worker, payloads, jobs,
+                        on_result=_chunk_done,
                     )
                     for outcome in chunk_outcomes
                 ]
             else:
                 outcomes = self._outcomes_for(image, self._patterns)
+                elapsed = (time.perf_counter_ns() - start_ns) / 1e9
+                _chunk_done(0, outcomes, elapsed)
         elapsed_seconds = (time.perf_counter_ns() - start_ns) / 1e9
+        if owns_progress:
+            progress.finish()
         registry = obs_metrics.get_registry()
         registry.counter("sweep.benchmarks").inc()
         registry.counter("sweep.patterns_swept").inc(len(self._patterns))
@@ -289,17 +342,31 @@ class DueSweep:
         )
 
     def run_many(
-        self, images: Sequence[ProgramImage], jobs: int = 1
+        self,
+        images: Sequence[ProgramImage],
+        jobs: int = 1,
+        progress: SweepProgress | None = None,
     ) -> list[BenchmarkSweepResult]:
         """Sweep several benchmark images.
 
         Images are swept in order, each fanning its patterns out over
         *jobs* workers, so per-benchmark wall-time metrics keep their
-        serial meaning and results stay deterministic.
+        serial meaning and results stay deterministic.  One shared
+        :class:`SweepProgress` (created here when not supplied) spans
+        all the images, so the rendered rate/ETA covers the whole run.
         """
         if not images:
             raise AnalysisError("no images supplied to sweep")
-        return [self.run(image, jobs=jobs) for image in images]
+        owns_progress = progress is None
+        if progress is None:
+            progress = SweepProgress()
+        results = [
+            self.run(image, jobs=jobs, progress=progress)
+            for image in images
+        ]
+        if owns_progress:
+            progress.finish()
+        return results
 
 
 def _sweep_chunk_worker(payload) -> list[PatternOutcome]:

@@ -15,17 +15,22 @@ Usage (also ``python -m repro``)::
     repro disasm mcf.elf [--limit 32]
     repro recover 0x8fbf0018 --bits 1,4 [--benchmark mcf] [--json]
     repro stats fig8 --instructions 5   # any command + profiling summary
+    repro serve --port 9100 sweep --jobs 4   # any command + live /metrics
 
 Every command also accepts the observability flags (see
 ``docs/observability.md``): ``--profile`` prints metric and
 stage-latency tables after the run, ``--trace`` prints just the
-stage-latency table, and ``--events PATH`` writes one JSON line per DUE
-handled.  ``repro stats <command> ...`` is shorthand for running
-*command* with ``--profile``.
+stage-latency table, ``--events PATH`` writes one JSON line per DUE
+handled, and ``--log-json PATH`` (``-`` for stderr) emits structured
+JSON logs.  ``repro stats <command> ...`` is shorthand for running
+*command* with ``--profile``; ``repro serve <command> ...`` runs a
+command while exposing live metrics over HTTP.
 
 ``--jobs N`` (on ``fig6``, ``fig8``, ``resilience``, and ``sweep``)
 fans the work out over N processes with results bit-identical to the
-serial run — see ``docs/performance.md``.
+serial run — see ``docs/performance.md``.  The same four commands take
+``--serve PORT`` (scrape ``/metrics`` mid-run) and ``--progress`` (a
+live stderr rate/ETA line).
 """
 
 from __future__ import annotations
@@ -53,8 +58,11 @@ from repro.isa.disassembler import disassemble, render_instruction
 from repro.isa.decoder import try_decode
 from repro.obs import events as obs_events
 from repro.obs import export as obs_export
+from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.progress import SweepProgress
+from repro.obs.server import ObsServer
 from repro.program.elf import read_elf, write_elf
 from repro.program.stats import FrequencyTable
 from repro.program.synth import synthesize_benchmark
@@ -82,12 +90,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--events", metavar="PATH", default=None,
         help="write per-DUE event records to PATH as JSON lines",
     )
-    # Parallelism flag shared by the sweep-shaped subcommands.
+    obs_flags.add_argument(
+        "--log-json", metavar="PATH", default=None, dest="log_json",
+        help="emit structured JSON logs to PATH ('-' for stderr)",
+    )
+    # Parallelism/liveness flags shared by the sweep-shaped subcommands.
     jobs_flag = argparse.ArgumentParser(add_help=False)
     jobs_flag.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="fan the sweep out over N worker processes "
         "(results are bit-identical to --jobs 1)",
+    )
+    jobs_flag.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="expose live metrics at http://127.0.0.1:PORT/metrics "
+        "for the duration of the run (0 = ephemeral port)",
+    )
+    jobs_flag.add_argument(
+        "--progress", action="store_true",
+        help="render a live progress line (rate, ETA) on stderr",
     )
 
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -187,6 +208,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write per-DUE events to PATH")
     stats.add_argument("rest", nargs=argparse.REMAINDER,
                        help="the command to run, e.g. fig8 --instructions 5")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run any repro command while serving live metrics over "
+        "HTTP (GET /metrics, /metrics.json, /events, /spans, /healthz)",
+    )
+    serve.add_argument("--port", type=int, default=9100,
+                       help="TCP port to bind (0 = ephemeral)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    serve.add_argument("rest", nargs=argparse.REMAINDER,
+                       help="the command to run, e.g. sweep --jobs 4")
     return parser
 
 
@@ -218,16 +251,27 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_for(args: argparse.Namespace, unit: str = "patterns"):
+    """A stderr-rendering progress tracker when --progress was given."""
+    if getattr(args, "progress", False):
+        return SweepProgress(stream=sys.stderr, unit=unit)
+    return None
+
+
 def _command_resilience(args: argparse.Namespace) -> int:
     code = default_code()
     image = synthesize_benchmark("mcf", length=512)
+    progress = _progress_for(args, unit="trials")
     study = survival_study(
         code,
         image,
         trials=args.trials,
         base_config=ResilienceConfig(epochs=args.epochs),
         jobs=args.jobs,
+        progress=progress,
     )
+    if progress is not None:
+        progress.finish()
     if args.json:
         print(obs_export.to_json({
             "command": "resilience",
@@ -264,7 +308,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
         code, RecoveryStrategy(args.strategy), args.instructions,
         cache=not args.no_cache,
     )
-    result = sweep.run(image, jobs=args.jobs)
+    progress = _progress_for(args)
+    result = sweep.run(image, jobs=args.jobs, progress=progress)
+    if progress is not None:
+        progress.finish()
     if args.json:
         print(obs_export.to_json({
             "command": "sweep",
@@ -369,6 +416,30 @@ def _command_stats(args: argparse.Namespace) -> int:
     return main(forwarded)
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """``repro serve <command> ...`` = run the command with a live
+    observability endpoint for its duration (mirrors ``stats``)."""
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest or rest[0] == "serve":
+        print("serve needs a command to run, e.g. "
+              "repro serve --port 9100 sweep --jobs 4", file=sys.stderr)
+        return 2
+    server = ObsServer(host=args.host, port=args.port)
+    try:
+        server.start()
+    except OSError as error:
+        print(f"serve: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    print(f"serving observability on {server.url}", file=sys.stderr)
+    try:
+        return main(rest)
+    finally:
+        server.stop()
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     command = args.command
     if command == "fig4":
@@ -379,13 +450,15 @@ def _dispatch(args: argparse.Namespace) -> int:
     elif command == "fig6":
         image = synthesize_benchmark(args.benchmark, seed=args.seed)
         print(run_fig6(
-            image=image, num_instructions=args.instructions, jobs=args.jobs
+            image=image, num_instructions=args.instructions, jobs=args.jobs,
+            progress=_progress_for(args),
         ).render())
     elif command == "fig7":
         print(run_fig7().render())
     elif command == "fig8":
         print(run_fig8(
-            num_instructions=args.instructions, jobs=args.jobs
+            num_instructions=args.instructions, jobs=args.jobs,
+            progress=_progress_for(args),
         ).render())
     elif command == "legality":
         print(run_isa_legality().render())
@@ -419,15 +492,37 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "serve":
+        return _command_serve(args)
     profile = getattr(args, "profile", False)
     want_trace = profile or getattr(args, "trace", False)
     events_path = getattr(args, "events", None)
+    log_json = getattr(args, "log_json", None)
+    serve_port = getattr(args, "serve", None)
+    log_handler = (
+        obs_logging.configure(log_json) if log_json is not None else None
+    )
+    server = None
+    if serve_port is not None:
+        try:
+            server = ObsServer(port=serve_port).start()
+        except OSError as error:
+            print(f"--serve: cannot bind port {serve_port}: {error}",
+                  file=sys.stderr)
+            if log_handler is not None:
+                obs_logging.unconfigure(log_handler)
+            return 2
+        print(f"serving observability on {server.url}", file=sys.stderr)
     collector = obs_trace.enable_tracing() if want_trace else None
     try:
         status = _dispatch(args)
     finally:
         if collector is not None:
             obs_trace.disable_tracing()
+        if server is not None:
+            server.stop()
+        if log_handler is not None:
+            obs_logging.unconfigure(log_handler)
     if profile:
         print()
         print(obs_export.render_metrics(

@@ -15,14 +15,18 @@ small protocols so any memory model can plug in:
 from __future__ import annotations
 
 import enum
+import logging
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from repro.core.sideinfo import RecoveryContext
 from repro.core.swdecc import RecoveryResult, SwdEcc
 from repro.obs import events as obs_events
+from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+
+_log = obs_logging.get_logger("recovery")
 
 __all__ = [
     "RecoveryAction",
@@ -148,6 +152,10 @@ class RecoveryPipeline:
             outcome = self._run_ladder(address, received, context)
         self._m_dues.inc()
         self._m_actions[outcome.action].inc()
+        obs_logging.emit(
+            _log, logging.DEBUG, "due handled",
+            address=f"0x{address:x}", action=outcome.action.value,
+        )
         return outcome
 
     def _run_ladder(

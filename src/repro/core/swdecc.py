@@ -20,6 +20,7 @@ on a word the hardware decoder has already flagged.
 from __future__ import annotations
 
 import enum
+import logging
 import random
 import time
 from collections.abc import Sequence
@@ -32,8 +33,11 @@ from repro.ecc.candidates import CandidateEnumerator
 from repro.ecc.code import LinearBlockCode
 from repro.errors import DecodingError, RecoveryError
 from repro.obs import events as obs_events
+from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+
+_log = obs_logging.get_logger("swdecc")
 
 __all__ = ["TieBreak", "RecoveryResult", "SwdEcc", "success_probability"]
 
@@ -188,6 +192,10 @@ class SwdEcc:
             return candidates
         self._m_escalations.inc()
         radius = self._code.correctable_bits() + 2
+        obs_logging.emit(
+            _log, logging.DEBUG, "radius escalation",
+            received=f"0x{received:x}", radius=radius,
+        )
         candidates = self._enumerator.candidates_within_radius(received, radius)
         if not candidates:
             raise RecoveryError(
@@ -250,6 +258,12 @@ class SwdEcc:
         self._m_recoveries.inc()
         if fell_back:
             self._m_fallbacks.inc()
+            obs_logging.emit(
+                _log, logging.DEBUG, "filter fell back",
+                received=f"0x{received:x}",
+                candidates=len(candidates),
+                latency_ns=latency_ns,
+            )
         if len(tied_messages) > 1:
             self._m_ties.inc()
         self._h_candidates.observe(len(candidates))
@@ -389,6 +403,11 @@ class SwdEcc:
         self._m_recoveries.inc(len(messages))
         if fallbacks:
             self._m_fallbacks.inc(fallbacks)
+            obs_logging.emit(
+                _log, logging.DEBUG, "filter fell back (vectorized sweep)",
+                error=f"0x{error:x}", count=fallbacks,
+                messages=len(messages),
+            )
         if tie_count:
             self._m_ties.inc(tie_count)
         return stats

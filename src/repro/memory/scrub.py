@@ -10,13 +10,17 @@ handles the DUEs that still happen.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.ecc.code import DecodeStatus
 from repro.errors import MemoryFaultError
 from repro.memory.model import EccMemory
+from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+
+_log = obs_logging.get_logger("memory.scrub")
 
 __all__ = ["ScrubReport", "Scrubber", "PageRetirement"]
 
@@ -79,6 +83,11 @@ class Scrubber:
         self._m_passes.inc()
         self._m_corrected.inc(corrected)
         self._m_dues.inc(dues)
+        if dues:
+            obs_logging.emit(
+                _log, logging.INFO, "scrub pass found DUEs",
+                dues=dues, corrected=corrected, scanned=scanned,
+            )
         return ScrubReport(
             words_scanned=scanned, errors_corrected=corrected, dues_found=dues
         )

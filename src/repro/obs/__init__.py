@@ -1,4 +1,4 @@
-"""Observability: metrics, tracing spans, and structured DUE events.
+"""Observability: metrics, tracing, events, logs, and live serving.
 
 The recovery pipeline is a pipeline of heuristics, and the paper's own
 evaluation (candidate counts, filtering rates, per-bit-position success)
@@ -13,21 +13,37 @@ runs.  This package provides that layer with zero dependencies:
   when disabled a span is a shared no-op object.
 - :mod:`repro.obs.events` — one JSON-serializable :class:`DueEvent`
   record per DUE handled by :meth:`repro.core.swdecc.SwdEcc.recover`,
-  kept in a bounded in-memory log.
+  kept in a bounded in-memory log, plus :class:`EventDigest` aggregates
+  shipped home from parallel workers.
 - :mod:`repro.obs.export` — text tables (via
   :func:`repro.analysis.heatmap.render_table`) and a JSON encoder for
   all of the above.
+- :mod:`repro.obs.promtext` — OpenMetrics / Prometheus text exposition
+  of a registry snapshot (what ``GET /metrics`` serves).
+- :mod:`repro.obs.server` — :class:`ObsServer`, a stdlib HTTP endpoint
+  serving metrics, events, and spans live while a run is in flight.
+- :mod:`repro.obs.logging` — structured JSON logs with
+  contextvar-bound fields (the CLI's ``--log-json``).
+- :mod:`repro.obs.progress` — :class:`SweepProgress`, live sweep
+  progress gauges with rate/ETA (the CLI's ``--progress``).
 
 See ``docs/observability.md`` for a worked example.
 """
 
 from __future__ import annotations
 
-from repro.obs.events import DueEvent, EventLog, get_event_log, set_event_log
+from repro.obs.events import (
+    DueEvent,
+    EventDigest,
+    EventLog,
+    get_event_log,
+    set_event_log,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    Info,
     MetricsRegistry,
     NULL_REGISTRY,
     get_registry,
@@ -42,12 +58,15 @@ from repro.obs.trace import (
     span,
     tracing_enabled,
 )
+from repro.obs.progress import SweepProgress
+from repro.obs.server import ObsServer
 
 __all__ = [
     # metrics
     "Counter",
     "Gauge",
     "Histogram",
+    "Info",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "get_registry",
@@ -62,7 +81,11 @@ __all__ = [
     "current_collector",
     # events
     "DueEvent",
+    "EventDigest",
     "EventLog",
     "get_event_log",
     "set_event_log",
+    # serving & progress
+    "ObsServer",
+    "SweepProgress",
 ]

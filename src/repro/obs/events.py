@@ -23,6 +23,7 @@ from typing import Iterator, NamedTuple
 
 __all__ = [
     "DueEvent",
+    "EventDigest",
     "EventLog",
     "NullEventLog",
     "get_event_log",
@@ -123,14 +124,71 @@ class DueEvent(NamedTuple):
         )
 
 
+class EventDigest(NamedTuple):
+    """Aggregate statistics of an event population.
+
+    Worker processes cannot ship their event *rings* home (parallel
+    chunks would interleave the bounded ring meaninglessly — see
+    ``docs/performance.md``), but a fixed-size digest merges exactly:
+    :func:`repro.analysis.parallel.parallel_map` computes one per worker
+    task and the parent absorbs them, so ``--jobs N`` profiles report
+    worker DUE activity instead of a misleadingly empty summary.
+
+    ``count`` covers every event recorded (including any evicted from
+    the ring); the remaining fields are tallied over retained events.
+    """
+
+    count: int = 0
+    fallbacks: int = 0
+    latency_ns_total: int = 0
+    latency_events: int = 0
+    recovered: int = 0
+    with_truth: int = 0
+
+    @classmethod
+    def from_log(cls, log: "EventLog") -> "EventDigest":
+        """Digest the retained contents (and totals) of *log*."""
+        events = log.events()
+        with_truth = [e for e in events if e.recovered is not None]
+        return cls(
+            count=log.total_recorded,
+            fallbacks=sum(1 for e in events if e.filter_fell_back),
+            latency_ns_total=sum(e.latency_ns for e in events),
+            latency_events=len(events),
+            recovered=sum(1 for e in with_truth if e.recovered),
+            with_truth=len(with_truth),
+        )
+
+    def merge(self, other: "EventDigest") -> "EventDigest":
+        """Field-wise sum of two digests."""
+        return EventDigest(*(a + b for a, b in zip(self, other)))
+
+    @property
+    def mean_latency_ns(self) -> float | None:
+        """Mean per-event latency, or ``None`` with no timed events."""
+        if not self.latency_events:
+            return None
+        return self.latency_ns_total / self.latency_events
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable record (includes the derived mean)."""
+        return {**self._asdict(), "mean_latency_ns": self.mean_latency_ns}
+
+
 class EventLog:
-    """Bounded in-memory DUE event log (newest events win)."""
+    """Bounded in-memory DUE event log (newest events win).
+
+    Besides its own ring, a log accumulates *absorbed* digests of
+    worker-process events (:meth:`absorb_digest`) so parallel runs keep
+    an accurate aggregate even though the worker rings stay remote.
+    """
 
     DEFAULT_CAPACITY = 8192
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         self._events: deque[DueEvent] = deque(maxlen=capacity)
         self._total = 0
+        self._absorbed = EventDigest()
 
     @property
     def capacity(self) -> int:
@@ -174,10 +232,20 @@ class EventLog:
         self._events.clear()
         return drained
 
+    def absorb_digest(self, digest: EventDigest) -> None:
+        """Fold a worker's event digest into this log's aggregate."""
+        self._absorbed = self._absorbed.merge(digest)
+
+    @property
+    def absorbed_digest(self) -> EventDigest:
+        """The accumulated worker-event digest (zeros when none)."""
+        return self._absorbed
+
     def clear(self) -> None:
-        """Drop all retained events and zero the total."""
+        """Drop all retained events, absorbed digests, and the total."""
         self._events.clear()
         self._total = 0
+        self._absorbed = EventDigest()
 
     def __len__(self) -> int:
         return len(self._events)
@@ -204,6 +272,9 @@ class NullEventLog(EventLog):
     """An event log that discards records (overhead baseline)."""
 
     def record(self, event: DueEvent) -> None:
+        pass
+
+    def absorb_digest(self, digest: EventDigest) -> None:
         pass
 
 

@@ -124,25 +124,49 @@ def render_spans(collector: SpanCollector, title: str = "stage latency") -> str:
 
 
 def render_events_summary(log: EventLog, title: str = "DUE events") -> str:
-    """A one-table digest of the retained DUE events."""
+    """A one-table digest of the retained DUE events.
+
+    When the log has absorbed worker-process digests (``--jobs N``
+    runs), the table appends the worker aggregate — the events
+    themselves live in the worker rings and never cross the process
+    boundary, but their digest does, so parallel profiles stay honest.
+    """
     events = log.events()
-    if not events:
+    worker = log.absorbed_digest
+    if not events and not worker.count:
         return f"{title}: (none recorded)"
-    fallbacks = sum(1 for e in events if e.filter_fell_back)
-    with_truth = [e for e in events if e.recovered is not None]
-    recovered = sum(1 for e in with_truth if e.recovered)
-    rows = [
-        ["events retained", len(events)],
-        ["events total", log.total_recorded],
-        ["filter fallbacks", fallbacks],
-        ["mean candidates", _sig(_mean(e.num_candidates for e in events))],
-        ["mean valid", _sig(_mean(e.num_valid for e in events))],
-        ["mean latency us", _sig(_mean(e.latency_ns for e in events) / 1e3)],
-        [
-            "recovered (where truth known)",
-            f"{recovered}/{len(with_truth)}" if with_truth else "n/a",
-        ],
-    ]
+    rows: list[list[object]] = []
+    if events:
+        fallbacks = sum(1 for e in events if e.filter_fell_back)
+        with_truth = [e for e in events if e.recovered is not None]
+        recovered = sum(1 for e in with_truth if e.recovered)
+        rows += [
+            ["events retained", len(events)],
+            ["events total", log.total_recorded],
+            ["filter fallbacks", fallbacks],
+            ["mean candidates", _sig(_mean(e.num_candidates for e in events))],
+            ["mean valid", _sig(_mean(e.num_valid for e in events))],
+            ["mean latency us", _sig(_mean(e.latency_ns for e in events) / 1e3)],
+            [
+                "recovered (where truth known)",
+                f"{recovered}/{len(with_truth)}" if with_truth else "n/a",
+            ],
+        ]
+    if worker.count:
+        mean_latency = worker.mean_latency_ns
+        rows += [
+            ["worker events (digest)", worker.count],
+            ["worker filter fallbacks", worker.fallbacks],
+            [
+                "worker mean latency us",
+                _sig(None if mean_latency is None else mean_latency / 1e3),
+            ],
+            [
+                "worker recovered (where truth known)",
+                f"{worker.recovered}/{worker.with_truth}"
+                if worker.with_truth else "n/a",
+            ],
+        ]
     return render_table(["statistic", "value"], rows, title=title)
 
 

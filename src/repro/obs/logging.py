@@ -1,0 +1,151 @@
+"""Structured JSON logging on top of the stdlib :mod:`logging` module.
+
+Instrumented code logs *events with fields*, not formatted strings::
+
+    _log = obs_logging.get_logger("swdecc")
+    obs_logging.emit(_log, logging.DEBUG, "filter fell back",
+                     received=hex(word), candidates=count)
+
+and harnesses bind run-scoped context that every line inside the block
+inherits::
+
+    with obs_logging.bind(benchmark="mcf", strategy="filter-and-rank"):
+        sweep.run(image)
+
+Until :func:`configure` attaches a handler the ``repro`` logger tree is
+silent and an :func:`emit` call costs one (cached) ``isEnabledFor``
+check — cheap enough for the rare-path hooks (fallbacks, escalations,
+scrub DUEs, chunk completions) that use it.  :func:`configure` wires a
+:class:`JsonFormatter` handler writing one JSON object per line with
+``ts``/``level``/``logger``/``msg`` plus the bound context and the
+event's own fields; the CLI exposes it as ``--log-json PATH`` (``-``
+for stderr) on every subcommand.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import sys
+from contextvars import ContextVar
+from typing import Iterator, Mapping, TextIO
+
+__all__ = [
+    "JsonFormatter",
+    "ROOT_LOGGER",
+    "bind",
+    "bound_fields",
+    "configure",
+    "emit",
+    "get_logger",
+    "unconfigure",
+]
+
+#: Every repro logger lives under this name; :func:`configure` attaches
+#: its handler here.
+ROOT_LOGGER = "repro"
+
+# Quiet-by-default: without this, logging.lastResort would print any
+# WARNING+ record to stderr even when the user asked for no logging.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+_bound: ContextVar[dict[str, object]] = ContextVar(
+    "repro_log_fields", default={}
+)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The logger ``repro.<name>`` (pass-through when already rooted)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def bound_fields() -> dict[str, object]:
+    """The fields currently bound in this context (a copy)."""
+    return dict(_bound.get())
+
+
+@contextlib.contextmanager
+def bind(**fields: object) -> Iterator[None]:
+    """Bind *fields* to every record emitted inside the block.
+
+    Bindings nest (inner blocks extend/override outer ones) and are
+    contextvar-scoped, so concurrent threads and tasks do not leak
+    context into each other.
+    """
+    token = _bound.set({**_bound.get(), **fields})
+    try:
+        yield
+    finally:
+        _bound.reset(token)
+
+
+def emit(
+    logger: logging.Logger, level: int, msg: str, **fields: object
+) -> None:
+    """Log *msg* at *level* with structured *fields* attached.
+
+    A no-op (one cached level check) when nothing is configured to
+    listen, so hooks on rare paths stay effectively free.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, msg, extra={"fields": fields})
+
+
+class JsonFormatter(logging.Formatter):
+    """Format each record as one JSON object per line.
+
+    Key order is fixed (``ts``, ``level``, ``logger``, ``msg``, then
+    bound context, then the event's own fields) so the lines diff and
+    grep predictably; later field sources override earlier ones on key
+    collisions.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        payload.update(_bound.get())
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, Mapping):
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure(
+    destination: str | TextIO = "-", level: int = logging.DEBUG
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``repro`` logger tree.
+
+    *destination* is a path, ``"-"`` for stderr, or an open stream.
+    Returns the handler so callers can detach it with
+    :func:`unconfigure` (the CLI does, keeping repeated in-process
+    ``main()`` calls from stacking handlers).
+    """
+    if destination == "-":
+        handler: logging.Handler = logging.StreamHandler(sys.stderr)
+    elif isinstance(destination, str):
+        handler = logging.FileHandler(destination, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(destination)
+    handler.setFormatter(JsonFormatter())
+    handler.setLevel(level)
+    root = logging.getLogger(ROOT_LOGGER)
+    root.addHandler(handler)
+    if root.level == logging.NOTSET or root.level > level:
+        root.setLevel(level)
+    return handler
+
+
+def unconfigure(handler: logging.Handler) -> None:
+    """Detach and close a handler installed by :func:`configure`."""
+    logging.getLogger(ROOT_LOGGER).removeHandler(handler)
+    handler.close()

@@ -196,14 +196,26 @@ class Histogram:
         return list(zip(bounds, self._bucket_counts))
 
     def quantile(self, q: float) -> float | None:
-        """Bucket-resolution estimate of the *q*-quantile (0..1)."""
+        """Bucket-resolution estimate of the *q*-quantile (0..1).
+
+        ``q=0`` returns the exact minimum and ``q=1`` the exact maximum
+        (both tracked outside the buckets); empty histograms return
+        ``None``.  Otherwise the answer is the upper bound of the
+        bucket holding the rank, clamped to the observed maximum —
+        empty leading buckets are skipped so they can never satisfy the
+        rank spuriously.
+        """
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile {q} outside [0, 1]")
         if not self._count:
             return None
+        if q == 0.0:
+            return self._min
         rank = q * self._count
         cumulative = 0
         for bound, count in self.bucket_counts():
+            if not count:
+                continue
             cumulative += count
             if cumulative >= rank:
                 return min(bound, self._max if self._max is not None else bound)
@@ -313,6 +325,33 @@ def run_collectors() -> None:
     """Run every registered collector (snapshot refresh)."""
     for callback in list(_collectors):
         callback()
+
+
+def _cache_hit_rate_collector() -> None:
+    """Derive ``<base>.cache_hit_rate`` gauges from hit/miss counters.
+
+    Raw hit/miss counters are what the hot paths can afford to update;
+    the *ratio* operators actually read is computed here, at snapshot
+    time, for every ``<base>.cache_hits`` counter in the registry —
+    no per-lookup division, no extra hot-path metric.
+    """
+    registry = get_registry()
+    for name in registry.names():
+        if not name.endswith(".cache_hits"):
+            continue
+        base = name[: -len(".cache_hits")]
+        hits_metric = registry.get(name)
+        misses_metric = registry.get(f"{base}.cache_misses")
+        if not isinstance(hits_metric, Counter):
+            continue
+        hits = hits_metric.value
+        misses = misses_metric.value if isinstance(misses_metric, Counter) else 0
+        total = hits + misses
+        if total:
+            registry.gauge(
+                f"{base}.cache_hit_rate",
+                help="Cache hits / lookups (derived at snapshot time)",
+            ).set(hits / total)
 
 
 class MetricsRegistry:
@@ -464,6 +503,9 @@ class NullRegistry(MetricsRegistry):
 
     def info(self, name: str, help: str = "") -> Info:
         return self._get_or_create(name, Info, lambda: _NullInfo(name, help))
+
+
+add_collector(_cache_hit_rate_collector)
 
 
 #: Shared no-op registry for overhead baselines.

@@ -1,0 +1,332 @@
+"""OpenMetrics / Prometheus text exposition for metric registries.
+
+:func:`render` turns a :class:`~repro.obs.metrics.MetricsRegistry` into
+the text format scrapers understand (``GET /metrics`` serves it):
+
+- counters get the ``_total`` sample suffix,
+- histograms become *cumulative* ``_bucket{le="..."}`` series plus
+  ``_sum`` and ``_count`` (the registry stores per-bin counts; the
+  encoder accumulates),
+- gauges are emitted verbatim,
+- :class:`~repro.obs.metrics.Info` annotations become a labeled
+  ``_info`` gauge whose sample value is always 1,
+- dotted metric names are sanitized to underscores and non-empty help
+  strings become ``# HELP`` lines.
+
+The module also carries :func:`parse_exposition`, a small strict parser
+used by the tests and the CI smoke script to round-trip-validate the
+encoder (type/sample-suffix agreement, bucket cumulativity, ``_count``
+vs ``+Inf`` consistency, trailing ``# EOF``).  It is not a general
+Prometheus parser; it understands exactly what :func:`render` emits.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Info,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricFamily",
+    "metric_name",
+    "render",
+    "parse_exposition",
+]
+
+#: Content type advertised by the ``/metrics`` endpoint.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_VALID_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# One sample line: name, optional {labels}, value.
+_SAMPLE_LINE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name: str) -> str:
+    """Sanitize a dotted registry name into an exposition name.
+
+    ``candidates.cache_hits`` -> ``candidates_cache_hits``; characters
+    outside ``[a-zA-Z0-9_:]`` collapse to ``_`` and a leading digit is
+    prefixed with ``_``.
+    """
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - registries never do this
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label(value: str) -> str:
+    # Sequential str.replace would misread an escaped backslash followed
+    # by a literal "n" (\\n) as an escaped newline; scan left to right.
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            escaped = value[index + 1]
+            if escaped == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if escaped in ('"', "\\"):
+                out.append(escaped)
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render(registry: MetricsRegistry | None = None) -> str:
+    """Encode *registry* (default: the process registry) as exposition
+    text.
+
+    Iterating the registry runs its snapshot collectors, so derived
+    metrics (cache hit rates, memory gauges) are refreshed on every
+    scrape.
+    """
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    seen: dict[str, str] = {}
+    for metric in registry:
+        family = metric_name(metric.name)
+        if isinstance(metric, Info):
+            family += "_info"
+        previous = seen.get(family)
+        if previous is not None:
+            raise ObservabilityError(
+                f"metric names {previous!r} and {metric.name!r} both "
+                f"sanitize to exposition family {family!r}"
+            )
+        seen[family] = metric.name
+        if metric.help:
+            lines.append(f"# HELP {family} {_escape_help(metric.help)}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family}_total {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {family} histogram")
+            cumulative = 0
+            for bound, count in metric.bucket_counts():
+                cumulative += count
+                lines.append(
+                    f'{family}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f"{family}_sum {_format_value(metric.sum)}")
+            lines.append(f"{family}_count {metric.count}")
+        elif isinstance(metric, Info):
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(
+                f'{family}{{value="{_escape_label(metric.value)}"}} 1'
+            )
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(f"{family} {_format_value(metric.value)}")
+        else:  # pragma: no cover - registry only stores the four kinds
+            raise ObservabilityError(
+                f"cannot encode metric {metric.name!r} "
+                f"({type(metric).__name__})"
+            )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Test-only parser
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MetricFamily:
+    """One parsed exposition family (used by tests and the CI smoke)."""
+
+    name: str
+    type: str
+    help: str = ""
+    #: ``(sample name, labels, value)`` triples in document order.
+    samples: list[tuple[str, dict[str, str], float]] = field(
+        default_factory=list
+    )
+
+    def sample_value(
+        self, suffix: str = "", labels: dict[str, str] | None = None
+    ) -> float:
+        """The value of the sample ``name + suffix`` (optionally
+        matching *labels*); raises when absent."""
+        wanted = self.name + suffix
+        for sample_name, sample_labels, value in self.samples:
+            if sample_name != wanted:
+                continue
+            if labels is not None and sample_labels != labels:
+                continue
+            return value
+        raise ObservabilityError(
+            f"family {self.name!r} has no sample {wanted!r} "
+            f"with labels {labels!r}"
+        )
+
+
+_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_sum", "_count"),
+}
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError as error:
+        raise ObservabilityError(f"bad sample value {text!r}") from error
+
+
+def _check_histogram(family: MetricFamily) -> None:
+    buckets = [
+        (labels, value)
+        for name, labels, value in family.samples
+        if name == family.name + "_bucket"
+    ]
+    if not buckets:
+        raise ObservabilityError(
+            f"histogram {family.name!r} has no _bucket samples"
+        )
+    bounds = []
+    for labels, _ in buckets:
+        if "le" not in labels:
+            raise ObservabilityError(
+                f"histogram {family.name!r} bucket is missing its le label"
+            )
+        bounds.append(_parse_value(labels["le"]))
+    if bounds != sorted(bounds):
+        raise ObservabilityError(
+            f"histogram {family.name!r} le bounds are not sorted: {bounds}"
+        )
+    if not math.isinf(bounds[-1]):
+        raise ObservabilityError(
+            f"histogram {family.name!r} is missing its +Inf bucket"
+        )
+    counts = [value for _, value in buckets]
+    if counts != sorted(counts):
+        raise ObservabilityError(
+            f"histogram {family.name!r} buckets are not cumulative: {counts}"
+        )
+    total = family.sample_value("_count")
+    if counts[-1] != total:
+        raise ObservabilityError(
+            f"histogram {family.name!r} +Inf bucket {counts[-1]} != "
+            f"_count {total}"
+        )
+    family.sample_value("_sum")  # must exist
+
+
+def parse_exposition(text: str) -> dict[str, MetricFamily]:
+    """Parse (and structurally validate) :func:`render` output.
+
+    Returns families keyed by family name.  Raises
+    :class:`~repro.errors.ObservabilityError` on any malformation:
+    unknown line shapes, samples without a ``# TYPE``, sample suffixes
+    that disagree with the declared type, non-cumulative or unsorted
+    histogram buckets, ``+Inf`` != ``_count``, or a missing ``# EOF``.
+    """
+    families: dict[str, MetricFamily] = {}
+    saw_eof = False
+    pending_help: dict[str, str] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ObservabilityError(f"line {number}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            pending_help[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2 or parts[1] not in _SUFFIXES:
+                raise ObservabilityError(f"line {number}: bad TYPE line {line!r}")
+            name, kind = parts
+            if name in families:
+                raise ObservabilityError(
+                    f"line {number}: duplicate family {name!r}"
+                )
+            families[name] = MetricFamily(
+                name=name, type=kind, help=pending_help.pop(name, "")
+            )
+            continue
+        if line.startswith("#"):
+            raise ObservabilityError(f"line {number}: unknown comment {line!r}")
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ObservabilityError(f"line {number}: bad sample line {line!r}")
+        sample_name, label_text, value_text = match.groups()
+        labels = {}
+        if label_text:
+            labels = {
+                key: _unescape_label(value)
+                for key, value in _LABEL.findall(label_text[1:-1])
+            }
+        family = None
+        for candidate in families.values():
+            if any(
+                sample_name == candidate.name + suffix
+                for suffix in _SUFFIXES[candidate.type]
+            ):
+                family = candidate
+                break
+        if family is None:
+            raise ObservabilityError(
+                f"line {number}: sample {sample_name!r} has no matching "
+                f"# TYPE declaration"
+            )
+        family.samples.append((sample_name, labels, _parse_value(value_text)))
+    if not saw_eof:
+        raise ObservabilityError("exposition text does not end with # EOF")
+    for family in families.values():
+        if not family.samples:
+            raise ObservabilityError(f"family {family.name!r} has no samples")
+        if family.type == "histogram":
+            _check_histogram(family)
+        if not _VALID_NAME.match(family.name):
+            raise ObservabilityError(f"bad family name {family.name!r}")
+    return families

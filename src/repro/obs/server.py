@@ -1,0 +1,216 @@
+"""A zero-dependency HTTP endpoint serving live observability state.
+
+:class:`ObsServer` wraps a stdlib :class:`~http.server.ThreadingHTTPServer`
+on a daemon thread so a long sweep can be watched *while it runs*:
+
+- ``GET /metrics`` — OpenMetrics text (:mod:`repro.obs.promtext`);
+  snapshot collectors run on every scrape, so derived gauges are fresh.
+- ``GET /metrics.json`` — the same snapshot as JSON.
+- ``GET /events?limit=N`` — the newest *N* retained DUE events as
+  JSON lines (default: all retained).
+- ``GET /spans`` — per-stage latency summary when tracing is enabled.
+- ``GET /healthz`` — liveness probe.
+
+The server binds ``127.0.0.1`` by default (observability data includes
+memory contents; do not expose it beyond the host without a reason) and
+supports ``port=0`` so tests bind an ephemeral port and read
+:attr:`ObsServer.port` back.  Serving is read-only and touches shared
+state only through snapshot APIs, so it never perturbs sweep results.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from threading import Thread
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ObservabilityError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import promtext
+from repro.obs import trace as obs_trace
+
+__all__ = ["ObsServer"]
+
+_log = logging.getLogger("repro.obs.server")
+_log.addHandler(logging.NullHandler())
+
+
+class _ObsRequestHandler(BaseHTTPRequestHandler):
+    """Routes GET requests to the owning :class:`ObsServer`."""
+
+    server_version = "repro-obs/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        obs: ObsServer = self.server.obs  # type: ignore[attr-defined]
+        url = urlparse(self.path)
+        try:
+            route = _ROUTES.get(url.path)
+            if route is None:
+                self._reply(404, "text/plain; charset=utf-8",
+                            f"no such endpoint: {url.path}\n")
+                return
+            status, content_type, body = route(obs, parse_qs(url.query))
+            self._reply(status, content_type, body)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as error:  # pragma: no cover - defensive
+            self._reply(500, "text/plain; charset=utf-8", f"{error}\n")
+
+    def _reply(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Route http.server's stderr chatter to the repro logger instead.
+        _log.debug("%s %s", self.address_string(), format % args)
+
+
+def _endpoint_metrics(obs: "ObsServer", query) -> tuple[int, str, str]:
+    return 200, promtext.CONTENT_TYPE, promtext.render(obs.registry)
+
+
+def _endpoint_metrics_json(obs: "ObsServer", query) -> tuple[int, str, str]:
+    body = json.dumps(obs.registry.as_dict(), sort_keys=True, indent=2)
+    return 200, "application/json", body + "\n"
+
+
+def _endpoint_events(obs: "ObsServer", query) -> tuple[int, str, str]:
+    events = obs.event_log.events()
+    raw_limit = query.get("limit", [None])[0]
+    if raw_limit is not None:
+        try:
+            limit = int(raw_limit)
+        except ValueError:
+            return 400, "text/plain; charset=utf-8", \
+                f"bad limit: {raw_limit!r}\n"
+        if limit >= 0:
+            events = events[len(events) - min(limit, len(events)):]
+    lines = [json.dumps(e.to_dict(), sort_keys=True) for e in events]
+    return 200, "application/x-ndjson", "\n".join(lines) + ("\n" if lines else "")
+
+
+def _endpoint_spans(obs: "ObsServer", query) -> tuple[int, str, str]:
+    collector = obs_trace.current_collector()
+    body = {
+        "tracing": collector is not None,
+        "stages": collector.summary() if collector is not None else {},
+    }
+    return 200, "application/json", json.dumps(body, sort_keys=True) + "\n"
+
+
+def _endpoint_healthz(obs: "ObsServer", query) -> tuple[int, str, str]:
+    return 200, "application/json", '{"status": "ok"}\n'
+
+
+_ROUTES = {
+    "/metrics": _endpoint_metrics,
+    "/metrics.json": _endpoint_metrics_json,
+    "/events": _endpoint_events,
+    "/spans": _endpoint_spans,
+    "/healthz": _endpoint_healthz,
+}
+
+
+class ObsServer:
+    """Serve the process's observability state over HTTP.
+
+    Parameters
+    ----------
+    host:
+        Bind address (default loopback).
+    port:
+        TCP port; 0 picks an ephemeral port (read :attr:`port` after
+        :meth:`start`).
+    registry / event_log:
+        Override the process-wide defaults (tests use private ones).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9100,
+        registry: obs_metrics.MetricsRegistry | None = None,
+        event_log: obs_events.EventLog | None = None,
+    ) -> None:
+        self._host = host
+        self._requested_port = port
+        self._registry = registry
+        self._event_log = event_log
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: Thread | None = None
+
+    @property
+    def registry(self) -> obs_metrics.MetricsRegistry:
+        """The registry served (resolved per request when defaulted)."""
+        return (
+            self._registry if self._registry is not None
+            else obs_metrics.get_registry()
+        )
+
+    @property
+    def event_log(self) -> obs_events.EventLog:
+        """The event log served (resolved per request when defaulted)."""
+        return (
+            self._event_log if self._event_log is not None
+            else obs_events.get_event_log()
+        )
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves port 0 after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        """Bind and serve on a daemon thread; returns ``self``."""
+        if self._httpd is not None:
+            raise ObservabilityError("ObsServer is already running")
+        httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), _ObsRequestHandler
+        )
+        httpd.daemon_threads = True
+        httpd.obs = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = Thread(
+            target=httpd.serve_forever,
+            name=f"repro-obs-server:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("obs server listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and release the port (idempotent)."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = None
+        self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ObsServer":
+        return self.start() if not self.running else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -195,3 +195,132 @@ def _double(value):
 def _count_one(value):
     obs_metrics.get_registry().counter("parallel.test_units").inc()
     return value
+
+
+class TestOnResult:
+    def test_serial_fires_in_order_with_wall_seconds(self):
+        calls = []
+        parallel_map(
+            _double, [5, 6, 7], jobs=1,
+            on_result=lambda i, r, w: calls.append((i, r, w)),
+        )
+        assert [(i, r) for i, r, _ in calls] == [(0, 10), (1, 12), (2, 14)]
+        assert all(w >= 0 for _, _, w in calls)
+
+    def test_parallel_covers_every_payload(self):
+        calls = []
+        results = parallel_map(
+            _double, list(range(8)), jobs=4,
+            on_result=lambda i, r, w: calls.append((i, r)),
+        )
+        # completion order is nondeterministic; coverage is not
+        assert sorted(calls) == [(i, 2 * i) for i in range(8)]
+        assert results == [2 * i for i in range(8)]
+
+    def test_callback_result_matches_payload_index(self):
+        seen = {}
+        parallel_map(
+            _double, [3, 1, 4, 1, 5], jobs=2,
+            on_result=lambda i, r, w: seen.setdefault(i, r),
+        )
+        assert seen == {0: 6, 1: 2, 2: 8, 3: 2, 4: 10}
+
+
+class TestWorkerEventDigests:
+    def _sweep_with_event_log(self, code, image, patterns, jobs):
+        from repro.obs import events as obs_events
+
+        log = obs_events.EventLog(capacity=4096)
+        saved = obs_events.set_event_log(log)
+        registry = obs_metrics.MetricsRegistry()
+        saved_registry = obs_metrics.set_registry(registry)
+        try:
+            _run(code, image, patterns, jobs=jobs, cache=False)
+        finally:
+            obs_events.set_event_log(saved)
+            obs_metrics.set_registry(saved_registry)
+        return log
+
+    def test_parallel_digest_matches_serial_events(
+        self, code, mcf_image, patterns
+    ):
+        few = patterns[:8]
+        serial = self._sweep_with_event_log(code, mcf_image, few, 1)
+        parallel = self._sweep_with_event_log(code, mcf_image, few, 2)
+        # Worker rings stay remote, but the absorbed digests must
+        # account for exactly the events a serial run records locally.
+        assert len(parallel.events()) == 0
+        digest = parallel.absorbed_digest
+        assert digest.count == len(serial.events())
+        assert digest.count == len(few) * WINDOW
+        assert digest.fallbacks == sum(
+            1 for e in serial.events() if e.filter_fell_back
+        )
+
+    def test_serial_run_absorbs_nothing(self, code, mcf_image, patterns):
+        log = self._sweep_with_event_log(code, mcf_image, patterns[:8], 1)
+        assert log.absorbed_digest.count == 0
+        assert len(log.events()) == 8 * WINDOW
+
+
+class TestProgressDuringSweeps:
+    def test_sweep_advances_progress_gauges(self, code, mcf_image, patterns):
+        from repro.obs.progress import SweepProgress
+
+        registry = obs_metrics.MetricsRegistry()
+        saved = obs_metrics.set_registry(registry)
+        try:
+            progress = SweepProgress(registry=registry)
+            sweep = DueSweep(
+                code, RecoveryStrategy.FILTER_AND_RANK,
+                num_instructions=WINDOW, patterns=patterns,
+            )
+            sweep.run(mcf_image, jobs=JOBS, progress=progress)
+        finally:
+            obs_metrics.set_registry(saved)
+        assert progress.done == len(patterns)
+        assert progress.total == len(patterns)
+        done = registry.get("sweep.progress.patterns_done")
+        assert done is not None and done.value == len(patterns)
+        chunks = registry.get("sweep.chunks_completed")
+        assert chunks is not None and chunks.value == JOBS
+
+    def test_workers_never_clobber_parent_progress(
+        self, code, mcf_image, patterns
+    ):
+        # Forked workers inherit the progress gauges zeroed; their
+        # snapshots must not overwrite the parent's live values when
+        # merged (gauges are last-wins).
+        registry = obs_metrics.MetricsRegistry()
+        saved = obs_metrics.set_registry(registry)
+        try:
+            from repro.obs.progress import SweepProgress
+
+            progress = SweepProgress(registry=registry)
+            sweep = DueSweep(
+                code, RecoveryStrategy.FILTER_AND_RANK,
+                num_instructions=WINDOW, patterns=patterns,
+            )
+            sweep.run(mcf_image, jobs=JOBS, progress=progress)
+            assert registry.get(
+                "sweep.progress.patterns_done"
+            ).value == len(patterns)
+            assert registry.get(
+                "sweep.progress.total_patterns"
+            ).value == len(patterns)
+        finally:
+            obs_metrics.set_registry(saved)
+
+    def test_progress_does_not_change_outcomes(
+        self, code, mcf_image, patterns
+    ):
+        from repro.obs.progress import SweepProgress
+
+        plain = _run(code, mcf_image, patterns, jobs=1)
+        sweep = DueSweep(
+            code, RecoveryStrategy.FILTER_AND_RANK,
+            num_instructions=WINDOW, patterns=patterns,
+        )
+        progress = SweepProgress(registry=obs_metrics.MetricsRegistry())
+        tracked = sweep.run(mcf_image, jobs=JOBS, progress=progress)
+        assert tracked == plain

@@ -1,0 +1,146 @@
+"""Tests for structured JSON logging: formatter, binding, configure."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs import logging as obs_logging
+
+
+def _capture(level: int = logging.DEBUG):
+    """Configure a stream handler and return (stream, handler)."""
+    stream = io.StringIO()
+    handler = obs_logging.configure(stream, level=level)
+    return stream, handler
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEmit:
+    def test_line_shape(self):
+        stream, handler = _capture()
+        try:
+            log = obs_logging.get_logger("swdecc")
+            obs_logging.emit(log, logging.INFO, "filter fell back",
+                             received="0x1f", candidates=3)
+        finally:
+            obs_logging.unconfigure(handler)
+        (line,) = _lines(stream)
+        assert line["level"] == "info"
+        assert line["logger"] == "repro.swdecc"
+        assert line["msg"] == "filter fell back"
+        assert line["received"] == "0x1f"
+        assert line["candidates"] == 3
+        assert isinstance(line["ts"], float)
+
+    def test_silent_without_configure(self, capsys):
+        log = obs_logging.get_logger("swdecc")
+        obs_logging.emit(log, logging.WARNING, "nobody listens", key=1)
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert captured.out == ""
+
+    def test_level_filtering(self):
+        stream, handler = _capture(level=logging.INFO)
+        try:
+            log = obs_logging.get_logger("swdecc")
+            obs_logging.emit(log, logging.DEBUG, "too quiet")
+            obs_logging.emit(log, logging.INFO, "loud enough")
+        finally:
+            obs_logging.unconfigure(handler)
+        assert [line["msg"] for line in _lines(stream)] == ["loud enough"]
+
+    def test_non_json_fields_stringified(self):
+        stream, handler = _capture()
+        try:
+            log = obs_logging.get_logger("swdecc")
+            obs_logging.emit(log, logging.INFO, "odd", what={1, 2})
+        finally:
+            obs_logging.unconfigure(handler)
+        (line,) = _lines(stream)
+        assert isinstance(line["what"], str)
+
+
+class TestBind:
+    def test_bound_fields_appear_on_lines(self):
+        stream, handler = _capture()
+        try:
+            log = obs_logging.get_logger("analysis.sweep")
+            with obs_logging.bind(benchmark="mcf", strategy="filter-and-rank"):
+                obs_logging.emit(log, logging.INFO, "chunk", chunk=0)
+        finally:
+            obs_logging.unconfigure(handler)
+        (line,) = _lines(stream)
+        assert line["benchmark"] == "mcf"
+        assert line["strategy"] == "filter-and-rank"
+        assert line["chunk"] == 0
+
+    def test_nesting_extends_and_restores(self):
+        assert obs_logging.bound_fields() == {}
+        with obs_logging.bind(a=1):
+            with obs_logging.bind(b=2, a=3):
+                assert obs_logging.bound_fields() == {"a": 3, "b": 2}
+            assert obs_logging.bound_fields() == {"a": 1}
+        assert obs_logging.bound_fields() == {}
+
+    def test_event_fields_override_bound(self):
+        stream, handler = _capture()
+        try:
+            log = obs_logging.get_logger("x")
+            with obs_logging.bind(chunk="outer"):
+                obs_logging.emit(log, logging.INFO, "m", chunk="inner")
+        finally:
+            obs_logging.unconfigure(handler)
+        (line,) = _lines(stream)
+        assert line["chunk"] == "inner"
+
+
+class TestConfigure:
+    def test_file_destination(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        handler = obs_logging.configure(str(path))
+        try:
+            obs_logging.emit(obs_logging.get_logger("x"), logging.INFO, "hi")
+        finally:
+            obs_logging.unconfigure(handler)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["msg"] == "hi"
+
+    def test_dash_targets_stderr(self, capsys):
+        handler = obs_logging.configure("-")
+        try:
+            obs_logging.emit(obs_logging.get_logger("x"), logging.INFO, "hey")
+        finally:
+            obs_logging.unconfigure(handler)
+        err = capsys.readouterr().err
+        assert json.loads(err.splitlines()[0])["msg"] == "hey"
+
+    def test_unconfigure_detaches(self):
+        stream = io.StringIO()
+        handler = obs_logging.configure(stream)
+        obs_logging.unconfigure(handler)
+        obs_logging.emit(obs_logging.get_logger("x"), logging.INFO, "late")
+        assert stream.getvalue() == ""
+
+    def test_get_logger_roots_names(self):
+        assert obs_logging.get_logger("swdecc").name == "repro.swdecc"
+        assert obs_logging.get_logger("repro.swdecc").name == "repro.swdecc"
+        assert obs_logging.get_logger("repro").name == "repro"
+
+    def test_exception_info_rendered(self):
+        stream, handler = _capture()
+        try:
+            log = obs_logging.get_logger("x")
+            try:
+                raise ValueError("boom")
+            except ValueError:
+                log.exception("it broke")
+        finally:
+            obs_logging.unconfigure(handler)
+        (line,) = _lines(stream)
+        assert line["exc_type"] == "ValueError"
+        assert "boom" in line["exc"]

@@ -149,3 +149,94 @@ class TestRegistry:
             assert get_registry() is replacement
         finally:
             set_registry(original)
+
+
+class TestQuantileEdgeCases:
+    def test_empty_returns_none_for_any_q(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        assert histogram.quantile(0.0) is None
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantile(1.0) is None
+
+    def test_q0_is_exact_minimum(self):
+        histogram = Histogram("h", buckets=(10, 20))
+        histogram.observe(3.5)
+        histogram.observe(17.0)
+        assert histogram.quantile(0.0) == 3.5
+
+    def test_q1_is_exact_maximum(self):
+        histogram = Histogram("h", buckets=(10, 20))
+        histogram.observe(3.5)
+        histogram.observe(17.0)
+        # clamped to the observed max, not bucket bound 20
+        assert histogram.quantile(1.0) == 17.0
+
+    def test_all_mass_in_overflow(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        for value in (100.0, 200.0, 300.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 100.0
+        assert histogram.quantile(0.5) == 300.0  # clamped from +inf
+        assert histogram.quantile(1.0) == 300.0
+
+    def test_single_observation(self):
+        histogram = Histogram("h", buckets=(1, 2, 4))
+        histogram.observe(3.0)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert histogram.quantile(q) == 3.0
+
+    def test_empty_leading_buckets_skipped(self):
+        histogram = Histogram("h", buckets=(1, 2, 4, 8))
+        histogram.observe(5.0)
+        histogram.observe(6.0)
+        # rank 1 must land in the (4, 8] bucket, not a leading empty one
+        assert histogram.quantile(0.5) == 6.0  # bound 8 clamped to max
+
+
+class TestCacheHitRateCollector:
+    def test_hit_rate_derived_at_snapshot(self):
+        registry = MetricsRegistry()
+        original = set_registry(registry)
+        try:
+            registry.counter("candidates.cache_hits").inc(3)
+            registry.counter("candidates.cache_misses").inc(1)
+            snapshot = registry.as_dict()
+        finally:
+            set_registry(original)
+        assert snapshot["candidates.cache_hit_rate"]["value"] == 0.75
+
+    def test_zero_lookups_mint_no_gauge(self):
+        registry = MetricsRegistry()
+        original = set_registry(registry)
+        try:
+            registry.counter("filter.cache_hits")
+            registry.counter("filter.cache_misses")
+            snapshot = registry.as_dict()
+        finally:
+            set_registry(original)
+        assert "filter.cache_hit_rate" not in snapshot
+
+    def test_missing_misses_counter_means_rate_one(self):
+        registry = MetricsRegistry()
+        original = set_registry(registry)
+        try:
+            registry.counter("ranker.cache_hits").inc(4)
+            snapshot = registry.as_dict()
+        finally:
+            set_registry(original)
+        assert snapshot["ranker.cache_hit_rate"]["value"] == 1.0
+
+    def test_rate_refreshes_per_snapshot(self):
+        registry = MetricsRegistry()
+        original = set_registry(registry)
+        try:
+            hits = registry.counter("candidates.cache_hits")
+            misses = registry.counter("candidates.cache_misses")
+            hits.inc()
+            first = registry.as_dict()["candidates.cache_hit_rate"]["value"]
+            misses.inc()
+            second = registry.as_dict()["candidates.cache_hit_rate"]["value"]
+        finally:
+            set_registry(original)
+        assert first == 1.0
+        assert second == 0.5

@@ -1,0 +1,192 @@
+"""Tests for the OpenMetrics text encoder and its validating parser."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import promtext
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry_with_one_of_each() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("swdecc.recoveries", help="Total recoveries").inc(7)
+    registry.gauge("sweep.progress.eta_seconds").set(12.5)
+    hist = registry.histogram("swdecc.latency", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(9.0)
+    registry.info("run.benchmark", help="Last benchmark").set("mcf")
+    return registry
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert promtext.metric_name("candidates.cache_hits") == \
+            "candidates_cache_hits"
+
+    def test_invalid_characters_collapse(self):
+        assert promtext.metric_name("a-b c/d") == "a_b_c_d"
+
+    def test_leading_digit_is_prefixed(self):
+        assert promtext.metric_name("39_32.decodes") == "_39_32_decodes"
+
+    def test_colons_survive(self):
+        assert promtext.metric_name("ns:metric") == "ns:metric"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self):
+        text = promtext.render(_registry_with_one_of_each())
+        assert "# TYPE swdecc_recoveries counter" in text
+        assert "swdecc_recoveries_total 7" in text
+
+    def test_help_line_emitted(self):
+        text = promtext.render(_registry_with_one_of_each())
+        assert "# HELP swdecc_recoveries Total recoveries" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = promtext.render(_registry_with_one_of_each())
+        lines = text.splitlines()
+        buckets = [l for l in lines if l.startswith("swdecc_latency_bucket")]
+        assert buckets == [
+            'swdecc_latency_bucket{le="0.1"} 1',
+            'swdecc_latency_bucket{le="1.0"} 2',
+            'swdecc_latency_bucket{le="+Inf"} 3',
+        ]
+        assert "swdecc_latency_count 3" in lines
+
+    def test_info_becomes_labeled_gauge(self):
+        text = promtext.render(_registry_with_one_of_each())
+        assert "# TYPE run_benchmark_info gauge" in text
+        assert 'run_benchmark_info{value="mcf"} 1' in text
+
+    def test_ends_with_eof(self):
+        text = promtext.render(_registry_with_one_of_each())
+        assert text.endswith("# EOF\n")
+
+    def test_empty_registry_is_just_eof(self):
+        assert promtext.render(MetricsRegistry()) == "# EOF\n"
+
+    def test_sanitization_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.counter("a_b").inc()
+        with pytest.raises(ObservabilityError, match="sanitize"):
+            promtext.render(registry)
+
+    def test_info_value_labels_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.info("run.note").set('say "hi"\nplease\\now')
+        text = promtext.render(registry)
+        families = promtext.parse_exposition(text)
+        sample = families["run_note_info"].samples[0]
+        assert sample[1]["value"] == 'say "hi"\nplease\\now'
+
+
+class TestRoundTrip:
+    def test_full_registry_round_trips(self):
+        registry = _registry_with_one_of_each()
+        families = promtext.parse_exposition(promtext.render(registry))
+        assert families["swdecc_recoveries"].type == "counter"
+        assert families["swdecc_recoveries"].sample_value("_total") == 7
+        assert families["swdecc_recoveries"].help == "Total recoveries"
+        assert families["sweep_progress_eta_seconds"].sample_value() == 12.5
+        hist = families["swdecc_latency"]
+        assert hist.sample_value("_count") == 3
+        assert hist.sample_value(
+            "_bucket", labels={"le": "+Inf"}
+        ) == 3
+        assert math.isclose(hist.sample_value("_sum"), 9.55)
+
+    def test_default_registry_render_round_trips(self):
+        # The process registry (with its collectors) must always encode
+        # to parseable exposition — this is what /metrics serves.
+        promtext.parse_exposition(promtext.render())
+
+
+class TestParserRejections:
+    def test_missing_eof(self):
+        with pytest.raises(ObservabilityError, match="EOF"):
+            promtext.parse_exposition("# TYPE a counter\na_total 1\n")
+
+    def test_content_after_eof(self):
+        with pytest.raises(ObservabilityError, match="after # EOF"):
+            promtext.parse_exposition("# EOF\na 1\n")
+
+    def test_sample_without_type(self):
+        with pytest.raises(ObservabilityError, match="no matching"):
+            promtext.parse_exposition("orphan 1\n# EOF\n")
+
+    def test_suffix_disagreeing_with_type(self):
+        text = "# TYPE a counter\na 1\n# EOF\n"  # counter needs _total
+        with pytest.raises(ObservabilityError, match="no matching"):
+            promtext.parse_exposition(text)
+
+    def test_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\nh_count 3\n# EOF\n"
+        )
+        with pytest.raises(ObservabilityError, match="cumulative"):
+            promtext.parse_exposition(text)
+
+    def test_unsorted_bucket_bounds(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="2"} 1\n'
+            'h_bucket{le="1"} 1\n'
+            'h_bucket{le="+Inf"} 1\n'
+            "h_sum 1.0\nh_count 1\n# EOF\n"
+        )
+        with pytest.raises(ObservabilityError, match="sorted"):
+            promtext.parse_exposition(text)
+
+    def test_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 1.0\nh_count 1\n# EOF\n"
+        )
+        with pytest.raises(ObservabilityError, match="Inf"):
+            promtext.parse_exposition(text)
+
+    def test_inf_bucket_disagrees_with_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 1.0\nh_count 3\n# EOF\n"
+        )
+        with pytest.raises(ObservabilityError, match="_count"):
+            promtext.parse_exposition(text)
+
+    def test_duplicate_family(self):
+        text = "# TYPE a counter\n# TYPE a counter\na_total 1\n# EOF\n"
+        with pytest.raises(ObservabilityError, match="duplicate"):
+            promtext.parse_exposition(text)
+
+    def test_bad_type_kind(self):
+        with pytest.raises(ObservabilityError, match="bad TYPE"):
+            promtext.parse_exposition("# TYPE a summary\n# EOF\n")
+
+    def test_bad_sample_value(self):
+        with pytest.raises(ObservabilityError, match="bad sample value"):
+            promtext.parse_exposition(
+                "# TYPE a counter\na_total pretzel\n# EOF\n"
+            )
+
+    def test_family_with_no_samples(self):
+        with pytest.raises(ObservabilityError, match="no samples"):
+            promtext.parse_exposition("# TYPE a counter\n# EOF\n")
+
+    def test_sample_value_raises_on_absent_sample(self):
+        families = promtext.parse_exposition(
+            "# TYPE a counter\na_total 1\n# EOF\n"
+        )
+        with pytest.raises(ObservabilityError, match="no sample"):
+            families["a"].sample_value("_bucket")

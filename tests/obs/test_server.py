@@ -1,0 +1,140 @@
+"""Tests for the live observability HTTP endpoint."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import promtext
+from repro.obs.events import DueEvent, EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import ObsServer
+
+
+@pytest.fixture()
+def served():
+    """A running server over a private registry and event log."""
+    registry = MetricsRegistry()
+    registry.counter("swdecc.recoveries").inc(3)
+    registry.gauge("sweep.progress.patterns_done").set(5.0)
+    log = EventLog(capacity=16)
+    for index in range(4):
+        log.record(DueEvent(received=index, num_candidates=2, num_valid=2,
+                            filter_fell_back=False, chosen_message=index,
+                            chosen_codeword=index, tied=1, latency_ns=100))
+    server = ObsServer(port=0, registry=registry, event_log=log).start()
+    try:
+        yield server, registry, log
+    finally:
+        server.stop()
+
+
+def _get(server: ObsServer, path: str) -> tuple[int, str, str]:
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=5) as response:
+            return (response.status, response.headers["Content-Type"],
+                    response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers["Content-Type"], \
+            error.read().decode("utf-8")
+
+
+class TestEndpoints:
+    def test_metrics_is_valid_exposition(self, served):
+        server, _, _ = served
+        status, content_type, body = _get(server, "/metrics")
+        assert status == 200
+        assert content_type == promtext.CONTENT_TYPE
+        families = promtext.parse_exposition(body)
+        assert families["swdecc_recoveries"].sample_value("_total") == 3
+        assert families[
+            "sweep_progress_patterns_done"
+        ].sample_value() == 5.0
+
+    def test_metrics_json_mirrors_registry(self, served):
+        server, registry, _ = served
+        status, content_type, body = _get(server, "/metrics.json")
+        assert status == 200
+        assert content_type == "application/json"
+        assert json.loads(body) == registry.as_dict()
+
+    def test_events_returns_json_lines(self, served):
+        server, _, log = served
+        status, content_type, body = _get(server, "/events")
+        assert status == 200
+        assert content_type == "application/x-ndjson"
+        lines = [json.loads(line) for line in body.splitlines()]
+        assert len(lines) == 4
+        assert [entry["received"] for entry in lines] == [0, 1, 2, 3]
+
+    def test_events_limit_keeps_newest(self, served):
+        server, _, _ = served
+        _, _, body = _get(server, "/events?limit=2")
+        lines = [json.loads(line) for line in body.splitlines()]
+        assert [entry["received"] for entry in lines] == [2, 3]
+
+    def test_events_bad_limit_is_400(self, served):
+        server, _, _ = served
+        status, _, body = _get(server, "/events?limit=soon")
+        assert status == 400
+        assert "bad limit" in body
+
+    def test_spans_reports_tracing_disabled(self, served):
+        server, _, _ = served
+        status, _, body = _get(server, "/spans")
+        assert status == 200
+        assert json.loads(body) == {"tracing": False, "stages": {}}
+
+    def test_healthz(self, served):
+        server, _, _ = served
+        status, _, body = _get(server, "/healthz")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_unknown_path_is_404(self, served):
+        server, _, _ = served
+        status, _, body = _get(server, "/nope")
+        assert status == 404
+        assert "no such endpoint" in body
+
+    def test_scrape_sees_live_updates(self, served):
+        server, registry, _ = served
+        registry.counter("swdecc.recoveries").inc(10)
+        _, _, body = _get(server, "/metrics")
+        families = promtext.parse_exposition(body)
+        assert families["swdecc_recoveries"].sample_value("_total") == 13
+
+
+class TestLifecycle:
+    def test_port_zero_resolves_to_real_port(self, served):
+        server, _, _ = served
+        assert server.port != 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+        assert server.running
+
+    def test_double_start_raises(self, served):
+        server, _, _ = served
+        with pytest.raises(ObservabilityError, match="already running"):
+            server.start()
+
+    def test_stop_is_idempotent_and_releases(self, served):
+        server, _, _ = served
+        server.stop()
+        assert not server.running
+        server.stop()  # no error
+
+    def test_context_manager(self):
+        registry = MetricsRegistry()
+        with ObsServer(port=0, registry=registry) as server:
+            status, _, _ = _get(server, "/healthz")
+            assert status == 200
+        assert not server.running
+
+    def test_defaults_to_process_registry(self):
+        server = ObsServer(port=0)
+        from repro.obs.metrics import get_registry
+        assert server.registry is get_registry()

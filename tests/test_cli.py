@@ -91,3 +91,87 @@ class TestReportCommand:
         for section in ("ISA legality", "code properties", "Fig. 4",
                         "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8"):
             assert section in out, section
+
+
+class TestServeCommand:
+    def test_serve_wraps_a_command(self, capsys):
+        assert main(["serve", "--port", "0", "fig4"]) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 4" in captured.out
+        assert "serving observability on http://127.0.0.1:" in captured.err
+
+    def test_serve_without_command_errors(self, capsys):
+        assert main(["serve", "--port", "0"]) == 2
+        assert "serve needs a command" in capsys.readouterr().err
+
+    def test_serve_of_serve_errors(self, capsys):
+        assert main(["serve", "--port", "0", "serve", "fig4"]) == 2
+        assert "serve needs a command" in capsys.readouterr().err
+
+    def test_serve_flag_on_sweep(self, capsys):
+        assert main([
+            "sweep", "--benchmark", "mcf", "--instructions", "2",
+            "--length", "64", "--serve", "0",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "mean recovery rate" in captured.out
+        assert "serving observability on" in captured.err
+
+    def test_serve_flag_releases_port(self):
+        # Running the same ephemeral-port sweep twice would fail if the
+        # first invocation leaked its server.
+        argv = ["sweep", "--benchmark", "mcf", "--instructions", "2",
+                "--length", "64", "--serve", "0"]
+        assert main(argv) == 0
+        assert main(argv) == 0
+
+
+class TestLogJsonFlag:
+    def test_log_json_writes_parseable_lines(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "sweep.jsonl"
+        assert main([
+            "sweep", "--benchmark", "mcf", "--instructions", "2",
+            "--length", "64", "--log-json", str(path),
+        ]) == 0
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines, "expected at least one structured log line"
+        chunk_lines = [l for l in lines if l["msg"] == "sweep chunk completed"]
+        assert chunk_lines
+        assert chunk_lines[0]["benchmark"] == "mcf"
+        assert chunk_lines[0]["logger"] == "repro.analysis.sweep"
+        for line in lines:
+            assert {"ts", "level", "logger", "msg"} <= set(line)
+
+    def test_log_json_handler_does_not_stack(self, tmp_path):
+        # Two in-process invocations must not duplicate lines in the
+        # second file (the CLI detaches its handler on exit).
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        argv = ["sweep", "--benchmark", "mcf", "--instructions", "2",
+                "--length", "64"]
+        assert main(argv + ["--log-json", str(first)]) == 0
+        assert main(argv + ["--log-json", str(second)]) == 0
+        assert len(first.read_text().splitlines()) == \
+            len(second.read_text().splitlines())
+
+
+class TestProgressFlag:
+    def test_progress_writes_final_line(self, capsys):
+        assert main([
+            "sweep", "--benchmark", "mcf", "--instructions", "2",
+            "--length", "64", "--progress",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "mean recovery rate" in captured.out
+        final = captured.err.splitlines()[-1].split("\r")[-1]
+        assert "patterns" in final
+        assert final.endswith("done")
+
+    def test_no_progress_keeps_stderr_quiet(self, capsys):
+        assert main([
+            "sweep", "--benchmark", "mcf", "--instructions", "2",
+            "--length", "64",
+        ]) == 0
+        assert capsys.readouterr().err == ""
