@@ -1,0 +1,108 @@
+"""Recovery-service throughput benchmark: the online path's report card.
+
+Self-hosts a :class:`repro.service.RecoveryService` on an ephemeral
+port and drives it with the closed-loop load generator
+(:mod:`repro.service.loadgen` — the same methodology as
+``scripts/service_loadgen.py``): N client threads over kept-alive
+connections, each sending its next ``POST /recover/batch`` only after
+the previous answered.  A warm-up pass populates the engine's
+memoization first, so the gate measures steady state.
+
+The service must sustain at least 5,000 recovered words per second
+end-to-end (HTTP parse -> queue -> micro-batch -> engine -> JSON
+response), and every run appends throughput plus p50/p90/p99 request
+latency to ``BENCH_service.json`` at the repo root so regressions are
+visible in history.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.service import RecoveryService
+from repro.service.loadgen import generate_due_words, run_load
+
+MIN_WORDS_PER_SECOND = 5000.0
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 40
+WORDS_PER_REQUEST = 64
+CONTEXT = "mcf"
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _append_history(record) -> None:
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_service_sustains_5k_recoveries_per_second():
+    words = generate_due_words()
+    service = RecoveryService(port=0, max_batch=512, linger_s=0.001)
+    with service:
+        service.catalog.preload([CONTEXT])
+        # Warm-up: populate syndrome/context memoization so the gate
+        # measures steady state, not first-touch compute.
+        run_load(
+            "127.0.0.1", service.port,
+            clients=2, requests_per_client=8,
+            words_per_request=WORDS_PER_REQUEST,
+            context=CONTEXT, words=words,
+        )
+        result = run_load(
+            "127.0.0.1", service.port,
+            clients=CLIENTS, requests_per_client=REQUESTS_PER_CLIENT,
+            words_per_request=WORDS_PER_REQUEST,
+            context=CONTEXT, words=words,
+        )
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "tool": "bench_service_throughput",
+        "context": CONTEXT,
+        "words_per_request": WORDS_PER_REQUEST,
+        **result.to_record(),
+    }
+    _append_history(record)
+
+    summary = record["latency_ms"]
+    emit(
+        "Performance | recovery-service throughput (closed-loop HTTP)",
+        "\n".join(
+            [
+                f"workload      : {result.words} words "
+                f"({CLIENTS} clients x {REQUESTS_PER_CLIENT} requests "
+                f"x {WORDS_PER_REQUEST} words, context={CONTEXT})",
+                f"throughput    : {result.throughput_words_per_s:10.0f} "
+                f"words/s ({result.throughput_requests_per_s:.0f} req/s)",
+                f"latency       : p50 {summary['p50']:7.2f} ms, "
+                f"p90 {summary['p90']:7.2f} ms, "
+                f"p99 {summary['p99']:7.2f} ms",
+                f"degraded      : {result.degraded} requests, "
+                f"{result.http_errors} HTTP errors",
+                f"history       : {RESULTS_PATH.name}",
+            ]
+        ),
+    )
+
+    assert result.http_errors == 0, (
+        f"{result.http_errors} HTTP errors during the closed-loop run"
+    )
+    assert result.recovered > 0, "no words were recovered"
+    assert result.throughput_words_per_s >= MIN_WORDS_PER_SECOND, (
+        f"service sustained only {result.throughput_words_per_s:.0f} "
+        f"words/s; the online path promises >= "
+        f"{MIN_WORDS_PER_SECOND:.0f}/s"
+    )

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Closed-loop load generator for the DUE-recovery service.
+
+Either drives an already-running service::
+
+    PYTHONPATH=src python scripts/service_loadgen.py \
+        --host 127.0.0.1 --port 9200 --clients 4 --requests 100
+
+or self-hosts one for the duration (the default when ``--port`` is
+omitted), so a one-liner produces a full throughput/latency report::
+
+    PYTHONPATH=src python scripts/service_loadgen.py --clients 4
+
+Each client thread issues ``POST /recover/batch`` requests back-to-back
+(closed loop) over a kept-alive connection.  The run reports words/s
+and p50/p90/p99 request latency, and appends the record to
+``BENCH_service.json`` at the repo root (disable with ``--no-history``)
+so regressions stay visible in history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.service import RecoveryService
+from repro.service.loadgen import generate_due_words, run_load
+
+HISTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _append_history(record: dict) -> None:
+    history = []
+    if HISTORY_PATH.exists():
+        try:
+            history = json.loads(HISTORY_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    HISTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="closed-loop load generator for the recovery service"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None,
+                        help="target an already-running service "
+                        "(default: self-host one for the run)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent closed-loop client threads")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="requests per client")
+    parser.add_argument("--batch", type=int, default=64, metavar="WORDS",
+                        help="words per request")
+    parser.add_argument("--context", default="mcf",
+                        help="side-info context id sent with each request")
+    parser.add_argument("--max-batch", type=int, default=512,
+                        help="service micro-batch size (self-host only)")
+    parser.add_argument("--linger-ms", type=float, default=1.0,
+                        help="service batch linger (self-host only)")
+    parser.add_argument("--no-history", action="store_true",
+                        help=f"do not append to {HISTORY_PATH.name}")
+    args = parser.parse_args(argv)
+
+    words = generate_due_words()
+    service = None
+    host, port = args.host, args.port
+    try:
+        if port is None:
+            service = RecoveryService(
+                port=0,
+                max_batch=args.max_batch,
+                linger_s=args.linger_ms / 1000.0,
+            ).start()
+            service.catalog.preload([args.context]
+                                    if args.context != "none" else [])
+            host, port = "127.0.0.1", service.port
+            print(f"self-hosting recovery service on {service.url}",
+                  file=sys.stderr)
+        result = run_load(
+            host, port,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            words_per_request=args.batch,
+            context=args.context,
+            words=words,
+        )
+    finally:
+        if service is not None:
+            service.stop()
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "tool": "service_loadgen",
+        "self_hosted": service is not None,
+        "context": args.context,
+        "words_per_request": args.batch,
+        **result.to_record(),
+    }
+    if not args.no_history:
+        _append_history(record)
+
+    summary = result.to_record()
+    print(json.dumps(record, indent=2))
+    print(
+        f"\nloadgen: {summary['words']} words over "
+        f"{summary['wall_seconds']}s = "
+        f"{summary['throughput_words_per_s']:.0f} recoveries/s, "
+        f"p50 {summary['latency_ms']['p50']:.2f} ms, "
+        f"p99 {summary['latency_ms']['p99']:.2f} ms",
+        file=sys.stderr,
+    )
+    if result.http_errors or result.requests == 0:
+        print(f"loadgen: {result.http_errors} HTTP errors", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

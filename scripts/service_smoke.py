@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""CI smoke test: drive the DUE-recovery service end-to-end.
+
+Starts a :class:`repro.service.RecoveryService` on an ephemeral port
+and asserts, exiting nonzero on any violation:
+
+- a brief closed-loop load completes with zero HTTP errors and every
+  word recovered;
+- every served answer is bit-identical to a fresh serial engine
+  calling :meth:`SwdEcc.recover` on the same words;
+- ``/metrics`` parses with the strict round-trip parser
+  (:func:`repro.obs.promtext.parse_exposition`) and carries the
+  ``service_*`` families with counts consistent with the load;
+- the overload path verifiably degrades: with a gated executor and a
+  one-word queue, an extra request answers ``detect-only`` with
+  ``reason: overload`` (and the parked work still completes).
+
+Run from the repository root:
+``PYTHONPATH=src python scripts/service_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import threading
+import urllib.request
+
+from repro.core.sideinfo import RecoveryContext
+from repro.core.swdecc import SwdEcc, TieBreak
+from repro.ecc import canonical_secded_39_32
+from repro.errors import ReproError
+from repro.obs import promtext
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.program.stats import FrequencyTable
+from repro.program.synth import synthesize_benchmark
+from repro.service import RecoveryService
+from repro.service.api import error_payload, result_payload
+from repro.service.catalog import _CONTEXT_IMAGE_LENGTH, _CONTEXT_SEED
+from repro.service.loadgen import generate_due_words, run_load
+
+CONTEXT = "mcf"
+WORDS_PER_REQUEST = 32
+CLIENTS = 2
+REQUESTS = 10
+
+
+def post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=15) as response:
+        return json.load(response)
+
+
+def check_load_and_metrics(failures: list[str]) -> None:
+    """Closed-loop load + strict /metrics validation + bit-identity."""
+    words = generate_due_words()
+    registry = MetricsRegistry()
+    service = RecoveryService(
+        port=0, registry=registry, event_log=EventLog()
+    )
+    with service:
+        service.catalog.preload([CONTEXT])
+        result = run_load(
+            "127.0.0.1", service.port,
+            clients=CLIENTS, requests_per_client=REQUESTS,
+            words_per_request=WORDS_PER_REQUEST,
+            context=CONTEXT, words=words,
+        )
+        served = post(
+            service.url + "/recover/batch",
+            {"received": words[:16], "context": CONTEXT},
+        )
+        with urllib.request.urlopen(
+            service.url + "/metrics", timeout=15
+        ) as response:
+            families = promtext.parse_exposition(
+                response.read().decode("utf-8")
+            )
+
+    expected_words = CLIENTS * REQUESTS * WORDS_PER_REQUEST
+    if result.http_errors:
+        failures.append(f"load saw {result.http_errors} HTTP errors")
+    if result.words != expected_words:
+        failures.append(
+            f"load completed {result.words} words, expected "
+            f"{expected_words}"
+        )
+    if result.recovered != expected_words:
+        failures.append(
+            f"only {result.recovered}/{expected_words} words recovered"
+        )
+
+    for family in ("service_requests", "service_recoveries",
+                   "service_batches", "service_batch_words",
+                   "service_request_seconds", "service_queue_depth"):
+        if family not in families:
+            failures.append(f"/metrics is missing {family}")
+    recovered_metric = families.get("service_recoveries")
+    if recovered_metric is not None:
+        total = recovered_metric.sample_value("_total")
+        if total < expected_words:
+            failures.append(
+                f"service_recoveries_total {total} < load's "
+                f"{expected_words}"
+            )
+
+    # Bit-identity: a fresh serial engine must produce the exact same
+    # payloads the service returned.
+    code = canonical_secded_39_32()
+    engine = SwdEcc(
+        code, tie_break=TieBreak.FIRST, rng=random.Random(0), cache=True
+    )
+    image = synthesize_benchmark(
+        CONTEXT, length=_CONTEXT_IMAGE_LENGTH, seed=_CONTEXT_SEED
+    )
+    context = RecoveryContext.for_instructions(
+        FrequencyTable.from_image(image)
+    )
+    for word, payload in zip(words[:16], served["results"]):
+        try:
+            expected = result_payload(word, engine.recover(word, context))
+        except ReproError as error:
+            expected = error_payload(word, error)
+        if payload != expected:
+            failures.append(
+                f"served payload for 0x{word:x} differs from serial "
+                f"recover()"
+            )
+            break
+
+    print(
+        f"service smoke: {result.words} words at "
+        f"{result.throughput_words_per_s:.0f}/s, "
+        f"p99 {result.latency_ms(0.99):.2f} ms, "
+        f"{len(families)} metric families"
+    )
+
+
+def check_overload_degrades(failures: list[str]) -> None:
+    """A saturated service must answer detect-only, not queue forever."""
+    gate = threading.Event()
+    service = RecoveryService(
+        port=0,
+        registry=MetricsRegistry(),
+        event_log=EventLog(),
+        max_batch=1,
+        linger_s=0.0,
+        queue_limit=1,
+        overload_policy="degrade",
+    )
+    real_execute = service._execute_batch
+
+    def gated_execute(requests):
+        gate.wait(15.0)
+        return real_execute(requests)
+
+    service._batcher._execute = gated_execute
+    code = canonical_secded_39_32()
+    due = code.encode(0xBEEF) ^ 0b101
+
+    from repro.service.api import RecoveryRequest
+
+    with service:
+        import time
+
+        parked = service.batcher.submit(RecoveryRequest(words=(due,)))
+        deadline = time.monotonic() + 5.0
+        while service.batcher.queued_words() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        filler = service.batcher.submit(RecoveryRequest(words=(due,)))
+        shed = post(service.url + "/recover", {"received": due})
+        gate.set()
+        parked_payload = parked.result(timeout=15.0)
+        filler_payload = filler.result(timeout=15.0)
+
+    if not shed.get("degraded"):
+        failures.append(f"overloaded request was not degraded: {shed}")
+    elif shed.get("reason") != "overload":
+        failures.append(f"degradation reason was {shed.get('reason')!r}")
+    elif shed["result"]["status"] != "detect-only":
+        failures.append(
+            f"degraded status was {shed['result']['status']!r}, "
+            f"expected detect-only"
+        )
+    if shed.get("retry_after_s", 0) <= 0:
+        failures.append("degraded answer carried no retry_after_s hint")
+    for name, payload in (("parked", parked_payload),
+                          ("filler", filler_payload)):
+        if payload[0]["status"] != "recovered":
+            failures.append(f"{name} job was dropped under overload")
+
+    print("service smoke: overload degraded to detect-only with "
+          f"retry_after_s={shed.get('retry_after_s')}")
+
+
+def main() -> int:
+    failures: list[str] = []
+    check_load_and_metrics(failures)
+    check_overload_degrades(failures)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("service smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

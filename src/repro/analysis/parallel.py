@@ -121,6 +121,13 @@ def parallel_map(
     anything order-sensitive.  With ``jobs <= 1`` (or a single payload)
     the map runs in-process and metrics/events flow directly — no pool,
     no snapshot round-trip — while *on_result* still fires per payload.
+
+    Failure is fast: the first task exception cancels every not-yet-
+    started future and re-raises immediately, instead of draining the
+    remaining completions first.  Tasks already executing in a worker
+    run to completion (processes cannot be preempted safely), but no
+    queued payload starts after the failure, and no worker metrics are
+    merged from a failed map.
     """
     if jobs < 1:
         raise AnalysisError(f"jobs must be >= 1, got {jobs}")
@@ -146,7 +153,16 @@ def parallel_map(
         }
         for future in as_completed(futures):
             index = futures[future]
-            result, snapshot, digest, wall_seconds = future.result()
+            try:
+                result, snapshot, digest, wall_seconds = future.result()
+            except BaseException:
+                # Fail fast: don't drain the remaining completions —
+                # cancel everything still queued and surface the error.
+                # (In-flight tasks finish; the pool shutdown below waits
+                # only for those, not the whole backlog.)
+                for pending in futures:
+                    pending.cancel()
+                raise
             completed[index] = (result, snapshot, digest)
             if on_result is not None:
                 on_result(index, result, wall_seconds)

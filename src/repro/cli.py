@@ -16,6 +16,7 @@ Usage (also ``python -m repro``)::
     repro recover 0x8fbf0018 --bits 1,4 [--benchmark mcf] [--json]
     repro stats fig8 --instructions 5   # any command + profiling summary
     repro serve --port 9100 sweep --jobs 4   # any command + live /metrics
+    repro serve-recovery --port 9200 --preload mcf   # online DUE recovery
 
 Every command also accepts the observability flags (see
 ``docs/observability.md``): ``--profile`` prints metric and
@@ -38,6 +39,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.analysis.experiments import (
@@ -220,6 +222,40 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="bind address (default: loopback only)")
     serve.add_argument("rest", nargs=argparse.REMAINDER,
                        help="the command to run, e.g. sweep --jobs 4")
+
+    recovery = subparsers.add_parser(
+        "serve-recovery",
+        help="run the batched DUE-recovery service "
+        "(POST /recover, /recover/batch; GET /metrics, /healthz)",
+        parents=[obs_flags],
+    )
+    recovery.add_argument("--port", type=int, default=9200,
+                          help="TCP port to bind (0 = ephemeral)")
+    recovery.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default: loopback only)")
+    recovery.add_argument("--max-batch", type=int, default=256,
+                          metavar="WORDS",
+                          help="words per micro-batch before it closes")
+    recovery.add_argument("--linger-ms", type=float, default=2.0,
+                          metavar="MS",
+                          help="longest a batch waits for more requests")
+    recovery.add_argument("--queue-limit", type=int, default=4096,
+                          metavar="WORDS",
+                          help="queued words before backpressure engages")
+    recovery.add_argument("--policy", choices=["degrade", "reject"],
+                          default="degrade",
+                          help="overload behaviour: answer detect-only "
+                          "(degrade) or 429 + Retry-After (reject)")
+    recovery.add_argument("--timeout-ms", type=float, default=2000.0,
+                          metavar="MS",
+                          help="default per-request wait before degrading")
+    recovery.add_argument("--preload", default=None, metavar="CTX[,CTX]",
+                          help="contexts to build before serving, "
+                          "e.g. mcf,bzip2")
+    recovery.add_argument("--duration", type=float, default=None,
+                          metavar="SECONDS",
+                          help="serve for a fixed time then exit "
+                          "(default: until interrupted)")
     return parser
 
 
@@ -433,11 +469,54 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"serve: cannot bind {args.host}:{args.port}: {error}",
               file=sys.stderr)
         return 2
-    print(f"serving observability on {server.url}", file=sys.stderr)
+    # Everything after a successful bind runs under the teardown: a
+    # failure anywhere (even printing the banner) must release the port.
     try:
+        print(f"serving observability on {server.url}", file=sys.stderr)
         return main(rest)
     finally:
         server.stop()
+
+
+def _command_serve_recovery(args: argparse.Namespace) -> int:
+    """``repro serve-recovery`` = run the batched DUE-recovery service."""
+    from repro.service import RecoveryService, ServiceCatalog
+
+    catalog = ServiceCatalog()
+    service = RecoveryService(
+        catalog=catalog,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        linger_s=args.linger_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        overload_policy=args.policy,
+        default_timeout_s=args.timeout_ms / 1000.0,
+    )
+    try:
+        service.start()
+    except OSError as error:
+        print(f"serve-recovery: cannot bind {args.host}:{args.port}: "
+              f"{error}", file=sys.stderr)
+        return 2
+    try:
+        contexts = [
+            name for name in (args.preload or "").split(",") if name
+        ]
+        catalog.preload(contexts)
+        print(f"recovery service on {service.url} "
+              f"(policy={args.policy}, max_batch={args.max_batch}, "
+              f"queue_limit={args.queue_limit})", file=sys.stderr)
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        service.stop()
+    return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -484,6 +563,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(disassemble(words, image.base_address))
     elif command == "recover":
         return _command_recover(args)
+    elif command == "serve-recovery":
+        return _command_serve_recovery(args)
     return 0
 
 
@@ -503,18 +584,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         obs_logging.configure(log_json) if log_json is not None else None
     )
     server = None
-    if serve_port is not None:
-        try:
-            server = ObsServer(port=serve_port).start()
-        except OSError as error:
-            print(f"--serve: cannot bind port {serve_port}: {error}",
-                  file=sys.stderr)
-            if log_handler is not None:
-                obs_logging.unconfigure(log_handler)
-            return 2
-        print(f"serving observability on {server.url}", file=sys.stderr)
-    collector = obs_trace.enable_tracing() if want_trace else None
+    collector = None
+    # One teardown covers everything that follows a successful bind:
+    # the banner print, enabling tracing, and the command itself all
+    # run inside the try, so the server thread and log handler are
+    # released however the command exits (including on exceptions
+    # raised before dispatch).
     try:
+        if serve_port is not None:
+            try:
+                server = ObsServer(port=serve_port).start()
+            except OSError as error:
+                print(f"--serve: cannot bind port {serve_port}: {error}",
+                      file=sys.stderr)
+                return 2
+            print(f"serving observability on {server.url}", file=sys.stderr)
+        if want_trace:
+            collector = obs_trace.enable_tracing()
         status = _dispatch(args)
     finally:
         if collector is not None:

@@ -15,6 +15,16 @@ one context generation at a time — rebinding to a new context clears
 it — which matches how the sweep engine uses contexts and bounds the
 memory to one workload's distinct messages.  A hard entry cap guards
 pathological churn.
+
+Aliasing contract: :meth:`ContextCache.values_for` hands hot loops the
+*live* memo dict, so the cap must be enforced with an **in-place**
+``dict.clear()`` — rebinding ``self._values`` to a fresh dict would
+leave any caller that fetched the dict earlier in the same generation
+writing into an orphaned copy, silently losing memoization (and
+skewing the ``*.cache_hit_rate`` gauges) for the rest of its loop.  A
+*context switch*, by contrast, deliberately rebinds to a fresh dict:
+a stale holder's entries belong to the dead generation and must not
+leak into the new one.
 """
 
 from __future__ import annotations
@@ -59,7 +69,8 @@ class ContextCache:
     def store(self, message: int, value: Any) -> None:
         """Record *value* for *message* under the current generation."""
         if len(self._values) >= MAX_ENTRIES:
-            self._values = {}
+            # In place: hot loops may hold this dict via values_for().
+            self._values.clear()
         self._values[message] = value
 
     def values_for(self, context: Any) -> dict[int, Any]:
@@ -67,15 +78,17 @@ class ContextCache:
 
         Callers that look up many messages per call can fetch the dict
         once and use plain ``dict.get``/``dict.__setitem__``, skipping a
-        method call per message.  Rebinding to a new context — or
-        arriving at the entry cap — clears the memo, exactly like
-        :meth:`lookup`/:meth:`store` would.
+        method call per message.  Rebinding to a new context rebinds to
+        a fresh dict (old-generation holders must not pollute the new
+        context); arriving at the entry cap clears **in place**, so a
+        holder fetched earlier in the same generation keeps memoizing
+        into the live dict instead of an orphaned one.
         """
         if context is not self._context:
             self._context = context
             self._values = {}
         elif len(self._values) >= MAX_ENTRIES:
-            self._values = {}
+            self._values.clear()
         return self._values
 
     def __len__(self) -> int:

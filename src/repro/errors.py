@@ -24,6 +24,8 @@ __all__ = [
     "CpuFault",
     "AnalysisError",
     "ObservabilityError",
+    "ServiceError",
+    "ServiceOverloadError",
 ]
 
 
@@ -133,3 +135,30 @@ class ObservabilityError(ReproError):
     Raised, for example, when one metric name is requested as two
     different types, or a counter is asked to decrease.
     """
+
+
+class ServiceError(ReproError):
+    """The DUE-recovery service rejected a request or misbehaved.
+
+    Covers malformed requests (unknown code/context ids, out-of-range
+    words) and lifecycle misuse (submitting to a stopped batcher).
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """The recovery queue is full; the request was rejected, not queued.
+
+    Backpressure is explicit: callers receive a ``retry_after``
+    hint (seconds) instead of unbounded buffering.  The HTTP layer maps
+    this to 429 + ``Retry-After`` or to the detect-only degradation
+    path, depending on the configured overload policy.
+    """
+
+    def __init__(self, queued: int, limit: int, retry_after: float) -> None:
+        super().__init__(
+            f"recovery queue full ({queued}/{limit} words); "
+            f"retry in {retry_after:.3f}s"
+        )
+        self.queued = queued
+        self.limit = limit
+        self.retry_after = retry_after

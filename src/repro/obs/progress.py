@@ -17,6 +17,14 @@ Metric names are fixed regardless of how many benchmarks or chunks a
 run sweeps, respecting the registry's bounded-cardinality rule.  With a
 *stream* the tracker also renders a single-line ``\\r`` progress bar
 with rate and ETA (the CLI's ``--progress`` flag passes stderr).
+
+Constructing a tracker marks the start of a new sweep session: the
+``sweep.progress.*`` gauges, ``sweep.last_wall_seconds``, and the
+``sweep.last_benchmark`` info metric are reset to zero/empty so a
+scraper watching a long-lived process (normal under the recovery
+service) never reads the *previous* run's totals or ETA during the new
+run's ramp-up.  ``sweep.chunks_completed`` is a counter and keeps its
+process-lifetime total.
 """
 
 from __future__ import annotations
@@ -67,6 +75,17 @@ class SweepProgress:
             "sweep.chunks_completed",
             help="Sweep chunks completed (serial runs count one per run)",
         )
+        # A new tracker is a new sweep session: scrub the per-run state
+        # a previous sweep in this process left behind, so scrapers
+        # don't read stale totals/ETA (or last-run identity) while this
+        # run ramps up.  Counters above are cumulative and stay.
+        self._g_done.set(0.0)
+        self._g_total.set(0.0)
+        self._g_eta.set(0.0)
+        for stale_name in ("sweep.last_wall_seconds", "sweep.last_benchmark"):
+            stale = registry.get(stale_name)
+            if stale is not None:  # only a prior sweep registers these
+                stale.reset()
         self._stream = stream
         self._unit = unit
         self._started_at: float | None = None

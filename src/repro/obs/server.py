@@ -32,7 +32,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import promtext
 from repro.obs import trace as obs_trace
 
-__all__ = ["ObsServer"]
+__all__ = ["ObsServer", "dispatch_get"]
 
 _log = logging.getLogger("repro.obs.server")
 _log.addHandler(logging.NullHandler())
@@ -42,6 +42,8 @@ class _ObsRequestHandler(BaseHTTPRequestHandler):
     """Routes GET requests to the owning :class:`ObsServer`."""
 
     server_version = "repro-obs/1.0"
+    # Keep scrape round-trips off the Nagle/delayed-ACK path.
+    disable_nagle_algorithm = True
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         obs: ObsServer = self.server.obs  # type: ignore[attr-defined]
@@ -116,6 +118,20 @@ _ROUTES = {
     "/spans": _endpoint_spans,
     "/healthz": _endpoint_healthz,
 }
+
+
+def dispatch_get(owner, path: str, query) -> tuple[int, str, str] | None:
+    """Route a GET to the shared observability endpoints.
+
+    *owner* only needs ``registry`` and ``event_log`` properties, so
+    other HTTP frontends (the recovery service) can mount the same
+    ``/metrics``-family endpoints without duplicating them.  Returns
+    ``(status, content type, body)``, or ``None`` for unknown paths.
+    """
+    route = _ROUTES.get(path)
+    if route is None:
+        return None
+    return route(owner, query)
 
 
 class ObsServer:

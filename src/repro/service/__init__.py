@@ -1,0 +1,42 @@
+"""Online DUE-recovery service: batching, backpressure, HTTP API.
+
+The paper's recovery path is *on demand* — invoked when the memory
+controller reports a detected-but-uncorrectable error.  This package
+turns the offline engine into that long-lived service:
+
+- :mod:`repro.service.catalog` — id-addressed codes, engines, and
+  side-info contexts with stable identity.
+- :mod:`repro.service.api` — JSON wire types and payload builders.
+- :mod:`repro.service.batcher` — bounded-queue micro-batching with
+  explicit backpressure.
+- :mod:`repro.service.server` — the HTTP frontend, sharing the
+  observability endpoints with :mod:`repro.obs.server`.
+"""
+
+from repro.service.api import (
+    MAX_BATCH_WORDS,
+    RecoveryRequest,
+    detect_only_payload,
+    error_payload,
+    result_payload,
+)
+from repro.service.batcher import RecoveryBatcher
+from repro.service.catalog import (
+    DEFAULT_CODE_ID,
+    DEFAULT_CONTEXT_ID,
+    ServiceCatalog,
+)
+from repro.service.server import RecoveryService
+
+__all__ = [
+    "MAX_BATCH_WORDS",
+    "RecoveryRequest",
+    "detect_only_payload",
+    "error_payload",
+    "result_payload",
+    "RecoveryBatcher",
+    "DEFAULT_CODE_ID",
+    "DEFAULT_CONTEXT_ID",
+    "ServiceCatalog",
+    "RecoveryService",
+]

@@ -1,0 +1,317 @@
+"""Micro-batching over a bounded queue with explicit backpressure.
+
+The recovery engine is fastest when it drains many words back-to-back
+(syndrome memoization, context-cache locality), but service requests
+arrive one at a time.  :class:`RecoveryBatcher` sits between the two:
+
+- **Bounded queue** — ``submit`` either enqueues or raises
+  :class:`~repro.errors.ServiceOverloadError` with a ``retry_after``
+  hint.  There is no unbounded buffering mode: when the queue is full
+  the caller is told *now*, and the HTTP layer either rejects (429) or
+  degrades to detect-only, per policy.
+- **Micro-batches** — a single worker thread gathers queued jobs until
+  ``max_batch`` words are in hand or the ``linger`` deadline passes
+  (whichever first), then executes them in one call.  Jobs are never
+  split, so a batch can exceed ``max_batch`` by at most one job.
+- **Single consumer** — the worker thread is the only caller of the
+  executor, so the engines' context caches need no locks and batched
+  results are bit-identical to the same words run serially.
+
+Lifecycle: ``start`` / ``stop`` (or a ``with`` block).  ``stop`` drains
+jobs already accepted, then joins the worker; nothing accepted is
+dropped.  Cancelled futures (request timeouts) are skipped at execute
+time via the standard ``set_running_or_notify_cancel`` handshake, so
+abandoned work sheds instead of burning the batch budget.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from threading import Condition, Thread
+
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.obs import metrics as obs_metrics
+from repro.service.api import RecoveryRequest
+
+__all__ = ["RecoveryBatcher"]
+
+#: Executor contract: one result list per request, in request order.
+BatchExecutor = Callable[[Sequence[RecoveryRequest]], "list[list[dict]]"]
+
+#: Starting estimate of seconds of engine work per word, before any
+#: batch has been measured (a memoized recover() is tens of µs).
+_INITIAL_SECONDS_PER_WORD = 5e-5
+
+#: EWMA smoothing for the measured per-word cost.
+_EWMA_ALPHA = 0.2
+
+
+@dataclass
+class _Job:
+    """One queued request plus its completion future."""
+
+    request: RecoveryRequest
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def words(self) -> int:
+        return len(self.request.words)
+
+
+class RecoveryBatcher:
+    """Coalesce recovery requests into executor micro-batches.
+
+    Parameters
+    ----------
+    execute:
+        Called from the worker thread with the gathered requests; must
+        return one per-word result list per request, in order.  An
+        exception fails every request in the batch.
+    max_batch:
+        Word-count low-water mark that closes a batch early.
+    linger_s:
+        Longest a gathered batch waits for company before executing.
+    queue_limit:
+        Maximum words queued (not yet executing).  ``submit`` beyond
+        this raises :class:`ServiceOverloadError` — never buffers.
+    registry:
+        Metrics registry (default: the process registry).  Exposes
+        ``service.queue_depth``, ``service.batch_words``,
+        ``service.batch_seconds``, ``service.batches``, and
+        ``service.overloads``.
+    """
+
+    def __init__(
+        self,
+        execute: BatchExecutor,
+        max_batch: int = 256,
+        linger_s: float = 0.002,
+        queue_limit: int = 4096,
+        registry: obs_metrics.MetricsRegistry | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        if linger_s < 0:
+            raise ServiceError(f"linger_s must be >= 0, got {linger_s}")
+        if queue_limit < 1:
+            raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
+        self._execute = execute
+        self._max_batch = max_batch
+        self._linger_s = linger_s
+        self._queue_limit = queue_limit
+        self._cond = Condition()
+        self._queue: deque[_Job] = deque()
+        self._queued_words = 0
+        self._stop = False
+        self._thread: Thread | None = None
+        self._seconds_per_word = _INITIAL_SECONDS_PER_WORD
+        registry = (
+            registry if registry is not None else obs_metrics.get_registry()
+        )
+        self._g_depth = registry.gauge(
+            "service.queue_depth",
+            help="Words queued for recovery (bounded by the queue limit)",
+        )
+        self._h_batch_words = registry.histogram(
+            "service.batch_words",
+            buckets=obs_metrics.DEFAULT_COUNT_BUCKETS,
+            help="Words coalesced per executed batch",
+        )
+        self._h_batch_seconds = registry.histogram(
+            "service.batch_seconds",
+            help="Executor wall time per batch",
+        )
+        self._c_batches = registry.counter(
+            "service.batches", help="Micro-batches executed"
+        )
+        self._c_overloads = registry.counter(
+            "service.overloads",
+            help="Submissions rejected because the queue was full",
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._thread is not None
+
+    @property
+    def queue_limit(self) -> int:
+        """Maximum queued words before backpressure."""
+        return self._queue_limit
+
+    def queued_words(self) -> int:
+        """Words currently waiting (excludes the executing batch)."""
+        with self._cond:
+            return self._queued_words
+
+    def retry_after_hint(self) -> float:
+        """Suggested client backoff, from the measured drain rate."""
+        with self._cond:
+            backlog = self._queued_words
+            seconds_per_word = self._seconds_per_word
+        estimate = backlog * seconds_per_word + self._linger_s
+        return min(max(estimate, 0.001), 5.0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "RecoveryBatcher":
+        """Spin up the worker thread; returns ``self``."""
+        if self._thread is not None:
+            raise ServiceError("RecoveryBatcher is already running")
+        with self._cond:
+            self._stop = False
+        self._thread = Thread(
+            target=self._worker, name="repro-recovery-batcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain accepted jobs, then stop the worker (idempotent).
+
+        New submissions are refused immediately; jobs already queued
+        are executed before the worker exits, so a graceful shutdown
+        never drops accepted work.
+        """
+        thread = self._thread
+        self._thread = None
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join(timeout=30.0)
+        # Failsafe: if the worker died abnormally, fail anything left.
+        with self._cond:
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._queued_words = 0
+        self._g_depth.set(0.0)
+        for job in leftovers:
+            if job.future.set_running_or_notify_cancel():
+                job.future.set_exception(
+                    ServiceError("recovery batcher stopped before execution")
+                )
+
+    def __enter__(self) -> "RecoveryBatcher":
+        return self.start() if not self.running else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def submit(self, request: RecoveryRequest) -> "Future[list[dict]]":
+        """Enqueue *request*; its future resolves to per-word payloads.
+
+        Raises :class:`ServiceOverloadError` (with ``retry_after``)
+        when accepting the request would exceed the queue limit, and
+        :class:`ServiceError` when the batcher is not running.
+        """
+        job = _Job(request)
+        with self._cond:
+            if self._stop or self._thread is None:
+                raise ServiceError(
+                    "recovery batcher is not running; submit() refused"
+                )
+            if self._queued_words + job.words > self._queue_limit:
+                self._c_overloads.inc()
+                queued = self._queued_words
+                raise ServiceOverloadError(
+                    queued, self._queue_limit, self._retry_after_locked()
+                )
+            self._queue.append(job)
+            self._queued_words += job.words
+            self._g_depth.set(self._queued_words)
+            self._cond.notify()
+        return job.future
+
+    def _retry_after_locked(self) -> float:
+        estimate = (
+            self._queued_words * self._seconds_per_word + self._linger_s
+        )
+        return min(max(estimate, 0.001), 5.0)
+
+    # ------------------------------------------------------------------
+    # Consumer side (worker thread)
+    # ------------------------------------------------------------------
+
+    def _gather(self) -> list[_Job] | None:
+        """Block for the next micro-batch; ``None`` means shut down."""
+        with self._cond:
+            while not self._queue:
+                if self._stop:
+                    return None
+                self._cond.wait()
+            batch = [self._queue.popleft()]
+            words = batch[0].words
+            deadline = time.monotonic() + self._linger_s
+            while words < self._max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    words += batch[-1].words
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._stop:
+                    break
+                self._cond.wait(remaining)
+                # Loop re-checks the queue and the deadline, so both
+                # spurious wakes and real arrivals are handled above.
+            self._queued_words -= words
+            self._g_depth.set(self._queued_words)
+        return batch
+
+    def _worker(self) -> None:
+        while True:
+            batch = self._gather()
+            if batch is None:
+                return
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[_Job]) -> None:
+        # Standard future handshake: claim each job, shedding the ones
+        # a timed-out client already cancelled.
+        live = [
+            job for job in batch if job.future.set_running_or_notify_cancel()
+        ]
+        words = sum(job.words for job in live)
+        self._h_batch_words.observe(words)
+        self._c_batches.inc()
+        if not live:
+            return
+        started = time.perf_counter()
+        try:
+            results = self._execute([job.request for job in live])
+        except BaseException as error:  # executor failed: fail the batch
+            for job in live:
+                job.future.set_exception(error)
+            return
+        elapsed = time.perf_counter() - started
+        self._h_batch_seconds.observe(elapsed)
+        if words:
+            observed = elapsed / words
+            self._seconds_per_word += _EWMA_ALPHA * (
+                observed - self._seconds_per_word
+            )
+        if len(results) != len(live):
+            error = ServiceError(
+                f"batch executor returned {len(results)} result lists "
+                f"for {len(live)} requests"
+            )
+            for job in live:
+                job.future.set_exception(error)
+            return
+        for job, result in zip(live, results):
+            job.future.set_result(result)

@@ -1,0 +1,231 @@
+"""Closed-loop load generation for the DUE-recovery service.
+
+Drives ``POST /recover/batch`` from N client threads, each issuing its
+next request only after the previous one answered (closed loop: the
+offered load adapts to the service instead of overrunning it), and
+reports throughput plus p50/p90/p99 request latency.  Used by
+``scripts/service_loadgen.py`` (standalone CLI) and
+``benchmarks/bench_service_throughput.py`` (the >= 5k recoveries/s
+gate), so both measure with identical methodology.
+
+Clients reuse one :class:`http.client.HTTPConnection` each — the
+service speaks HTTP/1.1 with Content-Length, so keep-alive works and
+connection setup stays out of the measured latency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from http.client import HTTPConnection
+
+from repro.ecc import canonical_secded_39_32
+from repro.ecc.code import LinearBlockCode
+
+__all__ = ["LoadResult", "generate_due_words", "percentile", "run_load"]
+
+
+def generate_due_words(
+    code: LinearBlockCode | None = None,
+    count: int = 512,
+    seed: int = 7,
+) -> list[int]:
+    """*count* double-bit-error words over *code* (true DUEs)."""
+    if code is None:
+        code = canonical_secded_39_32()
+    rng = random.Random(seed)
+    words = []
+    for _ in range(count):
+        message = rng.getrandbits(code.k)
+        first = rng.randrange(code.n)
+        second = rng.randrange(code.n - 1)
+        if second >= first:
+            second += 1
+        words.append(code.encode(message) ^ (1 << first) ^ (1 << second))
+    return words
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """The *q*-quantile (0..1) of pre-sorted *sorted_values*."""
+    if not sorted_values:
+        return 0.0
+    index = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[min(index, len(sorted_values) - 1)]
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one closed-loop run."""
+
+    clients: int
+    requests: int = 0
+    words: int = 0
+    recovered: int = 0
+    degraded: int = 0
+    rejected: int = 0
+    word_errors: int = 0
+    http_errors: int = 0
+    wall_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def throughput_words_per_s(self) -> float:
+        return self.words / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def throughput_requests_per_s(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_ms(self, q: float) -> float:
+        return percentile(sorted(self.latencies_s), q) * 1e3
+
+    def to_record(self) -> dict:
+        """A JSON-ready summary (for ``BENCH_service.json`` history)."""
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "words": self.words,
+            "recovered": self.recovered,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "word_errors": self.word_errors,
+            "http_errors": self.http_errors,
+            "wall_seconds": round(self.wall_s, 3),
+            "throughput_words_per_s": round(self.throughput_words_per_s, 1),
+            "throughput_requests_per_s": round(
+                self.throughput_requests_per_s, 1
+            ),
+            "latency_ms": {
+                "p50": round(self.latency_ms(0.50), 3),
+                "p90": round(self.latency_ms(0.90), 3),
+                "p99": round(self.latency_ms(0.99), 3),
+            },
+        }
+
+
+def _client_loop(
+    host: str,
+    port: int,
+    requests: int,
+    words: list[int],
+    words_per_request: int,
+    context: str,
+    offset: int,
+    result: LoadResult,
+    lock: threading.Lock,
+    errors: list[str],
+) -> None:
+    def connect() -> HTTPConnection:
+        connection = HTTPConnection(host, port, timeout=30.0)
+        connection.connect()
+        # Request bodies are small; without TCP_NODELAY the closed loop
+        # measures Nagle/delayed-ACK stalls instead of the service.
+        connection.sock.setsockopt(
+            socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+        )
+        return connection
+
+    connection = connect()
+    latencies: list[float] = []
+    counted = dict(
+        requests=0, words=0, recovered=0, degraded=0,
+        rejected=0, word_errors=0, http_errors=0,
+    )
+    try:
+        for index in range(requests):
+            start = (offset + index * words_per_request) % len(words)
+            batch = [
+                words[(start + i) % len(words)]
+                for i in range(words_per_request)
+            ]
+            body = json.dumps({"received": batch, "context": context})
+            began = time.perf_counter()
+            try:
+                connection.request(
+                    "POST", "/recover/batch", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                payload = json.loads(response.read())
+            except Exception:
+                # One reconnect per failure keeps a dropped keep-alive
+                # from ending the client early.
+                connection.close()
+                connection = connect()
+                counted["http_errors"] += 1
+                continue
+            latencies.append(time.perf_counter() - began)
+            counted["requests"] += 1
+            counted["words"] += len(batch)
+            if response.status == 429:
+                counted["rejected"] += 1
+            elif response.status != 200:
+                counted["http_errors"] += 1
+            elif payload.get("degraded"):
+                counted["degraded"] += 1
+            else:
+                for entry in payload.get("results", ()):
+                    if entry.get("status") == "recovered":
+                        counted["recovered"] += 1
+                    else:
+                        counted["word_errors"] += 1
+    except Exception as error:  # noqa: BLE001 - reported to the caller
+        errors.append(f"{type(error).__name__}: {error}")
+    finally:
+        connection.close()
+    with lock:
+        result.requests += counted["requests"]
+        result.words += counted["words"]
+        result.recovered += counted["recovered"]
+        result.degraded += counted["degraded"]
+        result.rejected += counted["rejected"]
+        result.word_errors += counted["word_errors"]
+        result.http_errors += counted["http_errors"]
+        result.latencies_s.extend(latencies)
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    clients: int = 4,
+    requests_per_client: int = 50,
+    words_per_request: int = 64,
+    context: str = "none",
+    words: list[int] | None = None,
+) -> LoadResult:
+    """Run the closed loop against ``host:port``; returns the totals.
+
+    Raises :class:`RuntimeError` if any client thread died abnormally
+    (per-request HTTP failures are counted, not fatal).
+    """
+    if words is None:
+        words = generate_due_words()
+    result = LoadResult(clients=clients)
+    lock = threading.Lock()
+    errors: list[str] = []
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            name=f"loadgen-client-{index}",
+            args=(
+                host, port, requests_per_client, words, words_per_request,
+                context, index * 37, result, lock, errors,
+            ),
+        )
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.wall_s = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"load client failed: {errors[0]}")
+    return result

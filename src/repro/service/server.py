@@ -1,0 +1,483 @@
+"""The DUE-recovery HTTP service: batched recovery over a JSON API.
+
+:class:`RecoveryService` is the online face of the engine — the paper
+frames SWD-ECC as an *on-demand* recovery path invoked when the memory
+controller reports a DUE, and this server is that path as a long-lived
+process:
+
+- ``POST /recover`` — one received word; returns the ranked recovery
+  targets (or a detect-only payload under overload/timeout).
+- ``POST /recover/batch`` — many words under one (code, context).
+- ``GET /healthz`` — liveness plus queue/overload state.
+- ``GET /metrics`` (and ``/metrics.json``, ``/events``, ``/spans``) —
+  the shared observability endpoints, mounted from
+  :mod:`repro.obs.server`, so one scrape sees ``service.*`` next to
+  ``swdecc.*``.
+
+Requests flow through a :class:`~repro.service.batcher.RecoveryBatcher`
+(bounded queue, micro-batching) and are executed by the single worker
+thread against :class:`~repro.service.catalog.ServiceCatalog` engines.
+Graceful degradation is explicit: a full queue either rejects with 429
++ ``Retry-After`` (policy ``"reject"``) or answers detect-only (policy
+``"degrade"``, the default) — the DUE is still *reported*, mirroring
+the paper's crash-is-the-baseline framing, but no request ever queues
+without bound.  Per-request timeouts degrade the same way and cancel
+the abandoned work.
+
+Built on the same stdlib :class:`~http.server.ThreadingHTTPServer`
+daemon-thread pattern as :class:`repro.obs.server.ObsServer`; binds
+loopback by default and supports ``port=0`` for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from threading import Thread
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ReproError, ServiceError, ServiceOverloadError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import server as obs_server
+from repro.service import api
+from repro.service.batcher import RecoveryBatcher
+from repro.service.catalog import ServiceCatalog
+
+__all__ = ["RecoveryService"]
+
+_log = logging.getLogger("repro.service.server")
+_log.addHandler(logging.NullHandler())
+
+#: Reject request bodies beyond this size outright (DoS hygiene; a
+#: maximal legal batch is far smaller).
+_MAX_BODY_BYTES = 8 << 20
+
+
+class _RecoveryRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`RecoveryService`."""
+
+    server_version = "repro-recovery/1.0"
+    protocol_version = "HTTP/1.1"
+    # Small JSON responses over keep-alive connections otherwise hit
+    # the Nagle/delayed-ACK interaction (~40 ms per round-trip).
+    disable_nagle_algorithm = True
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        service: RecoveryService = self.server.service  # type: ignore[attr-defined]
+        url = urlparse(self.path)
+        try:
+            if url.path == "/healthz":
+                status, content_type, body = service.healthz_endpoint()
+            else:
+                routed = obs_server.dispatch_get(
+                    service, url.path, parse_qs(url.query)
+                )
+                if routed is None:
+                    self._reply(404, "text/plain; charset=utf-8",
+                                f"no such endpoint: {url.path}\n")
+                    return
+                status, content_type, body = routed
+            self._reply(status, content_type, body)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as error:  # pragma: no cover - defensive
+            self._reply(500, "text/plain; charset=utf-8", f"{error}\n")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        service: RecoveryService = self.server.service  # type: ignore[attr-defined]
+        url = urlparse(self.path)
+        if url.path not in ("/recover", "/recover/batch"):
+            self._reply(404, "application/json",
+                        json.dumps({"error": f"no such endpoint: {url.path}"})
+                        + "\n")
+            return
+        try:
+            status, payload, headers = service.handle_recover(
+                self._read_body(), batch=url.path.endswith("/batch")
+            )
+        except BrokenPipeError:  # pragma: no cover - client went away
+            return
+        except ServiceError as error:
+            status, payload, headers = 400, {"error": str(error)}, {}
+        except Exception as error:  # pragma: no cover - defensive
+            status, payload, headers = 500, {"error": str(error)}, {}
+        try:
+            self._reply(
+                status, "application/json",
+                json.dumps(payload, sort_keys=True) + "\n", headers,
+            )
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    def _read_body(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise ServiceError("bad Content-Length header")
+        if length <= 0:
+            raise ServiceError("request needs a JSON body")
+        if length > _MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY_BYTES}-byte limit"
+            )
+        return self.rfile.read(length)
+
+    def _reply(
+        self,
+        status: int,
+        content_type: str,
+        body: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        _log.debug("%s %s", self.address_string(), format % args)
+
+
+class RecoveryService:
+    """Serve batched DUE recovery over HTTP.
+
+    Parameters
+    ----------
+    catalog:
+        Code/context resolution (default: a fresh
+        :class:`ServiceCatalog`).
+    host / port:
+        Bind address; port 0 picks an ephemeral port (read
+        :attr:`port` after :meth:`start`).
+    max_batch / linger_s / queue_limit:
+        Micro-batching knobs, forwarded to the
+        :class:`RecoveryBatcher`.
+    overload_policy:
+        ``"degrade"`` answers detect-only when the queue is full;
+        ``"reject"`` answers 429 with a ``Retry-After`` hint.
+    default_timeout_s:
+        How long a request waits for its batch before degrading, when
+        the request does not carry its own ``timeout_ms``.
+    registry / event_log:
+        Observability overrides (tests use private ones).
+    """
+
+    def __init__(
+        self,
+        catalog: ServiceCatalog | None = None,
+        host: str = "127.0.0.1",
+        port: int = 9200,
+        max_batch: int = 256,
+        linger_s: float = 0.002,
+        queue_limit: int = 4096,
+        overload_policy: str = "degrade",
+        default_timeout_s: float = 2.0,
+        registry: obs_metrics.MetricsRegistry | None = None,
+        event_log: obs_events.EventLog | None = None,
+    ) -> None:
+        if overload_policy not in ("degrade", "reject"):
+            raise ServiceError(
+                f"overload_policy must be 'degrade' or 'reject', "
+                f"got {overload_policy!r}"
+            )
+        if default_timeout_s <= 0:
+            raise ServiceError(
+                f"default_timeout_s must be > 0, got {default_timeout_s}"
+            )
+        self._catalog = catalog if catalog is not None else ServiceCatalog()
+        self._host = host
+        self._requested_port = port
+        self._overload_policy = overload_policy
+        self._default_timeout_s = default_timeout_s
+        self._registry = registry
+        self._event_log = event_log
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: Thread | None = None
+        resolved = self.registry
+        self._batcher = RecoveryBatcher(
+            self._execute_batch,
+            max_batch=max_batch,
+            linger_s=linger_s,
+            queue_limit=queue_limit,
+            registry=resolved,
+        )
+        self._c_requests = resolved.counter(
+            "service.requests", help="Recovery requests received"
+        )
+        self._c_recoveries = resolved.counter(
+            "service.recoveries", help="Words heuristically recovered"
+        )
+        self._c_word_errors = resolved.counter(
+            "service.recovery_errors",
+            help="Words that failed recovery (not a DUE, no candidates)",
+        )
+        self._c_degraded = resolved.counter(
+            "service.degraded",
+            help="Requests answered detect-only (overload or timeout)",
+        )
+        self._c_rejections = resolved.counter(
+            "service.rejections",
+            help="Requests rejected with 429 under the reject policy",
+        )
+        self._c_timeouts = resolved.counter(
+            "service.timeouts",
+            help="Requests that timed out waiting for their batch",
+        )
+        self._h_request_seconds = resolved.histogram(
+            "service.request_seconds",
+            help="End-to-end request latency (parse to response body)",
+        )
+
+    # ------------------------------------------------------------------
+    # Shared-observability owner protocol (see repro.obs.server)
+    # ------------------------------------------------------------------
+
+    @property
+    def registry(self) -> obs_metrics.MetricsRegistry:
+        """The registry served and instrumented (default: process-wide)."""
+        return (
+            self._registry if self._registry is not None
+            else obs_metrics.get_registry()
+        )
+
+    @property
+    def event_log(self) -> obs_events.EventLog:
+        """The event log served (default: process-wide)."""
+        return (
+            self._event_log if self._event_log is not None
+            else obs_events.get_event_log()
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves port 0 after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self._host}:{self.port}"
+
+    @property
+    def catalog(self) -> ServiceCatalog:
+        """The code/context catalog answering this server's requests."""
+        return self._catalog
+
+    @property
+    def batcher(self) -> RecoveryBatcher:
+        """The underlying micro-batcher (exposed for tests/tuning)."""
+        return self._batcher
+
+    def start(self) -> "RecoveryService":
+        """Bind, start the batcher, and serve on a daemon thread."""
+        if self._httpd is not None:
+            raise ServiceError("RecoveryService is already running")
+        httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), _RecoveryRequestHandler
+        )
+        httpd.daemon_threads = True
+        httpd.service = self  # type: ignore[attr-defined]
+        self._batcher.start()
+        self._httpd = httpd
+        self._thread = Thread(
+            target=httpd.serve_forever,
+            name=f"repro-recovery-service:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("recovery service listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting requests, drain the batcher (idempotent)."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = None
+        self._thread = None
+        try:
+            if httpd is not None:
+                httpd.shutdown()
+                httpd.server_close()
+            if thread is not None:
+                thread.join(timeout=5.0)
+        finally:
+            self._batcher.stop()
+
+    def __enter__(self) -> "RecoveryService":
+        return self.start() if not self.running else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request handling (called from handler threads)
+    # ------------------------------------------------------------------
+
+    def handle_recover(
+        self, body: bytes, batch: bool
+    ) -> tuple[int, dict, dict[str, str]]:
+        """Process one POST body; returns (status, payload, headers)."""
+        started = time.perf_counter()
+        self._c_requests.inc()
+        try:
+            parsed = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"request body is not valid JSON: {error}")
+        request = api.RecoveryRequest.from_json(
+            parsed, batch=batch,
+            width_for=lambda code_id: self._catalog.code(code_id).n,
+        )
+        # Resolve the context now: unknown ids are a 400, not a queued
+        # failure, and the build cost is paid before entering the queue.
+        self._catalog.context(request.context_id)
+        try:
+            future = self._batcher.submit(request)
+        except ServiceOverloadError as overload:
+            return self._overload_response(request, overload, batch, started)
+        timeout = (
+            request.timeout_s if request.timeout_s is not None
+            else self._default_timeout_s
+        )
+        try:
+            results = future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()  # shed the work if the batch hasn't claimed it
+            self._c_timeouts.inc()
+            self._c_degraded.inc()
+            payload = self._degraded_payload(request, "timeout", batch)
+            self._h_request_seconds.observe(time.perf_counter() - started)
+            return 200, payload, {}
+        payload = self._success_payload(request, results, batch)
+        self._h_request_seconds.observe(time.perf_counter() - started)
+        return 200, payload, {}
+
+    def _success_payload(
+        self, request: api.RecoveryRequest, results: list[dict], batch: bool
+    ) -> dict:
+        base = {
+            "code": request.code_id,
+            "context": request.context_id,
+            "degraded": False,
+        }
+        if batch:
+            return {**base, "words": len(results), "results": results}
+        return {**base, "result": results[0]}
+
+    def _degraded_payload(
+        self, request: api.RecoveryRequest, reason: str, batch: bool,
+        retry_after: float | None = None,
+    ) -> dict:
+        detect = [
+            api.detect_only_payload(word, reason) for word in request.words
+        ]
+        base = {
+            "code": request.code_id,
+            "context": request.context_id,
+            "degraded": True,
+            "reason": reason,
+        }
+        if retry_after is not None:
+            base["retry_after_s"] = round(retry_after, 4)
+        if batch:
+            return {**base, "words": len(detect), "results": detect}
+        return {**base, "result": detect[0]}
+
+    def _overload_response(
+        self,
+        request: api.RecoveryRequest,
+        overload: ServiceOverloadError,
+        batch: bool,
+        started: float,
+    ) -> tuple[int, dict, dict[str, str]]:
+        self._h_request_seconds.observe(time.perf_counter() - started)
+        if self._overload_policy == "reject":
+            self._c_rejections.inc()
+            payload = {
+                "error": "overloaded",
+                "detail": str(overload),
+                "retry_after_s": round(overload.retry_after, 4),
+            }
+            headers = {
+                "Retry-After": str(max(1, math.ceil(overload.retry_after)))
+            }
+            return 429, payload, headers
+        self._c_degraded.inc()
+        payload = self._degraded_payload(
+            request, "overload", batch, retry_after=overload.retry_after
+        )
+        return 200, payload, {}
+
+    def healthz_endpoint(self) -> tuple[int, str, str]:
+        """Liveness plus queue/overload state for probes."""
+        queued = self._batcher.queued_words()
+        body = {
+            "status": "ok",
+            "queue_depth": queued,
+            "queue_limit": self._batcher.queue_limit,
+            "overload_policy": self._overload_policy,
+            "batching": self._batcher.running,
+        }
+        return 200, "application/json", json.dumps(body, sort_keys=True) + "\n"
+
+    # ------------------------------------------------------------------
+    # Batch execution (called from the batcher's worker thread)
+    # ------------------------------------------------------------------
+
+    def _execute_batch(
+        self, requests: list[api.RecoveryRequest]
+    ) -> list[list[dict]]:
+        """Run one micro-batch; the only caller of the engines.
+
+        Requests are grouped by (code, context) so each group drains
+        back-to-back through one engine — preserving the context-cache
+        generation across the group — while results return in request
+        order.  Per-word errors (not a DUE, no candidates) are captured
+        per word; they never fail a neighbouring request.
+        """
+        groups: dict[tuple[str, str], list[int]] = {}
+        for index, request in enumerate(requests):
+            key = (request.code_id, request.context_id)
+            groups.setdefault(key, []).append(index)
+        results: list[list[dict] | None] = [None] * len(requests)
+        recovered = 0
+        failed = 0
+        for (code_id, context_id), indexes in groups.items():
+            engine, context = self._catalog.resolve(code_id, context_id)
+            for index in indexes:
+                request = requests[index]
+                payloads = []
+                for word in request.words:
+                    try:
+                        result = engine.recover(word, context)
+                    except ReproError as error:
+                        failed += 1
+                        payloads.append(api.error_payload(word, error))
+                    else:
+                        recovered += 1
+                        payloads.append(api.result_payload(word, result))
+                results[index] = payloads
+        if recovered:
+            self._c_recoveries.inc(recovered)
+        if failed:
+            self._c_word_errors.inc(failed)
+        return [result for result in results if result is not None]

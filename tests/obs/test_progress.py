@@ -160,3 +160,44 @@ class TestStream:
         progress.add_total(1)
         progress.on_chunk(1)
         progress.finish()  # no stream: nothing to terminate, no error
+
+
+class TestSessionReset:
+    """A new tracker = a new sweep session: stale per-run state is
+    scrubbed so a second sweep in the same process never serves the
+    previous run's totals/ETA during its ramp-up."""
+
+    def test_new_tracker_resets_stale_progress_gauges(self):
+        registry = MetricsRegistry()
+        first = SweepProgress(registry=registry)
+        first.add_total(100)
+        first.on_chunk(100)
+        first.finish()
+        # What DueSweep.run records when the first sweep completes.
+        registry.gauge("sweep.last_wall_seconds").set(3.5)
+        registry.info("sweep.last_benchmark").set("mcf")
+
+        SweepProgress(registry=registry)
+        gauges = _gauges(registry)
+        assert gauges["sweep.progress.patterns_done"] == 0.0
+        assert gauges["sweep.progress.total_patterns"] == 0.0
+        assert gauges["sweep.progress.eta_seconds"] == 0.0
+        assert registry.get("sweep.last_wall_seconds").value == 0.0
+        assert registry.get("sweep.last_benchmark").value == ""
+
+    def test_counter_survives_session_reset(self):
+        # chunks_completed is cumulative over the process lifetime.
+        registry = MetricsRegistry()
+        first = SweepProgress(registry=registry)
+        first.add_total(8)
+        first.on_chunk(8)
+        SweepProgress(registry=registry)
+        assert registry.get("sweep.chunks_completed").value == 1
+
+    def test_reset_does_not_mint_last_run_metrics(self):
+        # Only a sweep that actually ran registers the last-run pair;
+        # constructing a tracker in a fresh registry must not add them.
+        registry = MetricsRegistry()
+        SweepProgress(registry=registry)
+        assert registry.get("sweep.last_wall_seconds") is None
+        assert registry.get("sweep.last_benchmark") is None

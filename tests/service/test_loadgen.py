@@ -1,0 +1,62 @@
+"""Load-generator helpers: word synthesis, percentiles, closed loop."""
+
+from __future__ import annotations
+
+from repro.ecc import canonical_secded_39_32
+from repro.ecc.code import DecodeStatus
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.service import RecoveryService
+from repro.service.loadgen import generate_due_words, percentile, run_load
+
+
+class TestGenerateDueWords:
+    def test_every_word_is_a_true_due(self):
+        code = canonical_secded_39_32()
+        for word in generate_due_words(code, count=64, seed=3):
+            assert 0 <= word < (1 << code.n)
+            assert code.decode(word).status is DecodeStatus.DUE
+
+    def test_generation_is_seed_deterministic(self):
+        assert generate_due_words(count=32, seed=9) == \
+            generate_due_words(count=32, seed=9)
+        assert generate_due_words(count=32, seed=9) != \
+            generate_due_words(count=32, seed=10)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_single_value(self):
+        assert percentile([4.2], 0.5) == 4.2
+        assert percentile([4.2], 0.99) == 4.2
+
+    def test_quantiles_of_a_range(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.00) == 100.0
+
+
+class TestRunLoad:
+    def test_closed_loop_against_live_service(self):
+        words = generate_due_words(count=32, seed=5)
+        service = RecoveryService(
+            port=0, registry=MetricsRegistry(), event_log=EventLog()
+        )
+        with service:
+            result = run_load(
+                "127.0.0.1", service.port,
+                clients=2, requests_per_client=3,
+                words_per_request=4, context="none", words=words,
+            )
+        assert result.requests == 6
+        assert result.words == 24
+        assert result.recovered == 24
+        assert result.http_errors == 0
+        assert result.wall_s > 0
+        assert result.throughput_words_per_s > 0
+        assert len(result.latencies_s) == 6
+        record = result.to_record()
+        assert record["latency_ms"]["p50"] <= record["latency_ms"]["p99"]

@@ -175,3 +175,145 @@ class TestProgressFlag:
             "--length", "64",
         ]) == 0
         assert capsys.readouterr().err == ""
+
+
+class TestServerTeardownOnFailure:
+    """The ObsServer must release its port when the wrapped command
+    raises — whichever spelling (--serve PORT or serve <command>)
+    started it."""
+
+    @pytest.fixture()
+    def recording_server(self, monkeypatch):
+        import repro.cli as cli_module
+        from repro.obs.server import ObsServer
+
+        created = []
+
+        class RecordingServer(ObsServer):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(cli_module, "ObsServer", RecordingServer)
+        return created
+
+    def test_serve_flag_stops_server_on_dispatch_error(
+        self, monkeypatch, recording_server, capsys
+    ):
+        import repro.cli as cli_module
+
+        def exploding_dispatch(args):
+            raise RuntimeError("command blew up")
+
+        monkeypatch.setattr(cli_module, "_dispatch", exploding_dispatch)
+        with pytest.raises(RuntimeError, match="command blew up"):
+            main(["sweep", "--instructions", "2", "--length", "64",
+                  "--serve", "0"])
+        capsys.readouterr()
+        assert len(recording_server) == 1
+        assert not recording_server[0].running
+
+    def test_serve_wrapper_stops_server_on_dispatch_error(
+        self, monkeypatch, recording_server, capsys
+    ):
+        import repro.cli as cli_module
+
+        def exploding_dispatch(args):
+            raise RuntimeError("command blew up")
+
+        monkeypatch.setattr(cli_module, "_dispatch", exploding_dispatch)
+        with pytest.raises(RuntimeError, match="command blew up"):
+            main(["serve", "--port", "0", "fig4"])
+        capsys.readouterr()
+        assert len(recording_server) == 1
+        assert not recording_server[0].running
+
+    def test_serve_flag_stops_server_when_tracing_setup_fails(
+        self, monkeypatch, recording_server, capsys
+    ):
+        # A failure *between* server start and dispatch (the historical
+        # leak: enable_tracing ran outside the try/finally).
+        import repro.cli as cli_module
+
+        def exploding_tracing():
+            raise RuntimeError("tracing unavailable")
+
+        monkeypatch.setattr(
+            cli_module.obs_trace, "enable_tracing", exploding_tracing
+        )
+        with pytest.raises(RuntimeError, match="tracing unavailable"):
+            main(["sweep", "--instructions", "2", "--length", "64",
+                  "--serve", "0", "--trace"])
+        capsys.readouterr()
+        assert len(recording_server) == 1
+        assert not recording_server[0].running
+
+
+class TestServeRecoveryCommand:
+    def test_serve_recovery_runs_for_duration(self, capsys):
+        assert main([
+            "serve-recovery", "--port", "0", "--duration", "0.05",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "recovery service on http://127.0.0.1:" in err
+
+    def test_serve_recovery_answers_requests(self, capsys, monkeypatch):
+        import json
+        import threading
+        import urllib.request
+
+        import repro.cli as cli_module
+        from repro.ecc import canonical_secded_39_32
+
+        answered = {}
+
+        real_sleep = cli_module.time.sleep
+
+        def probing_sleep(seconds):
+            # Stand in for the serve loop: fire one request, then let
+            # the duration elapse normally.
+            if "status" not in answered:
+                banner = capsys.readouterr().err
+                port = int(banner.rsplit(":", 1)[1].split()[0])
+                code = canonical_secded_39_32()
+                due = code.encode(0xCAFE) ^ 0b101
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/recover",
+                    data=json.dumps({"received": due}).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=10) as resp:
+                    answered["status"] = resp.status
+                    answered["body"] = json.load(resp)
+            real_sleep(min(seconds, 0.01))
+
+        monkeypatch.setattr(cli_module.time, "sleep", probing_sleep)
+        assert main([
+            "serve-recovery", "--port", "0", "--duration", "0.2",
+        ]) == 0
+        assert answered["status"] == 200
+        assert answered["body"]["result"]["status"] == "recovered"
+
+    def test_serve_recovery_stops_service_on_error(self, monkeypatch, capsys):
+        import repro.cli as cli_module
+        from repro.service import RecoveryService
+
+        created = []
+        real_start = RecoveryService.start
+
+        def recording_start(self):
+            created.append(self)
+            return real_start(self)
+
+        monkeypatch.setattr(RecoveryService, "start", recording_start)
+
+        def exploding_sleep(seconds):
+            raise RuntimeError("the loop died")
+
+        monkeypatch.setattr(cli_module.time, "sleep", exploding_sleep)
+        with pytest.raises(RuntimeError, match="the loop died"):
+            main(["serve-recovery", "--port", "0", "--duration", "5"])
+        capsys.readouterr()
+        assert len(created) == 1
+        assert not created[0].running
+        assert not created[0].batcher.running
