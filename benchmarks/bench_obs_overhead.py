@@ -57,16 +57,19 @@ def _time_batch(engine, context, received) -> float:
     return time.perf_counter() - start
 
 
-def _null_engine(code):
+def _null_engine():
     """Build an engine whose cached metrics/events all discard.
 
-    Metric objects are resolved at construction, so the swap must
-    bracket ``SwdEcc.__init__``.
+    Metric objects are resolved at construction — including the
+    op-level energy counters the *code object itself* carries — so the
+    swap must bracket both the code construction and
+    ``SwdEcc.__init__``; reusing the fixture's code would smuggle live
+    counters into the baseline.
     """
     saved_registry = obs_metrics.set_registry(NULL_REGISTRY)
     saved_log = obs_events.set_event_log(NullEventLog())
     try:
-        return SwdEcc(code, rng=random.Random(0))
+        return SwdEcc(default_code(), rng=random.Random(0))
     finally:
         obs_metrics.set_registry(saved_registry)
         obs_events.set_event_log(saved_log)
@@ -83,7 +86,7 @@ def _measure_ratio(baseline, instrumented, context, received):
 def test_instrumented_recover_within_ten_percent(code):
     context, received = _workload(code)
     instrumented = SwdEcc(code, rng=random.Random(0))
-    baseline = _null_engine(code)
+    baseline = _null_engine()
 
     # Warm both paths (JIT-free, but primes caches and allocators).
     _time_batch(baseline, context, received)

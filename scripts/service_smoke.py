@@ -192,7 +192,7 @@ def check_overload_degrades(failures: list[str]) -> None:
         failures.append("degraded answer carried no retry_after_s hint")
     for name, payload in (("parked", parked_payload),
                           ("filler", filler_payload)):
-        if payload[0]["status"] != "recovered":
+        if payload["payloads"][0]["status"] != "recovered":
             failures.append(f"{name} job was dropped under overload")
 
     print("service smoke: overload degraded to detect-only with "

@@ -11,6 +11,7 @@ Usage (also ``python -m repro``)::
     repro properties               # Sec. IV-B code properties
     repro resilience [--trials 5] [--jobs 4] [--json]
     repro sweep [--benchmark mcf] [--strategy filter-and-rank] [--jobs 4]
+    repro pareto [--benchmark mcf] [--record BENCH_energy.json] [--json]
     repro synth mcf --length 1024 --out mcf.elf
     repro disasm mcf.elf [--limit 32]
     repro recover 0x8fbf0018 --bits 1,4 [--benchmark mcf] [--json]
@@ -157,6 +158,38 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON results")
 
+    pareto = subparsers.add_parser(
+        "pareto",
+        help="recovery-rate vs joules-per-recovery vs latency frontier "
+        "across codes and strategies",
+        parents=[obs_flags, jobs_flag],
+    )
+    pareto.add_argument("--benchmark", default="mcf")
+    pareto.add_argument("--instructions", type=int, default=25)
+    pareto.add_argument("--length", type=int, default=2048,
+                        help="synthetic image length in instructions")
+    pareto.add_argument("--seed", type=int, default=2016,
+                        help="benchmark synthesis seed (pins the image)")
+    pareto.add_argument(
+        "--codes", default=None, metavar="ID[,ID]",
+        help="comma-separated code ids to compare "
+        "(default: all SECDED-family codes)",
+    )
+    pareto.add_argument(
+        "--strategies", default=None, metavar="S[,S]",
+        help="comma-separated recovery strategies "
+        "(default: all three paper strategies)",
+    )
+    pareto.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON results")
+    pareto.add_argument("--csv", action="store_true",
+                        help="emit the points as CSV on stdout")
+    pareto.add_argument(
+        "--record", metavar="PATH", default=None,
+        help="append the measured points (with frontier membership) "
+        "to a JSON trajectory file, e.g. BENCH_energy.json",
+    )
+
     report = subparsers.add_parser(
         "report", help="regenerate every figure/table in one run",
         parents=[obs_flags],
@@ -249,6 +282,9 @@ def _build_parser() -> argparse.ArgumentParser:
     recovery.add_argument("--timeout-ms", type=float, default=2000.0,
                           metavar="MS",
                           help="default per-request wait before degrading")
+    recovery.add_argument("--cost", action="store_true",
+                          help="attach per-request op-count and joule "
+                          "attribution to /recover responses")
     recovery.add_argument("--preload", default=None, metavar="CTX[,CTX]",
                           help="contexts to build before serving, "
                           "e.g. mcf,bzip2")
@@ -377,6 +413,114 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_pareto(args: argparse.Namespace) -> int:
+    """``repro pareto`` = sweep codes x strategies, print the frontier."""
+    from datetime import datetime, timezone
+
+    from repro.analysis.pareto import (
+        PARETO_CODES,
+        append_energy_record,
+        pareto_front,
+        sweep_pareto,
+    )
+
+    if args.codes is not None:
+        unknown = [
+            name for name in args.codes.split(",")
+            if name and name not in PARETO_CODES
+        ]
+        if unknown:
+            print(
+                f"pareto: unknown code id(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(PARETO_CODES)}",
+                file=sys.stderr,
+            )
+            return 2
+        codes = {
+            name: PARETO_CODES[name]
+            for name in args.codes.split(",") if name
+        }
+    else:
+        codes = None
+    strategies = (
+        [RecoveryStrategy(s) for s in args.strategies.split(",") if s]
+        if args.strategies is not None else None
+    )
+
+    def announce(point) -> None:
+        print(
+            f"  measured {point.code} / {point.strategy}: "
+            f"rate={point.recovery_rate:.4f} "
+            f"J/recovery={point.joules_per_recovery:.3e}",
+            file=sys.stderr,
+        )
+
+    points = sweep_pareto(
+        codes=codes,
+        strategies=strategies,
+        benchmark=args.benchmark,
+        num_instructions=args.instructions,
+        length=args.length,
+        seed=args.seed,
+        jobs=args.jobs,
+        on_point=announce,
+    )
+    frontier = pareto_front(points)
+    frontier_keys = {(p.code, p.strategy) for p in frontier}
+    if args.record:
+        depth = append_energy_record(
+            args.record,
+            points,
+            datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            meta={
+                "benchmark": args.benchmark,
+                "instructions": args.instructions,
+                "length": args.length,
+                "seed": args.seed,
+                "jobs": args.jobs,
+            },
+        )
+        print(f"appended record #{depth} to {args.record}", file=sys.stderr)
+    if args.json:
+        print(obs_export.to_json({
+            "command": "pareto",
+            "benchmark": args.benchmark,
+            "instructions": args.instructions,
+            "points": [point.as_dict() for point in points],
+            "frontier": [point.as_dict() for point in frontier],
+        }))
+        return 0
+    rows = [
+        [
+            point.code,
+            point.strategy,
+            f"{point.recovery_rate:.4f}",
+            f"{point.joules_per_recovery:.3e}",
+            f"{point.seconds_per_recovery:.3e}",
+            "*" if (point.code, point.strategy) in frontier_keys else "",
+        ]
+        for point in sorted(
+            points, key=lambda p: (p.joules_per_recovery, p.code)
+        )
+    ]
+    if args.csv:
+        print("code,strategy,recovery_rate,joules_per_recovery,"
+              "seconds_per_recovery,on_frontier")
+        for row in rows:
+            print(",".join(
+                [*row[:5], "1" if row[5] else "0"]
+            ))
+        return 0
+    print(render_table(
+        ["code", "strategy", "recovery rate", "J/recovery",
+         "s/recovery", "frontier"],
+        rows,
+        title=f"Energy/recovery Pareto sweep ({args.benchmark}, "
+        f"{args.instructions} instructions)",
+    ))
+    return 0
+
+
 def _command_recover(args: argparse.Namespace) -> int:
     code = default_code()
     word = int(args.word, 0)
@@ -492,6 +636,7 @@ def _command_serve_recovery(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         overload_policy=args.policy,
         default_timeout_s=args.timeout_ms / 1000.0,
+        report_cost=args.cost,
     )
     try:
         service.start()
@@ -549,6 +694,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_resilience(args)
     elif command == "sweep":
         return _command_sweep(args)
+    elif command == "pareto":
+        return _command_pareto(args)
     elif command == "synth":
         image = synthesize_benchmark(args.benchmark, length=args.length,
                                      seed=args.seed)

@@ -195,6 +195,10 @@ class FilterChain(CandidateFilter):
         registry = obs_metrics.get_registry()
         self._m_hits = registry.counter("filter.cache_hits")
         self._m_misses = registry.counter("filter.cache_misses")
+        self._m_evals = registry.counter(
+            "ops.filter_evals",
+            help="Candidate messages evaluated by the filter chain",
+        )
 
     @property
     def filters(self) -> tuple[CandidateFilter, ...]:
@@ -204,6 +208,9 @@ class FilterChain(CandidateFilter):
     def apply(
         self, messages: Sequence[int], context: RecoveryContext
     ) -> tuple[int, ...]:
+        # One batched inc per apply(); the identity chain does no work.
+        if self._filters and messages:
+            self._m_evals.inc(len(messages))
         if not self._cacheable:
             current = tuple(messages)
             for candidate_filter in self._filters:

@@ -154,6 +154,20 @@ class SwdEcc:
         registry = obs_metrics.get_registry()
         self._event_log = obs_events.get_event_log()
         self._m_recoveries = registry.counter("swdecc.recoveries")
+        self._m_ranker_evals = registry.counter(
+            "ops.ranker_evals",
+            help="Candidate messages scored by the ranker",
+        )
+        # The vectorized sweep path enumerates by per-message XORs
+        # without going through the enumerator, so it charges the same
+        # op classes itself (keeps sweep energy comparable to recover).
+        self._m_ops_enum = registry.counter(
+            "ops.candidate_enumerations",
+            help="Candidate-codeword enumerations for DUEs",
+        )
+        self._m_ops_xor = registry.counter(
+            "ops.xor", help="Modeled GF(2) XOR word operations"
+        )
         self._m_fallbacks = registry.counter("swdecc.filter_fallbacks")
         self._m_escalations = registry.counter("swdecc.radius_escalations")
         self._m_ties = registry.counter("swdecc.tie_breaks")
@@ -256,6 +270,7 @@ class SwdEcc:
         latency_ns = time.perf_counter_ns() - start_ns
         num_valid = 0 if fell_back else len(valid_messages)
         self._m_recoveries.inc()
+        self._m_ranker_evals.inc(len(scores))
         if fell_back:
             self._m_fallbacks.inc()
             obs_logging.emit(
@@ -355,6 +370,7 @@ class SwdEcc:
         offsets = tuple(
             code.extract_message(error ^ mask) for mask in masks
         )
+        self._m_ops_xor.inc(len(masks))
         # Guard the linearity assumption (extract_message(a ^ b) ==
         # extract_message(a) ^ extract_message(b)) against exotic code
         # subclasses by checking the first word exhaustively.
@@ -372,6 +388,7 @@ class SwdEcc:
         stats: list[tuple[float, int, int]] = []
         fallbacks = 0
         tie_count = 0
+        scored_total = 0
         h_candidates = self._h_candidates
         h_valid = self._h_valid
         for message in messages:
@@ -385,6 +402,7 @@ class SwdEcc:
                 num_valid = 0
                 fallbacks += 1
             scores = score_many(pool, context)
+            scored_total += len(pool)
             best_score = max(scores)
             tied = [
                 m for m, score in zip(pool, scores) if score == best_score
@@ -401,6 +419,9 @@ class SwdEcc:
             h_valid.observe(num_valid)
             stats.append((probability, num_candidates, num_valid))
         self._m_recoveries.inc(len(messages))
+        self._m_ranker_evals.inc(scored_total)
+        self._m_ops_enum.inc(len(messages))
+        self._m_ops_xor.inc(len(messages) * len(offsets))
         if fallbacks:
             self._m_fallbacks.inc(fallbacks)
             obs_logging.emit(
@@ -458,6 +479,7 @@ class SwdEcc:
         if original_message not in valid_messages:
             return 0.0
         scores = [self._ranker.score(m, context) for m in valid_messages]
+        self._m_ranker_evals.inc(len(scores))
         best_score = max(scores)
         tied = [
             message

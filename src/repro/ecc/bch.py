@@ -176,6 +176,11 @@ class BCHCode(LinearBlockCode):
             for degree in degrees:
                 acc ^= field.alpha_power(j * degree)
             syndromes.append(acc)
+        # Each power sum costs one table lookup (AND-class) plus one
+        # XOR accumulate per set bit; charged batched, once per call.
+        ops = len(degrees) * 2 * self._t
+        self._m_xor.inc(ops)
+        self._m_and.inc(ops)
         del inner_n
         return syndromes
 
@@ -264,12 +269,18 @@ class BCHCode(LinearBlockCode):
             # Double-error hypothesis: roots of x^2 + S1 x + sigma2.
             sigma2 = field.div(s3 ^ field.pow(s1, 3), s1)
             positions = []
+            tried = 0
             for degree in range(inner_n):
+                tried += 1
                 x1 = field.alpha_power(degree)
                 if field.mul(x1, x1) ^ field.mul(s1, x1) ^ sigma2 == 0:
                     positions.append(inner_n - 1 - degree)
                     if len(positions) == 2:
                         break
+            # Chien-style root search: ~2 field multiplies (AND-class)
+            # and 2 XORs per trial degree, charged batched.
+            self._m_and.inc(2 * tried)
+            self._m_xor.inc(2 * tried)
             if len(positions) == 2:
                 return tuple(positions)
             return None

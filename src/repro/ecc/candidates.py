@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
+from math import comb
 
 from repro.bits import bit_mask, popcount
 from repro.ecc.code import DecodeStatus, LinearBlockCode
@@ -69,6 +70,13 @@ class CandidateEnumerator:
         registry = obs_metrics.get_registry()
         self._m_hits = registry.counter("candidates.cache_hits")
         self._m_misses = registry.counter("candidates.cache_misses")
+        self._m_enumerations = registry.counter(
+            "ops.candidate_enumerations",
+            help="Candidate-codeword enumerations for DUEs",
+        )
+        self._m_xor = registry.counter(
+            "ops.xor", help="Modeled GF(2) XOR word operations"
+        )
 
     @property
     def code(self) -> LinearBlockCode:
@@ -89,6 +97,7 @@ class CandidateEnumerator:
             self._m_hits.inc()
             return masks
         self._m_misses.inc()
+        self._m_xor.inc(self._n)  # the fresh n-column walk below
         top_bit = 1 << (self._n - 1)
         found = []
         for position, column in enumerate(self._column_syndromes):
@@ -129,9 +138,10 @@ class CandidateEnumerator:
         Returns candidates in increasing numeric order.
         """
         syndrome = self._check_due(received)
-        return tuple(sorted(
-            received ^ mask for mask in self.pair_masks(syndrome)
-        ))
+        masks = self.pair_masks(syndrome)
+        self._m_enumerations.inc()
+        self._m_xor.inc(len(masks))
+        return tuple(sorted(received ^ mask for mask in masks))
 
     def candidate_messages(self, received: int) -> tuple[int, ...]:
         """Return the k-bit messages of :meth:`candidates`, same order."""
@@ -166,10 +176,18 @@ class CandidateEnumerator:
         offsets = self._radius_offsets.get(key)
         if offsets is not None:
             self._m_hits.inc()
+            self._m_enumerations.inc()
+            self._m_xor.inc(len(offsets))
             return tuple(sorted(received ^ offset for offset in offsets))
         self._m_misses.inc()
         t = self._code.correctable_bits()
         extra_flips = max(radius - t, 0)
+        self._m_enumerations.inc()
+        # Trial-flip XOR work below (the trial decodes count their own
+        # syndrome ops via code.decode).
+        self._m_xor.inc(
+            sum(comb(n, w) * w for w in range(extra_flips + 1))
+        )
         top_bit = 1 << (n - 1)
         found: set[int] = set()
         for flip_count in range(extra_flips + 1):

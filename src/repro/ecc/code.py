@@ -24,6 +24,7 @@ from itertools import combinations
 from repro.bits import bit_mask, popcount
 from repro.ecc.gf2 import GF2Matrix, identity
 from repro.errors import CodeConstructionError, DecodingError, EncodingError
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "DecodeStatus",
@@ -150,6 +151,20 @@ class LinearBlockCode:
         # "correct" a bit they cannot actually locate.
         for column in ambiguous:
             del self._syndrome_to_position[column]
+        # Op-level work counters (energy accounting): costs are charged
+        # by closed-form formulas here rather than inside the gf2 bit
+        # loops, so the hot path pays a few batched inc() calls per
+        # decode instead of one per matrix row.
+        registry = obs_metrics.get_registry()
+        self._m_syndromes = registry.counter(
+            "ops.syndrome_computes", help="Syndrome computations (H @ r)"
+        )
+        self._m_xor = registry.counter(
+            "ops.xor", help="Modeled GF(2) XOR word operations"
+        )
+        self._m_and = registry.counter(
+            "ops.and", help="Modeled GF(2) AND word operations"
+        )
 
     # ------------------------------------------------------------------
     # Basic parameters
@@ -209,6 +224,7 @@ class LinearBlockCode:
             raise EncodingError(
                 f"message 0x{message:x} does not fit in {self._k} bits"
             )
+        self._m_xor.inc(self._k)
         return self._generator.left_mul_vector(message)
 
     def syndrome(self, received: int) -> int:
@@ -217,6 +233,11 @@ class LinearBlockCode:
             raise DecodingError(
                 f"received word 0x{received:x} does not fit in {self._n} bits"
             )
+        # One AND + one parity-XOR per H row (see GF2Matrix.mul_vector);
+        # those row ops are folded into the syndrome-compute energy
+        # constant rather than charged as separate incs — syndrome() is
+        # the hottest instrumented call and stays at one inc.
+        self._m_syndromes.inc()
         return self._parity_check.mul_vector(received)
 
     def is_codeword(self, word: int) -> bool:
@@ -249,6 +270,7 @@ class LinearBlockCode:
                 message=None,
                 syndrome=syndrome,
             )
+        self._m_xor.inc()
         codeword = received ^ (1 << (self._n - 1 - position))
         return DecodeResult(
             status=DecodeStatus.CORRECTED,

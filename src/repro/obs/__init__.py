@@ -18,6 +18,10 @@ runs.  This package provides that layer with zero dependencies:
 - :mod:`repro.obs.export` — text tables (via
   :func:`repro.analysis.heatmap.render_table`) and a JSON encoder for
   all of the above.
+- :mod:`repro.obs.energy` — energy & cost accounting: a pluggable
+  per-op joule model that turns the ``ops.*`` counters into
+  ``energy.joules_per_recovery``, ``cost.dollars_per_million_requests``
+  and ``carbon.grams_co2_total`` at snapshot time.
 - :mod:`repro.obs.promtext` — OpenMetrics / Prometheus text exposition
   of a registry snapshot (what ``GET /metrics`` serves).
 - :mod:`repro.obs.server` — :class:`ObsServer`, a stdlib HTTP endpoint
@@ -58,6 +62,11 @@ from repro.obs.trace import (
     span,
     tracing_enabled,
 )
+from repro.obs.energy import (
+    EnergyModel,
+    get_energy_model,
+    set_energy_model,
+)
 from repro.obs.progress import SweepProgress
 from repro.obs.server import ObsServer
 
@@ -85,6 +94,10 @@ __all__ = [
     "EventLog",
     "get_event_log",
     "set_event_log",
+    # energy
+    "EnergyModel",
+    "get_energy_model",
+    "set_energy_model",
     # serving & progress
     "ObsServer",
     "SweepProgress",

@@ -7,7 +7,8 @@ on a daemon thread so a long sweep can be watched *while it runs*:
   snapshot collectors run on every scrape, so derived gauges are fresh.
 - ``GET /metrics.json`` — the same snapshot as JSON.
 - ``GET /events?limit=N`` — the newest *N* retained DUE events as
-  JSON lines (default: all retained).
+  JSON lines (default: all retained).  ``limit`` must be a positive
+  integer; anything else is a 400 with a JSON error body.
 - ``GET /spans`` — per-stage latency summary when tracing is enabled.
 - ``GET /healthz`` — liveness probe.
 
@@ -90,10 +91,14 @@ def _endpoint_events(obs: "ObsServer", query) -> tuple[int, str, str]:
         try:
             limit = int(raw_limit)
         except ValueError:
-            return 400, "text/plain; charset=utf-8", \
-                f"bad limit: {raw_limit!r}\n"
-        if limit >= 0:
-            events = events[len(events) - min(limit, len(events)):]
+            limit = 0  # non-numeric: rejected below alongside <= 0
+        if limit < 1:
+            body = json.dumps({
+                "error": f"bad limit: {raw_limit!r} "
+                "(must be a positive integer)"
+            })
+            return 400, "application/json", body + "\n"
+        events = events[len(events) - min(limit, len(events)):]
     lines = [json.dumps(e.to_dict(), sort_keys=True) for e in events]
     return 200, "application/x-ndjson", "\n".join(lines) + ("\n" if lines else "")
 

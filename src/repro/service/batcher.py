@@ -39,8 +39,10 @@ from repro.service.api import RecoveryRequest
 
 __all__ = ["RecoveryBatcher"]
 
-#: Executor contract: one result list per request, in request order.
-BatchExecutor = Callable[[Sequence[RecoveryRequest]], "list[list[dict]]"]
+#: Executor contract: one result object per request, in request order.
+#: The batcher passes results through opaquely (the service returns
+#: ``{"payloads": [...], "cost": ...}`` outcome dicts).
+BatchExecutor = Callable[[Sequence[RecoveryRequest]], "list[dict]"]
 
 #: Starting estimate of seconds of engine work per word, before any
 #: batch has been measured (a memoized recover() is tens of µs).
@@ -70,8 +72,9 @@ class RecoveryBatcher:
     ----------
     execute:
         Called from the worker thread with the gathered requests; must
-        return one per-word result list per request, in order.  An
-        exception fails every request in the batch.
+        return one result object per request, in order (the batcher
+        never looks inside).  An exception fails every request in the
+        batch.
     max_batch:
         Word-count low-water mark that closes a batch early.
     linger_s:
@@ -82,8 +85,8 @@ class RecoveryBatcher:
     registry:
         Metrics registry (default: the process registry).  Exposes
         ``service.queue_depth``, ``service.batch_words``,
-        ``service.batch_seconds``, ``service.batches``, and
-        ``service.overloads``.
+        ``service.batch_seconds``, ``service.batch_linger_seconds``,
+        ``service.batches``, and ``service.overloads``.
     """
 
     def __init__(
@@ -125,6 +128,11 @@ class RecoveryBatcher:
         self._h_batch_seconds = registry.histogram(
             "service.batch_seconds",
             help="Executor wall time per batch",
+        )
+        self._h_batch_linger = registry.histogram(
+            "service.batch_linger_seconds",
+            help="Queue wait per executed batch: execute start minus "
+            "the earliest member's enqueue time",
         )
         self._c_batches = registry.counter(
             "service.batches", help="Micro-batches executed"
@@ -213,8 +221,9 @@ class RecoveryBatcher:
     # Producer side
     # ------------------------------------------------------------------
 
-    def submit(self, request: RecoveryRequest) -> "Future[list[dict]]":
-        """Enqueue *request*; its future resolves to per-word payloads.
+    def submit(self, request: RecoveryRequest) -> "Future[dict]":
+        """Enqueue *request*; its future resolves to the executor's
+        per-request result object.
 
         Raises :class:`ServiceOverloadError` (with ``retry_after``)
         when accepting the request would exceed the queue limit, and
@@ -291,6 +300,13 @@ class RecoveryBatcher:
         self._c_batches.inc()
         if not live:
             return
+        self._h_batch_linger.observe(
+            max(
+                time.monotonic()
+                - min(job.enqueued_at for job in live),
+                0.0,
+            )
+        )
         started = time.perf_counter()
         try:
             results = self._execute([job.request for job in live])

@@ -41,6 +41,7 @@ from threading import Thread
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ReproError, ServiceError, ServiceOverloadError
+from repro.obs import energy as obs_energy
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import server as obs_server
@@ -168,6 +169,12 @@ class RecoveryService:
     default_timeout_s:
         How long a request waits for its batch before degrading, when
         the request does not carry its own ``timeout_ms``.
+    report_cost:
+        Attach a per-request ``cost`` block (op-count deltas, modeled
+        joules) to successful ``/recover`` payloads.  Off by default:
+        the block reveals how much work each word cost, which callers
+        do not usually need.  Batch-level ``service.batch_ops`` /
+        ``service.batch_joules`` histograms are recorded regardless.
     registry / event_log:
         Observability overrides (tests use private ones).
     """
@@ -182,6 +189,7 @@ class RecoveryService:
         queue_limit: int = 4096,
         overload_policy: str = "degrade",
         default_timeout_s: float = 2.0,
+        report_cost: bool = False,
         registry: obs_metrics.MetricsRegistry | None = None,
         event_log: obs_events.EventLog | None = None,
     ) -> None:
@@ -199,6 +207,7 @@ class RecoveryService:
         self._requested_port = port
         self._overload_policy = overload_policy
         self._default_timeout_s = default_timeout_s
+        self._report_cost = report_cost
         self._registry = registry
         self._event_log = event_log
         self._httpd: ThreadingHTTPServer | None = None
@@ -236,6 +245,16 @@ class RecoveryService:
         self._h_request_seconds = resolved.histogram(
             "service.request_seconds",
             help="End-to-end request latency (parse to response body)",
+        )
+        self._h_batch_ops = resolved.histogram(
+            "service.batch_ops",
+            buckets=(64, 256, 1024, 4096, 16384, 65536),
+            help="Decode op-counter delta per executed micro-batch",
+        )
+        self._h_batch_joules = resolved.histogram(
+            "service.batch_joules",
+            buckets=(1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3),
+            help="Modeled energy per executed micro-batch",
         )
 
     # ------------------------------------------------------------------
@@ -359,7 +378,7 @@ class RecoveryService:
             else self._default_timeout_s
         )
         try:
-            results = future.result(timeout=timeout)
+            outcome = future.result(timeout=timeout)
         except FutureTimeoutError:
             future.cancel()  # shed the work if the batch hasn't claimed it
             self._c_timeouts.inc()
@@ -367,18 +386,21 @@ class RecoveryService:
             payload = self._degraded_payload(request, "timeout", batch)
             self._h_request_seconds.observe(time.perf_counter() - started)
             return 200, payload, {}
-        payload = self._success_payload(request, results, batch)
+        payload = self._success_payload(request, outcome, batch)
         self._h_request_seconds.observe(time.perf_counter() - started)
         return 200, payload, {}
 
     def _success_payload(
-        self, request: api.RecoveryRequest, results: list[dict], batch: bool
+        self, request: api.RecoveryRequest, outcome: dict, batch: bool
     ) -> dict:
+        results = outcome["payloads"]
         base = {
             "code": request.code_id,
             "context": request.context_id,
             "degraded": False,
         }
+        if outcome.get("cost") is not None:
+            base["cost"] = outcome["cost"]
         if batch:
             return {**base, "words": len(results), "results": results}
         return {**base, "result": results[0]}
@@ -445,26 +467,38 @@ class RecoveryService:
 
     def _execute_batch(
         self, requests: list[api.RecoveryRequest]
-    ) -> list[list[dict]]:
+    ) -> list[dict]:
         """Run one micro-batch; the only caller of the engines.
 
         Requests are grouped by (code, context) so each group drains
         back-to-back through one engine — preserving the context-cache
         generation across the group — while results return in request
-        order.  Per-word errors (not a DUE, no candidates) are captured
-        per word; they never fail a neighbouring request.
+        order as ``{"payloads": [...], "cost": ...}`` outcome objects.
+        Per-word errors (not a DUE, no candidates) are captured per
+        word; they never fail a neighbouring request.
+
+        Cost attribution reads op-counter deltas between
+        :func:`repro.obs.energy.op_counts` snapshots.  The batcher's
+        worker thread is the single consumer of the engines — and of
+        the ``ops.*`` counters they bump — so the deltas are race-free.
         """
         groups: dict[tuple[str, str], list[int]] = {}
         for index, request in enumerate(requests):
             key = (request.code_id, request.context_id)
             groups.setdefault(key, []).append(index)
-        results: list[list[dict] | None] = [None] * len(requests)
+        outcomes: list[dict | None] = [None] * len(requests)
         recovered = 0
         failed = 0
+        model = obs_energy.get_energy_model()
+        batch_before = obs_energy.op_counts(model=model)
         for (code_id, context_id), indexes in groups.items():
             engine, context = self._catalog.resolve(code_id, context_id)
             for index in indexes:
                 request = requests[index]
+                before = (
+                    obs_energy.op_counts(model=model)
+                    if self._report_cost else None
+                )
                 payloads = []
                 for word in request.words:
                     try:
@@ -475,9 +509,30 @@ class RecoveryService:
                     else:
                         recovered += 1
                         payloads.append(api.result_payload(word, result))
-                results[index] = payloads
+                cost = None
+                if before is not None:
+                    after = obs_energy.op_counts(model=model)
+                    deltas = {
+                        name: after[name] - before[name]
+                        for name in after
+                        if after[name] != before[name]
+                    }
+                    joules = model.joules(deltas)
+                    cost = {
+                        "ops": deltas,
+                        "joules": joules,
+                        "joules_per_word": joules / len(request.words),
+                    }
+                outcomes[index] = {"payloads": payloads, "cost": cost}
+        batch_after = obs_energy.op_counts(model=model)
+        batch_deltas = {
+            name: batch_after[name] - batch_before[name]
+            for name in batch_after
+        }
+        self._h_batch_ops.observe(sum(batch_deltas.values()))
+        self._h_batch_joules.observe(model.joules(batch_deltas))
         if recovered:
             self._c_recoveries.inc(recovered)
         if failed:
             self._c_word_errors.inc(failed)
-        return [result for result in results if result is not None]
+        return [outcome for outcome in outcomes if outcome is not None]

@@ -1,0 +1,197 @@
+"""Energy/cost accounting: the model, derived gauges, and exposition.
+
+The op counters themselves are advanced by the ecc/core hot paths (see
+``tests/core/test_ops_additivity.py``); here we pin down the layer
+above: :class:`~repro.obs.energy.EnergyModel` arithmetic and
+validation, the snapshot-time collector that derives
+``energy.joules_per_recovery`` and friends, and the strict promtext
+round-trip of those derived families.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.swdecc import SwdEcc
+from repro.ecc import canonical_secded_39_32
+from repro.errors import ObservabilityError
+from repro.obs import energy as obs_energy
+from repro.obs import metrics as obs_metrics
+from repro.obs import promtext
+from repro.obs.energy import (
+    DEFAULT_JOULES_PER_OP,
+    ENV_CARBON,
+    ENV_DOLLARS,
+    EnergyModel,
+    get_energy_model,
+    op_counts,
+    set_energy_model,
+)
+
+
+@pytest.fixture()
+def fresh_registry():
+    """Swap in an empty process registry for the duration of a test.
+
+    The energy collector reads and writes the *current* process
+    registry at snapshot time, so a swapped registry fully isolates
+    these tests from counters accumulated by the rest of the suite.
+    """
+    registry = obs_metrics.MetricsRegistry()
+    previous = obs_metrics.set_registry(registry)
+    try:
+        yield registry
+    finally:
+        obs_metrics.set_registry(previous)
+
+
+class TestEnergyModel:
+    def test_default_constants_are_positive(self):
+        model = EnergyModel()
+        assert model.joules_per_op == DEFAULT_JOULES_PER_OP
+        assert all(j > 0 for j in model.joules_per_op.values())
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ObservabilityError):
+            EnergyModel(joules_per_op={"ops.xor": -1.0})
+
+    def test_negative_carbon_and_dollars_rejected(self):
+        with pytest.raises(ObservabilityError):
+            EnergyModel(carbon_intensity_g_per_kwh=-1.0)
+        with pytest.raises(ObservabilityError):
+            EnergyModel(dollars_per_kwh=-0.01)
+
+    def test_joules_is_dot_product(self):
+        model = EnergyModel()
+        counts = {"ops.xor": 1000, "ops.syndrome_computes": 10}
+        expected = (
+            1000 * model.joules_per_op["ops.xor"]
+            + 10 * model.joules_per_op["ops.syndrome_computes"]
+        )
+        assert model.joules(counts) == pytest.approx(expected)
+
+    def test_joules_ignores_unknown_ops(self):
+        assert EnergyModel().joules({"ops.nonexistent": 1e9}) == 0.0
+
+    def test_dollars_and_carbon_scale_from_kwh(self):
+        model = EnergyModel(
+            carbon_intensity_g_per_kwh=500.0, dollars_per_kwh=0.10
+        )
+        joules = 3.6e6  # exactly one kWh
+        assert model.dollars(joules) == pytest.approx(0.10)
+        assert model.grams_co2(joules) == pytest.approx(500.0)
+
+    def test_from_env_overrides(self):
+        model = EnergyModel.from_env(
+            {ENV_CARBON: "250", ENV_DOLLARS: "0.30"}
+        )
+        assert model.carbon_intensity_g_per_kwh == 250.0
+        assert model.dollars_per_kwh == 0.30
+
+    def test_from_env_rejects_garbage(self):
+        with pytest.raises(ObservabilityError):
+            EnergyModel.from_env({ENV_CARBON: "cheap"})
+
+    def test_describe_mentions_every_constant(self):
+        text = EnergyModel().describe()
+        assert "carbon_g_per_kwh=" in text
+        assert "dollars_per_kwh=" in text
+        for name in DEFAULT_JOULES_PER_OP:
+            assert name in text
+
+    def test_set_energy_model_swaps_and_returns_previous(self):
+        replacement = EnergyModel(dollars_per_kwh=1.0)
+        previous = set_energy_model(replacement)
+        try:
+            assert get_energy_model() is replacement
+        finally:
+            set_energy_model(previous)
+        assert get_energy_model() is previous
+
+
+class TestOpCounts:
+    def test_missing_counters_read_zero(self, fresh_registry):
+        counts = op_counts(fresh_registry)
+        assert set(counts) == set(DEFAULT_JOULES_PER_OP)
+        assert all(value == 0 for value in counts.values())
+
+    def test_reads_live_counters(self, fresh_registry):
+        fresh_registry.counter("ops.xor").inc(42)
+        assert op_counts(fresh_registry)["ops.xor"] == 42
+
+
+class TestDerivedMetrics:
+    def _recover_once(self):
+        """Drive one real recovery so every op class advances."""
+        code = canonical_secded_39_32()
+        engine = SwdEcc(code, rng=random.Random(0))
+        due = code.encode(0x8FBF0018) ^ 0b101
+        engine.recover(due)
+
+    def test_collector_derives_energy_and_cost(self, fresh_registry):
+        self._recover_once()
+        snapshot = fresh_registry.as_dict()  # runs collectors
+        model = get_energy_model()
+        joules = model.joules(op_counts(fresh_registry))
+        assert joules > 0
+        assert snapshot["energy.joules_total"]["value"] == pytest.approx(
+            joules
+        )
+        recoveries = fresh_registry.counter("swdecc.recoveries").value
+        assert recoveries == 1
+        assert snapshot["energy.joules_per_recovery"][
+            "value"
+        ] == pytest.approx(joules / recoveries)
+        assert snapshot["cost.dollars_per_million_requests"][
+            "value"
+        ] == pytest.approx(model.dollars(joules / recoveries) * 1e6)
+        assert snapshot["carbon.grams_co2_total"][
+            "value"
+        ] == pytest.approx(model.grams_co2(joules))
+        assert snapshot["energy.model"]["value"] == model.describe()
+
+    def test_zero_recoveries_reads_zero_not_nan(self, fresh_registry):
+        snapshot = fresh_registry.as_dict()
+        assert snapshot["energy.joules_per_recovery"]["value"] == 0.0
+        assert snapshot["cost.dollars_per_million_requests"]["value"] == 0.0
+
+    def test_promtext_round_trip(self, fresh_registry):
+        self._recover_once()
+        families = promtext.parse_exposition(promtext.render())
+        model = get_energy_model()
+        joules = model.joules(op_counts(fresh_registry))
+        per_recovery = (
+            joules / fresh_registry.counter("swdecc.recoveries").value
+        )
+        assert families["energy_joules_total"].sample_value() == (
+            pytest.approx(joules)
+        )
+        assert families["energy_joules_per_recovery"].sample_value() == (
+            pytest.approx(per_recovery)
+        )
+        assert families[
+            "cost_dollars_per_million_requests"
+        ].sample_value() == pytest.approx(model.dollars(per_recovery) * 1e6)
+        assert families["carbon_grams_co2_total"].sample_value() == (
+            pytest.approx(model.grams_co2(joules))
+        )
+        # The model config rides along as a labeled info metric.
+        info = families["energy_model_info"]
+        ((_, labels, value),) = info.samples
+        assert value == 1.0
+        assert labels["value"] == model.describe()
+
+    def test_custom_model_changes_derived_cost(self, fresh_registry):
+        self._recover_once()
+        pricey = EnergyModel(dollars_per_kwh=1.20)
+        previous = set_energy_model(pricey)
+        try:
+            snapshot = fresh_registry.as_dict()
+            joules = pricey.joules(op_counts(fresh_registry))
+            assert snapshot["cost.dollars_per_million_requests"][
+                "value"
+            ] == pytest.approx(pricey.dollars(joules) * 1e6)
+        finally:
+            set_energy_model(previous)

@@ -77,11 +77,15 @@ class TestEndpoints:
         lines = [json.loads(line) for line in body.splitlines()]
         assert [entry["received"] for entry in lines] == [2, 3]
 
-    def test_events_bad_limit_is_400(self, served):
+    @pytest.mark.parametrize("raw", ["soon", "0", "-3", "1.5"])
+    def test_events_bad_limit_is_400_json(self, served, raw):
         server, _, _ = served
-        status, _, body = _get(server, "/events?limit=soon")
+        status, content_type, body = _get(server, f"/events?limit={raw}")
         assert status == 400
-        assert "bad limit" in body
+        assert content_type == "application/json"
+        error = json.loads(body)
+        assert "bad limit" in error["error"]
+        assert "positive integer" in error["error"]
 
     def test_spans_reports_tracing_disabled(self, served):
         server, _, _ = served

@@ -125,7 +125,9 @@ def test_batched_identical_to_serial(spec, live_service, reference):
     futures = [
         live_service.batcher.submit(request) for request in requests
     ]
-    service_payloads = [future.result(timeout=30.0) for future in futures]
+    service_payloads = [
+        future.result(timeout=30.0)["payloads"] for future in futures
+    ]
 
     # Reference side: strictly serial, request order, fresh state.
     for request, payloads in zip(requests, service_payloads):

@@ -231,8 +231,8 @@ class TestDegradation:
         assert body["result"]["received"] == due_word
         assert body["retry_after_s"] > 0
         # The parked jobs still recovered once the gate lifted.
-        assert parked_result[0]["status"] == "recovered"
-        assert filler_result[0]["status"] == "recovered"
+        assert parked_result["payloads"][0]["status"] == "recovered"
+        assert filler_result["payloads"][0]["status"] == "recovered"
         assert svc.registry.get("service.degraded").value == 1.0
 
     def test_overload_reject_policy_returns_429(self, due_word):
