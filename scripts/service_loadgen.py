@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Closed-loop load generator for the DUE-recovery service.
+"""Load generator for the DUE-recovery service (closed or open loop).
 
 Either drives an already-running service::
 
@@ -10,12 +10,22 @@ or self-hosts one for the duration (the default when ``--port`` is
 omitted), so a one-liner produces a full throughput/latency report::
 
     PYTHONPATH=src python scripts/service_loadgen.py --clients 4
+    PYTHONPATH=src python scripts/service_loadgen.py --workers 2 \
+        --mode open --rate 500
 
-Each client thread issues ``POST /recover/batch`` requests back-to-back
-(closed loop) over a kept-alive connection.  The run reports words/s
-and p50/p90/p99 request latency, and appends the record to
-``BENCH_service.json`` at the repo root (disable with ``--no-history``)
-so regressions stay visible in history.
+Closed loop (default): each client thread issues ``POST
+/recover/batch`` back-to-back over a kept-alive connection, so the
+offered load adapts to the service.  Open loop (``--mode open --rate
+R``): requests fire on a fixed global schedule of R requests/s and
+latency is accounted from each request's *scheduled* arrival time, so
+queueing delay shows up in the tail instead of silently throttling
+the generator.
+
+The run reports words/s and p50/p90/p99 request latency, and appends
+the record — including the serving process's ``workers`` count and
+the load ``mode`` — to ``BENCH_service.json`` at the repo root
+(disable with ``--no-history``) so regressions stay visible in
+history.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import urllib.request
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -30,6 +41,17 @@ from repro.service import RecoveryService
 from repro.service.loadgen import generate_due_words, run_load
 
 HISTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _probe_workers(host: str, port: int) -> int | None:
+    """The target service's shard count, from its ``/healthz``."""
+    try:
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/healthz", timeout=5.0
+        ) as response:
+            return json.loads(response.read()).get("workers")
+    except Exception:
+        return None
 
 
 def _append_history(record: dict) -> None:
@@ -65,9 +87,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="service micro-batch size (self-host only)")
     parser.add_argument("--linger-ms", type=float, default=1.0,
                         help="service batch linger (self-host only)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="shard processes for the self-hosted "
+                        "service (0 = in-process)")
+    parser.add_argument("--mode", choices=["closed", "open"],
+                        default="closed",
+                        help="closed loop (response-paced) or open loop "
+                        "(fixed offered rate)")
+    parser.add_argument("--rate", type=float, default=None, metavar="RPS",
+                        help="offered requests/s (open-loop mode only)")
     parser.add_argument("--no-history", action="store_true",
                         help=f"do not append to {HISTORY_PATH.name}")
     args = parser.parse_args(argv)
+    if args.mode == "open" and (args.rate is None or args.rate <= 0):
+        parser.error("--mode open requires a positive --rate")
 
     words = generate_due_words()
     service = None
@@ -78,12 +111,19 @@ def main(argv: list[str] | None = None) -> int:
                 port=0,
                 max_batch=args.max_batch,
                 linger_s=args.linger_ms / 1000.0,
-            ).start()
+                workers=args.workers,
+            )
+            # Preload before start so sharded workers fork warm.
             service.catalog.preload([args.context]
                                     if args.context != "none" else [])
+            service.start()
             host, port = "127.0.0.1", service.port
-            print(f"self-hosting recovery service on {service.url}",
-                  file=sys.stderr)
+            print(f"self-hosting recovery service on {service.url} "
+                  f"(workers={args.workers})", file=sys.stderr)
+        workers = (
+            args.workers if service is not None
+            else _probe_workers(host, port)
+        )
         result = run_load(
             host, port,
             clients=args.clients,
@@ -91,6 +131,8 @@ def main(argv: list[str] | None = None) -> int:
             words_per_request=args.batch,
             context=args.context,
             words=words,
+            mode=args.mode,
+            rate_rps=args.rate,
         )
     finally:
         if service is not None:
@@ -102,6 +144,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "tool": "service_loadgen",
         "self_hosted": service is not None,
+        "workers": workers,
         "context": args.context,
         "words_per_request": args.batch,
         **result.to_record(),

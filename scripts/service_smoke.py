@@ -13,7 +13,12 @@ and asserts, exiting nonzero on any violation:
   ``service_*`` families with counts consistent with the load;
 - the overload path verifiably degrades: with a gated executor and a
   one-word queue, an extra request answers ``detect-only`` with
-  ``reason: overload`` (and the parked work still completes).
+  ``reason: overload`` (and the parked work still completes);
+- the multi-process path survives a worker kill: with ``workers=2``,
+  SIGKILLing a shard's process mid-serving loses and duplicates
+  nothing (the parent's strict-parsed ``service_recoveries_total``
+  equals exactly the words sent), the shard respawns, and the
+  per-shard gauges are present on ``/metrics``.
 
 Run from the repository root:
 ``PYTHONPATH=src python scripts/service_smoke.py``.
@@ -154,7 +159,7 @@ def check_overload_degrades(failures: list[str]) -> None:
         queue_limit=1,
         overload_policy="degrade",
     )
-    real_execute = service._execute_batch
+    real_execute = service._engine.execute
 
     def gated_execute(requests):
         gate.wait(15.0)
@@ -192,17 +197,107 @@ def check_overload_degrades(failures: list[str]) -> None:
         failures.append("degraded answer carried no retry_after_s hint")
     for name, payload in (("parked", parked_payload),
                           ("filler", filler_payload)):
-        if payload["payloads"][0]["status"] != "recovered":
+        status = json.loads(payload["fragments"][0])["status"]
+        if status != "recovered":
             failures.append(f"{name} job was dropped under overload")
 
     print("service smoke: overload degraded to detect-only with "
           f"retry_after_s={shed.get('retry_after_s')}")
 
 
+def check_worker_kill_respawn(failures: list[str]) -> None:
+    """SIGKILL a shard worker mid-serving; nothing lost or doubled."""
+    import os
+    import signal
+
+    words = generate_due_words()
+    registry = MetricsRegistry()
+    service = RecoveryService(
+        port=0, workers=2, registry=registry, event_log=EventLog()
+    )
+    service.catalog.preload([CONTEXT])
+    sent = 0
+    with service:
+        first = run_load(
+            "127.0.0.1", service.port,
+            clients=CLIENTS, requests_per_client=REQUESTS,
+            words_per_request=WORDS_PER_REQUEST,
+            context=CONTEXT, words=words,
+        )
+        sent += first.words
+        pool = service.shard_pool
+        victim_index = pool.route("secded-39-32", CONTEXT)
+        victim_pid = pool.worker_pids()[victim_index]
+        os.kill(victim_pid, signal.SIGKILL)
+        second = run_load(
+            "127.0.0.1", service.port,
+            clients=CLIENTS, requests_per_client=REQUESTS,
+            words_per_request=WORDS_PER_REQUEST,
+            context=CONTEXT, words=words,
+        )
+        sent += second.words
+        respawned_pid = pool.worker_pids()[victim_index]
+        states = pool.states()
+        with urllib.request.urlopen(
+            service.url + "/metrics", timeout=15
+        ) as response:
+            families = promtext.parse_exposition(
+                response.read().decode("utf-8")
+            )
+
+    for name, result in (("pre-kill", first), ("post-kill", second)):
+        if result.http_errors:
+            failures.append(
+                f"{name} load saw {result.http_errors} HTTP errors"
+            )
+        if result.recovered != result.words:
+            failures.append(
+                f"{name} load recovered {result.recovered}/"
+                f"{result.words} words"
+            )
+    if respawned_pid in (None, victim_pid):
+        failures.append(
+            f"shard {victim_index} was not respawned "
+            f"(pid {victim_pid} -> {respawned_pid})"
+        )
+    if states.get(victim_index) != "ok":
+        failures.append(
+            f"shard {victim_index} state is {states.get(victim_index)!r} "
+            f"after respawn"
+        )
+
+    # Exactly-once accounting across the kill: the parent's merged
+    # counter equals the words sent — none lost, none double-counted.
+    recoveries = families.get("service_recoveries")
+    total = recoveries.sample_value("_total") if recoveries else None
+    if total != sent:
+        failures.append(
+            f"service_recoveries_total {total} != {sent} words sent "
+            f"across the worker kill"
+        )
+    respawns = families.get("service_shard_respawns")
+    if respawns is None or respawns.sample_value("_total") < 1:
+        failures.append("/metrics did not record the shard respawn")
+    for family in ("service_shard_0_up", "service_shard_1_up",
+                   "service_shard_0_queue_depth",
+                   "service_shard_1_queue_depth",
+                   "service_shard_0_batch_words"):
+        if family not in families:
+            failures.append(f"/metrics is missing per-shard {family}")
+
+    print(
+        f"service smoke: worker kill survived "
+        f"(pid {victim_pid} -> {respawned_pid}, "
+        f"{sent} words exactly-once, "
+        f"{len(families)} metric families strict-parsed)"
+    )
+
+
 def main() -> int:
     failures: list[str] = []
     check_load_and_metrics(failures)
     check_overload_degrades(failures)
+    check_worker_kill_respawn(failures)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:

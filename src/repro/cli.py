@@ -275,6 +275,9 @@ def _build_parser() -> argparse.ArgumentParser:
     recovery.add_argument("--queue-limit", type=int, default=4096,
                           metavar="WORDS",
                           help="queued words before backpressure engages")
+    recovery.add_argument("--workers", type=int, default=0, metavar="N",
+                          help="pre-forked recovery shard processes "
+                          "(0 = execute in-process)")
     recovery.add_argument("--policy", choices=["degrade", "reject"],
                           default="degrade",
                           help="overload behaviour: answer detect-only "
@@ -624,6 +627,7 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 def _command_serve_recovery(args: argparse.Namespace) -> int:
     """``repro serve-recovery`` = run the batched DUE-recovery service."""
+    from repro.errors import ServiceError
     from repro.service import RecoveryService, ServiceCatalog
 
     catalog = ServiceCatalog()
@@ -634,10 +638,22 @@ def _command_serve_recovery(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         linger_s=args.linger_ms / 1000.0,
         queue_limit=args.queue_limit,
+        workers=args.workers,
         overload_policy=args.policy,
         default_timeout_s=args.timeout_ms / 1000.0,
         report_cost=args.cost,
     )
+    # Preload before start: in sharded mode the forked workers inherit
+    # the parent's warm context list, so contexts built here are warm
+    # in every shard from the first request.
+    contexts = [
+        name for name in (args.preload or "").split(",") if name
+    ]
+    try:
+        catalog.preload(contexts)
+    except ServiceError as error:
+        print(f"serve-recovery: {error}", file=sys.stderr)
+        return 2
     try:
         service.start()
     except OSError as error:
@@ -645,13 +661,10 @@ def _command_serve_recovery(args: argparse.Namespace) -> int:
               f"{error}", file=sys.stderr)
         return 2
     try:
-        contexts = [
-            name for name in (args.preload or "").split(",") if name
-        ]
-        catalog.preload(contexts)
         print(f"recovery service on {service.url} "
               f"(policy={args.policy}, max_batch={args.max_batch}, "
-              f"queue_limit={args.queue_limit})", file=sys.stderr)
+              f"queue_limit={args.queue_limit}, "
+              f"workers={args.workers})", file=sys.stderr)
         if args.duration is not None:
             time.sleep(args.duration)
         else:

@@ -26,6 +26,7 @@ __all__ = [
     "ObservabilityError",
     "ServiceError",
     "ServiceOverloadError",
+    "ShardFailureError",
 ]
 
 
@@ -162,3 +163,18 @@ class ServiceOverloadError(ServiceError):
         self.queued = queued
         self.limit = limit
         self.retry_after = retry_after
+
+
+class ShardFailureError(ServiceError):
+    """A recovery shard process died and could not serve the batch.
+
+    Raised after the requeue-once policy is exhausted: the shard was
+    respawned and the batch retried, but the retry (or the respawn
+    itself) failed too.  The HTTP layer maps this to the configured
+    overload behaviour — detect-only degradation or 429 — because the
+    correct client response is the same: back off and retry.
+    """
+
+    def __init__(self, shard: int, detail: str) -> None:
+        super().__init__(f"recovery shard {shard} failed: {detail}")
+        self.shard = shard

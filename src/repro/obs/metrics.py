@@ -35,6 +35,7 @@ __all__ = [
     "add_collector",
     "run_collectors",
     "merge_snapshot",
+    "diff_snapshot",
 ]
 
 #: Latency-style bucket upper bounds, in seconds (Prometheus defaults).
@@ -529,6 +530,63 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
     previous = _default_registry
     _default_registry = registry
     return previous
+
+
+def diff_snapshot(
+    previous: dict[str, dict[str, object]],
+    current: dict[str, dict[str, object]],
+) -> dict[str, dict[str, object]]:
+    """The counter/histogram delta between two registry snapshots.
+
+    This is how a long-lived shard process ships its metrics home
+    incrementally: it keeps the cumulative snapshot it last shipped,
+    and each batch sends only what changed since, so the parent can
+    :func:`merge_snapshot` every delta without double counting.
+
+    Only the *additive* metric kinds appear in the delta.  Counters
+    carry the value difference (zero-delta counters are omitted);
+    histograms carry per-bucket/count/sum differences, with ``min`` /
+    ``max`` left at their cumulative values — both are monotone over a
+    metric's lifetime, and the parent's merge takes ``min``/``max``
+    again, so repeated shipping stays exact.  Gauges and info metrics
+    are last-wins readings owned by whichever process set them; deltas
+    have no meaning for them, so they never leave the shard.
+    """
+    delta: dict[str, dict[str, object]] = {}
+    for name in current:
+        data = current[name]
+        kind = data.get("type")
+        prior = previous.get(name)
+        if kind == "counter":
+            changed = data["value"] - (
+                prior["value"] if prior is not None else 0
+            )
+            if changed:
+                delta[name] = {
+                    "type": "counter", "name": name, "value": changed
+                }
+        elif kind == "histogram":
+            if prior is None:
+                if data["count"]:
+                    delta[name] = data
+                continue
+            if data["count"] == prior["count"]:
+                continue
+            buckets = [
+                {"le": entry["le"], "count": entry["count"] - old["count"]}
+                for entry, old in zip(data["buckets"], prior["buckets"])
+            ]
+            delta[name] = {
+                "type": "histogram",
+                "name": name,
+                "count": data["count"] - prior["count"],
+                "sum": data["sum"] - prior["sum"],
+                "min": data["min"],
+                "max": data["max"],
+                "mean": None,
+                "buckets": buckets,
+            }
+    return delta
 
 
 def merge_snapshot(

@@ -8,7 +8,9 @@ turns the offline engine into that long-lived service:
   side-info contexts with stable identity.
 - :mod:`repro.service.api` — JSON wire types and payload builders.
 - :mod:`repro.service.batcher` — bounded-queue micro-batching with
-  explicit backpressure.
+  explicit backpressure, single-queue or sharded-router flavours.
+- :mod:`repro.service.shards` — pre-forked worker-process shards
+  (the batch engine, placement hash, and respawn policy).
 - :mod:`repro.service.server` — the HTTP frontend, sharing the
   observability endpoints with :mod:`repro.obs.server`.
 """
@@ -20,13 +22,14 @@ from repro.service.api import (
     error_payload,
     result_payload,
 )
-from repro.service.batcher import RecoveryBatcher
+from repro.service.batcher import RecoveryBatcher, ShardedBatcher
 from repro.service.catalog import (
     DEFAULT_CODE_ID,
     DEFAULT_CONTEXT_ID,
     ServiceCatalog,
 )
 from repro.service.server import RecoveryService
+from repro.service.shards import BatchEngine, ShardPool, ShardSpec
 
 __all__ = [
     "MAX_BATCH_WORDS",
@@ -35,6 +38,10 @@ __all__ = [
     "error_payload",
     "result_payload",
     "RecoveryBatcher",
+    "ShardedBatcher",
+    "BatchEngine",
+    "ShardPool",
+    "ShardSpec",
     "DEFAULT_CODE_ID",
     "DEFAULT_CONTEXT_ID",
     "ServiceCatalog",

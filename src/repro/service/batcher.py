@@ -22,6 +22,16 @@ jobs already accepted, then joins the worker; nothing accepted is
 dropped.  Cancelled futures (request timeouts) are skipped at execute
 time via the standard ``set_running_or_notify_cancel`` handshake, so
 abandoned work sheds instead of burning the batch budget.
+
+Multi-process mode layers :class:`ShardedBatcher` on top: a router
+over N single-consumer shard queues, one :class:`RecoveryBatcher` per
+:class:`~repro.service.shards.ShardPool` shard.  Requests route by
+their (code, context) hash — the same placement the pool uses — so a
+context's words always drain through one shard's engine and its
+caches stay hot.  Backpressure is per shard (a hot context saturating
+its shard 429s without starving cold contexts), and each shard batcher
+publishes its own ``service.shard.<i>.*`` metrics; the aggregate
+``service.queue_depth`` is derived from them at snapshot time.
 """
 
 from __future__ import annotations
@@ -31,13 +41,15 @@ from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from functools import partial
 from threading import Condition, Thread
 
 from repro.errors import ServiceError, ServiceOverloadError
 from repro.obs import metrics as obs_metrics
 from repro.service.api import RecoveryRequest
+from repro.service.shards import ShardPool
 
-__all__ = ["RecoveryBatcher"]
+__all__ = ["RecoveryBatcher", "ShardedBatcher"]
 
 #: Executor contract: one result object per request, in request order.
 #: The batcher passes results through opaquely (the service returns
@@ -84,9 +96,13 @@ class RecoveryBatcher:
         this raises :class:`ServiceOverloadError` — never buffers.
     registry:
         Metrics registry (default: the process registry).  Exposes
-        ``service.queue_depth``, ``service.batch_words``,
-        ``service.batch_seconds``, ``service.batch_linger_seconds``,
-        ``service.batches``, and ``service.overloads``.
+        ``<prefix>.queue_depth``, ``<prefix>.batch_words``,
+        ``<prefix>.batch_seconds``, ``<prefix>.batch_linger_seconds``,
+        ``<prefix>.batches``, and ``<prefix>.overloads``.
+    metric_prefix:
+        Namespace for this batcher's metrics (default ``service``).
+        :class:`ShardedBatcher` uses ``service.shard.<i>`` so each
+        shard queue is individually observable.
     """
 
     def __init__(
@@ -96,6 +112,7 @@ class RecoveryBatcher:
         linger_s: float = 0.002,
         queue_limit: int = 4096,
         registry: obs_metrics.MetricsRegistry | None = None,
+        metric_prefix: str = "service",
     ) -> None:
         if max_batch < 1:
             raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
@@ -104,6 +121,7 @@ class RecoveryBatcher:
         if queue_limit < 1:
             raise ServiceError(f"queue_limit must be >= 1, got {queue_limit}")
         self._execute = execute
+        self._metric_prefix = metric_prefix
         self._max_batch = max_batch
         self._linger_s = linger_s
         self._queue_limit = queue_limit
@@ -117,28 +135,28 @@ class RecoveryBatcher:
             registry if registry is not None else obs_metrics.get_registry()
         )
         self._g_depth = registry.gauge(
-            "service.queue_depth",
+            f"{metric_prefix}.queue_depth",
             help="Words queued for recovery (bounded by the queue limit)",
         )
         self._h_batch_words = registry.histogram(
-            "service.batch_words",
+            f"{metric_prefix}.batch_words",
             buckets=obs_metrics.DEFAULT_COUNT_BUCKETS,
             help="Words coalesced per executed batch",
         )
         self._h_batch_seconds = registry.histogram(
-            "service.batch_seconds",
+            f"{metric_prefix}.batch_seconds",
             help="Executor wall time per batch",
         )
         self._h_batch_linger = registry.histogram(
-            "service.batch_linger_seconds",
+            f"{metric_prefix}.batch_linger_seconds",
             help="Queue wait per executed batch: execute start minus "
             "the earliest member's enqueue time",
         )
         self._c_batches = registry.counter(
-            "service.batches", help="Micro-batches executed"
+            f"{metric_prefix}.batches", help="Micro-batches executed"
         )
         self._c_overloads = registry.counter(
-            "service.overloads",
+            f"{metric_prefix}.overloads",
             help="Submissions rejected because the queue was full",
         )
 
@@ -180,7 +198,9 @@ class RecoveryBatcher:
         with self._cond:
             self._stop = False
         self._thread = Thread(
-            target=self._worker, name="repro-recovery-batcher", daemon=True
+            target=self._worker,
+            name=f"repro-batcher-{self._metric_prefix}",
+            daemon=True,
         )
         self._thread.start()
         return self
@@ -331,3 +351,143 @@ class RecoveryBatcher:
             return
         for job, result in zip(live, results):
             job.future.set_result(result)
+
+
+def _aggregate_queue_depth_collector() -> None:
+    """Derive the aggregate ``service.queue_depth`` from shard gauges.
+
+    In sharded mode each queue owns a ``service.shard.<i>.queue_depth``
+    gauge; dashboards built against the single-process service still
+    read one total, so it is summed here at snapshot time — never on
+    the submit hot path.  When no shard gauges exist (single-process
+    mode) the collector leaves the batcher-owned gauge alone.
+    """
+    registry = obs_metrics.get_registry()
+    total = 0.0
+    found = False
+    for name in registry.names():
+        if not (
+            name.startswith("service.shard.")
+            and name.endswith(".queue_depth")
+        ):
+            continue
+        metric = registry.get(name)
+        if isinstance(metric, obs_metrics.Gauge):
+            found = True
+            total += metric.value
+    if found:
+        registry.gauge(
+            "service.queue_depth",
+            help="Words queued for recovery (bounded by the queue limit)",
+        ).set(total)
+
+
+obs_metrics.add_collector(_aggregate_queue_depth_collector)
+
+
+class ShardedBatcher:
+    """Route requests over N single-consumer shard queues.
+
+    The multi-process counterpart of :class:`RecoveryBatcher`: one
+    shard queue (its own ``RecoveryBatcher`` + worker thread) per
+    :class:`~repro.service.shards.ShardPool` shard, with requests
+    placed by the pool's (code, context) hash.  Placement and queueing
+    use the same hash, so ordering per context is preserved end to end
+    and a shard's engine only ever sees its own contexts.
+
+    Backpressure is per shard: the configured ``queue_limit`` divides
+    evenly across shards, and a full shard queue rejects with
+    :class:`~repro.errors.ServiceOverloadError` even while siblings
+    are idle — deliberately, because queueing a hot context behind a
+    different shard would break cache affinity and per-context
+    ordering.
+
+    Shard death surfaces here as a failed batch future carrying
+    :class:`~repro.errors.ShardFailureError` (after the pool's
+    respawn-and-requeue policy), which the HTTP layer maps to the
+    overload policy.  The pool's lifecycle is owned by the caller;
+    ``stop`` drains and stops the shard queues only.
+    """
+
+    def __init__(
+        self,
+        pool: ShardPool,
+        max_batch: int = 256,
+        linger_s: float = 0.002,
+        queue_limit: int = 4096,
+        registry: obs_metrics.MetricsRegistry | None = None,
+    ) -> None:
+        if queue_limit < pool.workers:
+            raise ServiceError(
+                f"queue_limit {queue_limit} cannot cover "
+                f"{pool.workers} shard queues"
+            )
+        self._pool = pool
+        per_shard_limit = queue_limit // pool.workers
+        self._shards = [
+            RecoveryBatcher(
+                partial(pool.execute, index),
+                max_batch=max_batch,
+                linger_s=linger_s,
+                queue_limit=per_shard_limit,
+                registry=registry,
+                metric_prefix=f"service.shard.{index}",
+            )
+            for index in range(pool.workers)
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection (RecoveryBatcher-compatible surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True while every shard queue's worker thread is up."""
+        return all(shard.running for shard in self._shards)
+
+    @property
+    def queue_limit(self) -> int:
+        """Total queued-word bound, summed across shard queues."""
+        return sum(shard.queue_limit for shard in self._shards)
+
+    def queued_words(self) -> int:
+        """Words waiting across all shard queues."""
+        return sum(shard.queued_words() for shard in self._shards)
+
+    def shard_queue_depths(self) -> list[int]:
+        """Per-shard queued words, by shard index (stats endpoint)."""
+        return [shard.queued_words() for shard in self._shards]
+
+    def retry_after_hint(self) -> float:
+        """Backoff hint from the most backlogged shard queue."""
+        return max(shard.retry_after_hint() for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ShardedBatcher":
+        """Start every shard queue's worker thread; returns ``self``."""
+        for shard in self._shards:
+            shard.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain and stop every shard queue (idempotent)."""
+        for shard in self._shards:
+            shard.stop()
+
+    def __enter__(self) -> "ShardedBatcher":
+        return self.start() if not self.running else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def submit(self, request: RecoveryRequest) -> "Future[dict]":
+        """Enqueue *request* on its (code, context) shard queue."""
+        index = self._pool.route(request.code_id, request.context_id)
+        return self._shards[index].submit(request)

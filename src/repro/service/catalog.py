@@ -81,6 +81,18 @@ class ServiceCatalog:
         self._contexts: dict[str, RecoveryContext] = {
             DEFAULT_CONTEXT_ID: RecoveryContext()
         }
+        self._registered_codes: set[str] = set()
+        self._registered_contexts: set[str] = set()
+
+    @property
+    def image_length(self) -> int:
+        """Synthesis length for lazily-built benchmark contexts."""
+        return self._image_length
+
+    @property
+    def seed(self) -> int:
+        """Synthesis seed for lazily-built benchmark contexts."""
+        return self._seed
 
     # ------------------------------------------------------------------
     # Registration / enumeration
@@ -101,6 +113,7 @@ class ServiceCatalog:
         with self._lock:
             self._codes[code_id] = code
             self._engines.pop(code_id, None)
+            self._registered_codes.add(code_id)
 
     def register_context(
         self, context_id: str, context: RecoveryContext
@@ -108,6 +121,47 @@ class ServiceCatalog:
         """Expose *context* to requests under *context_id*."""
         with self._lock:
             self._contexts[context_id] = context
+            self._registered_contexts.add(context_id)
+
+    def registrations(
+        self,
+    ) -> tuple[
+        dict[str, LinearBlockCode], dict[str, "RecoveryContext"]
+    ]:
+        """Explicitly registered codes and contexts (not lazily-built
+        factory/benchmark entries).
+
+        Shard workers rebuild factory codes and benchmark contexts
+        themselves from the pinned ``image_length``/``seed`` knobs, but
+        explicit registrations only exist in this process — the shard
+        pool forwards exactly these at fork time so every worker
+        resolves the same ids.
+        """
+        with self._lock:
+            return (
+                {name: self._codes[name] for name in self._registered_codes},
+                {
+                    name: self._contexts[name]
+                    for name in self._registered_contexts
+                },
+            )
+
+    def built_benchmark_context_ids(self) -> list[str]:
+        """Benchmark contexts already synthesized in this process.
+
+        The shard pool forwards these as its workers' preload list:
+        a context the parent warmed (via ``preload`` or live traffic)
+        should be warm in every worker too, and benchmark contexts
+        rebuild deterministically from ``image_length``/``seed`` so
+        only the *names* need to cross the fork.
+        """
+        with self._lock:
+            return sorted(
+                name
+                for name in self._contexts
+                if name in BENCHMARK_NAMES
+                and name not in self._registered_contexts
+            )
 
     # ------------------------------------------------------------------
     # Resolution

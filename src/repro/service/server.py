@@ -15,14 +15,25 @@ process:
   ``swdecc.*``.
 
 Requests flow through a :class:`~repro.service.batcher.RecoveryBatcher`
-(bounded queue, micro-batching) and are executed by the single worker
-thread against :class:`~repro.service.catalog.ServiceCatalog` engines.
+(bounded queue, micro-batching) and are executed against
+:class:`~repro.service.catalog.ServiceCatalog` engines by a
+:class:`~repro.service.shards.BatchEngine` — in-process by default
+(``workers=0``), or across a pre-forked
+:class:`~repro.service.shards.ShardPool` of worker processes
+(``workers=N``) with a :class:`~repro.service.batcher.ShardedBatcher`
+routing each (code, context) to its pinned shard.  Either way the
+executor returns pre-serialized JSON fragments, which the HTTP layer
+splices into response bodies without re-serializing.
+
 Graceful degradation is explicit: a full queue either rejects with 429
 + ``Retry-After`` (policy ``"reject"``) or answers detect-only (policy
 ``"degrade"``, the default) — the DUE is still *reported*, mirroring
 the paper's crash-is-the-baseline framing, but no request ever queues
 without bound.  Per-request timeouts degrade the same way and cancel
-the abandoned work.
+the abandoned work.  A shard that dies is respawned and its batch
+requeued once; if that fails too, the request degrades or 429s under
+the same policy, and ``/healthz`` turns non-200 naming the unhealthy
+shards until they are back.
 
 Built on the same stdlib :class:`~http.server.ThreadingHTTPServer`
 daemon-thread pattern as :class:`repro.obs.server.ObsServer`; binds
@@ -40,14 +51,18 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from threading import Thread
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ReproError, ServiceError, ServiceOverloadError
-from repro.obs import energy as obs_energy
+from repro.errors import (
+    ServiceError,
+    ServiceOverloadError,
+    ShardFailureError,
+)
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import server as obs_server
 from repro.service import api
-from repro.service.batcher import RecoveryBatcher
+from repro.service.batcher import RecoveryBatcher, ShardedBatcher
 from repro.service.catalog import ServiceCatalog
+from repro.service.shards import BatchEngine, ShardPool, ShardSpec
 
 __all__ = ["RecoveryService"]
 
@@ -98,20 +113,23 @@ class _RecoveryRequestHandler(BaseHTTPRequestHandler):
                         + "\n")
             return
         try:
-            status, payload, headers = service.handle_recover(
+            # handle_recover returns a fully serialized body: success
+            # responses are spliced from cached JSON fragments, and
+            # re-serializing them here would cost more than the
+            # recovery itself on the cache-hit path.
+            status, body, headers = service.handle_recover(
                 self._read_body(), batch=url.path.endswith("/batch")
             )
         except BrokenPipeError:  # pragma: no cover - client went away
             return
         except ServiceError as error:
-            status, payload, headers = 400, {"error": str(error)}, {}
+            status, headers = 400, {}
+            body = json.dumps({"error": str(error)}, sort_keys=True) + "\n"
         except Exception as error:  # pragma: no cover - defensive
-            status, payload, headers = 500, {"error": str(error)}, {}
+            status, headers = 500, {}
+            body = json.dumps({"error": str(error)}, sort_keys=True) + "\n"
         try:
-            self._reply(
-                status, "application/json",
-                json.dumps(payload, sort_keys=True) + "\n", headers,
-            )
+            self._reply(status, "application/json", body, headers)
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
 
@@ -163,6 +181,12 @@ class RecoveryService:
     max_batch / linger_s / queue_limit:
         Micro-batching knobs, forwarded to the
         :class:`RecoveryBatcher`.
+    workers:
+        ``0`` (default) executes batches in-process on the batcher's
+        worker thread.  ``N >= 1`` pre-forks N shard processes at
+        :meth:`start`, each owning its own catalog and engines, and
+        routes batches to them by (code, context) hash; the
+        ``queue_limit`` then divides across per-shard queues.
     overload_policy:
         ``"degrade"`` answers detect-only when the queue is full;
         ``"reject"`` answers 429 with a ``Retry-After`` hint.
@@ -187,6 +211,7 @@ class RecoveryService:
         max_batch: int = 256,
         linger_s: float = 0.002,
         queue_limit: int = 4096,
+        workers: int = 0,
         overload_policy: str = "degrade",
         default_timeout_s: float = 2.0,
         report_cost: bool = False,
@@ -202,9 +227,15 @@ class RecoveryService:
             raise ServiceError(
                 f"default_timeout_s must be > 0, got {default_timeout_s}"
             )
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
         self._catalog = catalog if catalog is not None else ServiceCatalog()
         self._host = host
         self._requested_port = port
+        self._max_batch = max_batch
+        self._linger_s = linger_s
+        self._queue_limit = queue_limit
+        self._workers = workers
         self._overload_policy = overload_policy
         self._default_timeout_s = default_timeout_s
         self._report_cost = report_cost
@@ -212,23 +243,31 @@ class RecoveryService:
         self._event_log = event_log
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: Thread | None = None
+        self._pool: ShardPool | None = None
         resolved = self.registry
-        self._batcher = RecoveryBatcher(
-            self._execute_batch,
-            max_batch=max_batch,
-            linger_s=linger_s,
-            queue_limit=queue_limit,
-            registry=resolved,
-        )
+        self._batcher: RecoveryBatcher | ShardedBatcher | None = None
+        self._engine: BatchEngine | None = None
+        if workers == 0:
+            # In-process mode: the batcher's worker thread is the
+            # single consumer of one BatchEngine's catalog engines.
+            self._engine = BatchEngine(
+                self._catalog,
+                registry=resolved,
+                report_cost=report_cost,
+            )
+            self._batcher = RecoveryBatcher(
+                self._engine.execute,
+                max_batch=max_batch,
+                linger_s=linger_s,
+                queue_limit=queue_limit,
+                registry=resolved,
+            )
+        # workers >= 1: the pool and sharded batcher are built in
+        # start(), after registrations settle and before any server
+        # thread exists (forking from a threaded parent is how stdlib
+        # locks end up held forever in the child).
         self._c_requests = resolved.counter(
             "service.requests", help="Recovery requests received"
-        )
-        self._c_recoveries = resolved.counter(
-            "service.recoveries", help="Words heuristically recovered"
-        )
-        self._c_word_errors = resolved.counter(
-            "service.recovery_errors",
-            help="Words that failed recovery (not a DUE, no candidates)",
         )
         self._c_degraded = resolved.counter(
             "service.degraded",
@@ -245,16 +284,6 @@ class RecoveryService:
         self._h_request_seconds = resolved.histogram(
             "service.request_seconds",
             help="End-to-end request latency (parse to response body)",
-        )
-        self._h_batch_ops = resolved.histogram(
-            "service.batch_ops",
-            buckets=(64, 256, 1024, 4096, 16384, 65536),
-            help="Decode op-counter delta per executed micro-batch",
-        )
-        self._h_batch_joules = resolved.histogram(
-            "service.batch_joules",
-            buckets=(1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3),
-            help="Modeled energy per executed micro-batch",
         )
 
     # ------------------------------------------------------------------
@@ -304,19 +333,59 @@ class RecoveryService:
         return self._catalog
 
     @property
-    def batcher(self) -> RecoveryBatcher:
-        """The underlying micro-batcher (exposed for tests/tuning)."""
+    def workers(self) -> int:
+        """Configured shard processes (0 = in-process execution)."""
+        return self._workers
+
+    @property
+    def batcher(self) -> RecoveryBatcher | ShardedBatcher:
+        """The underlying micro-batcher (exposed for tests/tuning).
+
+        In sharded mode the batcher only exists while the service is
+        running (it is built against the live shard pool).
+        """
+        if self._batcher is None:
+            raise ServiceError(
+                "sharded batcher exists only while the service runs"
+            )
         return self._batcher
 
+    @property
+    def shard_pool(self) -> ShardPool | None:
+        """The live shard pool, or ``None`` (in-process / stopped)."""
+        return self._pool
+
     def start(self) -> "RecoveryService":
-        """Bind, start the batcher, and serve on a daemon thread."""
+        """Fork shards (if any), bind, and serve on a daemon thread.
+
+        Strictly ordered: shard processes fork and pre-warm *before*
+        the batcher worker and HTTP threads exist, so every fork
+        happens from an effectively single-threaded parent.
+        """
         if self._httpd is not None:
             raise ServiceError("RecoveryService is already running")
+        if self._workers >= 1:
+            spec = ShardSpec.from_catalog(
+                self._catalog,
+                preload=self._catalog.built_benchmark_context_ids(),
+                report_cost=self._report_cost,
+            )
+            self._pool = ShardPool(
+                self._workers, spec, registry=self.registry
+            ).start()
+            self._batcher = ShardedBatcher(
+                self._pool,
+                max_batch=self._max_batch,
+                linger_s=self._linger_s,
+                queue_limit=self._queue_limit,
+                registry=self.registry,
+            )
         httpd = ThreadingHTTPServer(
             (self._host, self._requested_port), _RecoveryRequestHandler
         )
         httpd.daemon_threads = True
         httpd.service = self  # type: ignore[attr-defined]
+        assert self._batcher is not None
         self._batcher.start()
         self._httpd = httpd
         self._thread = Thread(
@@ -325,11 +394,14 @@ class RecoveryService:
             daemon=True,
         )
         self._thread.start()
-        _log.info("recovery service listening on %s", self.url)
+        _log.info(
+            "recovery service listening on %s (%d shard workers)",
+            self.url, self._workers,
+        )
         return self
 
     def stop(self) -> None:
-        """Stop accepting requests, drain the batcher (idempotent)."""
+        """Stop accepting requests, drain batcher and shards (idempotent)."""
         httpd, thread = self._httpd, self._thread
         self._httpd = None
         self._thread = None
@@ -340,7 +412,16 @@ class RecoveryService:
             if thread is not None:
                 thread.join(timeout=5.0)
         finally:
-            self._batcher.stop()
+            batcher, pool = self._batcher, self._pool
+            if self._workers >= 1:
+                self._batcher = None
+                self._pool = None
+            try:
+                if batcher is not None:
+                    batcher.stop()
+            finally:
+                if pool is not None:
+                    pool.stop()
 
     def __enter__(self) -> "RecoveryService":
         return self.start() if not self.running else self
@@ -354,8 +435,13 @@ class RecoveryService:
 
     def handle_recover(
         self, body: bytes, batch: bool
-    ) -> tuple[int, dict, dict[str, str]]:
-        """Process one POST body; returns (status, payload, headers)."""
+    ) -> tuple[int, str, dict[str, str]]:
+        """Process one POST body; returns (status, body, headers).
+
+        The returned body is already serialized: success responses are
+        spliced together from the executor's pre-serialized per-word
+        fragments, so a cache-served word is never re-serialized.
+        """
         started = time.perf_counter()
         self._c_requests.inc()
         try:
@@ -369,8 +455,13 @@ class RecoveryService:
         # Resolve the context now: unknown ids are a 400, not a queued
         # failure, and the build cost is paid before entering the queue.
         self._catalog.context(request.context_id)
+        batcher = self._batcher
+        if batcher is None:
+            raise ServiceError(
+                "recovery service is not running; request refused"
+            )
         try:
-            future = self._batcher.submit(request)
+            future = batcher.submit(request)
         except ServiceOverloadError as overload:
             return self._overload_response(request, overload, batch, started)
         timeout = (
@@ -383,27 +474,40 @@ class RecoveryService:
             future.cancel()  # shed the work if the batch hasn't claimed it
             self._c_timeouts.inc()
             self._c_degraded.inc()
-            payload = self._degraded_payload(request, "timeout", batch)
+            body_out = self._degraded_body(request, "timeout", batch)
             self._h_request_seconds.observe(time.perf_counter() - started)
-            return 200, payload, {}
-        payload = self._success_payload(request, outcome, batch)
+            return 200, body_out, {}
+        except ShardFailureError as failure:
+            # Respawn-and-requeue already ran inside the pool; reaching
+            # here means the batch is unservable right now.  Same
+            # client contract as overload: detect-only or 429.
+            return self._shard_failure_response(
+                request, failure, batch, started
+            )
+        body_out = self._success_body(request, outcome, batch)
         self._h_request_seconds.observe(time.perf_counter() - started)
-        return 200, payload, {}
+        return 200, body_out, {}
 
-    def _success_payload(
+    def _success_body(
         self, request: api.RecoveryRequest, outcome: dict, batch: bool
-    ) -> dict:
-        results = outcome["payloads"]
-        base = {
-            "code": request.code_id,
-            "context": request.context_id,
-            "degraded": False,
-        }
+    ) -> str:
+        # Key order matches json.dumps(..., sort_keys=True) of the old
+        # dict payload, so clients and golden tests see stable bodies.
+        fragments = outcome["fragments"]
+        head = (
+            f'{{"code": {json.dumps(request.code_id)}, '
+            f'"context": {json.dumps(request.context_id)}'
+        )
         if outcome.get("cost") is not None:
-            base["cost"] = outcome["cost"]
+            head += f', "cost": {json.dumps(outcome["cost"], sort_keys=True)}'
+        head += ', "degraded": false'
         if batch:
-            return {**base, "words": len(results), "results": results}
-        return {**base, "result": results[0]}
+            joined = ", ".join(fragments)
+            return (
+                f'{head}, "results": [{joined}], '
+                f'"words": {len(fragments)}}}\n'
+            )
+        return f'{head}, "result": {fragments[0]}}}\n'
 
     def _degraded_payload(
         self, request: api.RecoveryRequest, reason: str, batch: bool,
@@ -424,13 +528,22 @@ class RecoveryService:
             return {**base, "words": len(detect), "results": detect}
         return {**base, "result": detect[0]}
 
+    def _degraded_body(
+        self, request: api.RecoveryRequest, reason: str, batch: bool,
+        retry_after: float | None = None,
+    ) -> str:
+        payload = self._degraded_payload(
+            request, reason, batch, retry_after=retry_after
+        )
+        return json.dumps(payload, sort_keys=True) + "\n"
+
     def _overload_response(
         self,
         request: api.RecoveryRequest,
         overload: ServiceOverloadError,
         batch: bool,
         started: float,
-    ) -> tuple[int, dict, dict[str, str]]:
+    ) -> tuple[int, str, dict[str, str]]:
         self._h_request_seconds.observe(time.perf_counter() - started)
         if self._overload_policy == "reject":
             self._c_rejections.inc()
@@ -442,97 +555,81 @@ class RecoveryService:
             headers = {
                 "Retry-After": str(max(1, math.ceil(overload.retry_after)))
             }
-            return 429, payload, headers
+            return 429, json.dumps(payload, sort_keys=True) + "\n", headers
         self._c_degraded.inc()
-        payload = self._degraded_payload(
+        body = self._degraded_body(
             request, "overload", batch, retry_after=overload.retry_after
         )
-        return 200, payload, {}
+        return 200, body, {}
+
+    def _shard_failure_response(
+        self,
+        request: api.RecoveryRequest,
+        failure: ShardFailureError,
+        batch: bool,
+        started: float,
+    ) -> tuple[int, str, dict[str, str]]:
+        self._h_request_seconds.observe(time.perf_counter() - started)
+        if self._overload_policy == "reject":
+            self._c_rejections.inc()
+            payload = {
+                "error": "shard-failure",
+                "detail": str(failure),
+                "shard": failure.shard,
+                "retry_after_s": 1.0,
+            }
+            return (
+                429,
+                json.dumps(payload, sort_keys=True) + "\n",
+                {"Retry-After": "1"},
+            )
+        self._c_degraded.inc()
+        return 200, self._degraded_body(request, "shard-failure", batch), {}
 
     def healthz_endpoint(self) -> tuple[int, str, str]:
-        """Liveness plus queue/overload state for probes."""
-        queued = self._batcher.queued_words()
+        """Liveness plus queue/overload/shard state for probes.
+
+        In-process mode is always 200 while up.  Sharded mode degrades
+        to 503 whenever any shard is not serving, with the unhealthy
+        shards named — orchestrators restart or de-route on this, and
+        operators see *which* worker died without reading logs.
+        """
+        status = 200
+        batcher = self._batcher
         body = {
             "status": "ok",
-            "queue_depth": queued,
-            "queue_limit": self._batcher.queue_limit,
+            "queue_depth": batcher.queued_words() if batcher else 0,
+            "queue_limit": (
+                batcher.queue_limit if batcher else self._queue_limit
+            ),
             "overload_policy": self._overload_policy,
-            "batching": self._batcher.running,
+            "batching": batcher.running if batcher else False,
+            "workers": self._workers,
         }
-        return 200, "application/json", json.dumps(body, sort_keys=True) + "\n"
-
-    # ------------------------------------------------------------------
-    # Batch execution (called from the batcher's worker thread)
-    # ------------------------------------------------------------------
-
-    def _execute_batch(
-        self, requests: list[api.RecoveryRequest]
-    ) -> list[dict]:
-        """Run one micro-batch; the only caller of the engines.
-
-        Requests are grouped by (code, context) so each group drains
-        back-to-back through one engine — preserving the context-cache
-        generation across the group — while results return in request
-        order as ``{"payloads": [...], "cost": ...}`` outcome objects.
-        Per-word errors (not a DUE, no candidates) are captured per
-        word; they never fail a neighbouring request.
-
-        Cost attribution reads op-counter deltas between
-        :func:`repro.obs.energy.op_counts` snapshots.  The batcher's
-        worker thread is the single consumer of the engines — and of
-        the ``ops.*`` counters they bump — so the deltas are race-free.
-        """
-        groups: dict[tuple[str, str], list[int]] = {}
-        for index, request in enumerate(requests):
-            key = (request.code_id, request.context_id)
-            groups.setdefault(key, []).append(index)
-        outcomes: list[dict | None] = [None] * len(requests)
-        recovered = 0
-        failed = 0
-        model = obs_energy.get_energy_model()
-        batch_before = obs_energy.op_counts(model=model)
-        for (code_id, context_id), indexes in groups.items():
-            engine, context = self._catalog.resolve(code_id, context_id)
-            for index in indexes:
-                request = requests[index]
-                before = (
-                    obs_energy.op_counts(model=model)
-                    if self._report_cost else None
-                )
-                payloads = []
-                for word in request.words:
-                    try:
-                        result = engine.recover(word, context)
-                    except ReproError as error:
-                        failed += 1
-                        payloads.append(api.error_payload(word, error))
-                    else:
-                        recovered += 1
-                        payloads.append(api.result_payload(word, result))
-                cost = None
-                if before is not None:
-                    after = obs_energy.op_counts(model=model)
-                    deltas = {
-                        name: after[name] - before[name]
-                        for name in after
-                        if after[name] != before[name]
-                    }
-                    joules = model.joules(deltas)
-                    cost = {
-                        "ops": deltas,
-                        "joules": joules,
-                        "joules_per_word": joules / len(request.words),
-                    }
-                outcomes[index] = {"payloads": payloads, "cost": cost}
-        batch_after = obs_energy.op_counts(model=model)
-        batch_deltas = {
-            name: batch_after[name] - batch_before[name]
-            for name in batch_after
-        }
-        self._h_batch_ops.observe(sum(batch_deltas.values()))
-        self._h_batch_joules.observe(model.joules(batch_deltas))
-        if recovered:
-            self._c_recoveries.inc(recovered)
-        if failed:
-            self._c_word_errors.inc(failed)
-        return [outcome for outcome in outcomes if outcome is not None]
+        pool = self._pool
+        if pool is not None:
+            states = pool.states()
+            unhealthy = {
+                str(index): state
+                for index, state in states.items()
+                if state != "ok"
+            }
+            body["shards"] = {
+                str(index): state for index, state in states.items()
+            }
+            if isinstance(batcher, ShardedBatcher):
+                body["shard_queue_depths"] = batcher.shard_queue_depths()
+            if unhealthy:
+                status = 503
+                body["status"] = "degraded"
+                body["unhealthy_shards"] = unhealthy
+        elif self._workers >= 1:
+            # Sharded service that is not running (stopped or not yet
+            # started): report it as such rather than lying "ok".
+            status = 503
+            body["status"] = "stopped"
+        return (
+            status,
+            "application/json",
+            json.dumps(body, sort_keys=True) + "\n",
+        )

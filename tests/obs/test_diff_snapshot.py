@@ -1,0 +1,84 @@
+"""diff_snapshot: incremental shard metric shipping stays exact."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, diff_snapshot, merge_snapshot
+
+
+def test_counter_delta_is_value_difference():
+    registry = MetricsRegistry()
+    counter = registry.counter("work.done")
+    counter.inc(5)
+    first = registry.as_dict()
+    counter.inc(3)
+    delta = diff_snapshot(first, registry.as_dict())
+    assert delta["work.done"]["value"] == 3
+
+
+def test_unchanged_counters_are_omitted():
+    registry = MetricsRegistry()
+    registry.counter("work.done").inc(5)
+    registry.counter("work.idle")
+    snapshot = registry.as_dict()
+    delta = diff_snapshot(snapshot, snapshot)
+    assert delta == {}
+
+
+def test_gauges_and_info_never_ship():
+    registry = MetricsRegistry()
+    registry.gauge("depth").set(4.0)
+    registry.info("build").set("abc")
+    delta = diff_snapshot({}, registry.as_dict())
+    assert "depth" not in delta
+    assert "build" not in delta
+
+
+def test_histogram_delta_covers_buckets_sum_and_count():
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency", buckets=(1.0, 2.0))
+    hist.observe(0.5)
+    first = registry.as_dict()
+    hist.observe(1.5)
+    hist.observe(5.0)
+    delta = diff_snapshot(first, registry.as_dict())["latency"]
+    assert delta["count"] == 2
+    assert delta["sum"] == 6.5
+    assert [entry["count"] for entry in delta["buckets"]] == [0, 1, 1]
+
+
+def test_repeated_deltas_merge_to_the_cumulative_truth():
+    """ship(delta1); ship(delta2) == one merge of the final snapshot."""
+    shard = MetricsRegistry()
+    parent = MetricsRegistry()
+    counter = shard.counter("service.recoveries")
+    hist = shard.histogram("service.batch_seconds", buckets=(0.1, 1.0))
+
+    shipped = {}
+    for round_values in ((0.05, 0.5), (2.0,), ()):
+        counter.inc(len(round_values))
+        for value in round_values:
+            hist.observe(value)
+        current = shard.as_dict()
+        merge_snapshot(diff_snapshot(shipped, current), parent)
+        shipped = current
+
+    assert parent.counter("service.recoveries").value == counter.value
+    merged = parent.histogram("service.batch_seconds", buckets=(0.1, 1.0))
+    assert merged.count == hist.count
+    assert merged.sum == hist.sum
+    assert merged.min == hist.min
+    assert merged.max == hist.max
+    assert merged.bucket_counts() == hist.bucket_counts()
+
+
+def test_new_histogram_ships_whole_when_unseen():
+    registry = MetricsRegistry()
+    registry.histogram("fresh", buckets=(1.0,)).observe(0.5)
+    delta = diff_snapshot({}, registry.as_dict())
+    assert delta["fresh"]["count"] == 1
+
+
+def test_empty_new_histogram_is_omitted():
+    registry = MetricsRegistry()
+    registry.histogram("idle", buckets=(1.0,))
+    assert diff_snapshot({}, registry.as_dict()) == {}

@@ -12,6 +12,7 @@ small enough that examples routinely straddle batch boundaries.
 
 from __future__ import annotations
 
+import json
 import random
 
 import pytest
@@ -126,7 +127,11 @@ def test_batched_identical_to_serial(spec, live_service, reference):
         live_service.batcher.submit(request) for request in requests
     ]
     service_payloads = [
-        future.result(timeout=30.0)["payloads"] for future in futures
+        [
+            json.loads(fragment)
+            for fragment in future.result(timeout=30.0)["fragments"]
+        ]
+        for future in futures
     ]
 
     # Reference side: strictly serial, request order, fresh state.

@@ -184,7 +184,7 @@ class TestDegradation:
             linger_s=0.0,
             overload_policy=policy,
         )
-        real_execute = svc._execute_batch
+        real_execute = svc._engine.execute
 
         def gated(requests):
             gate.wait(10.0)
@@ -231,8 +231,12 @@ class TestDegradation:
         assert body["result"]["received"] == due_word
         assert body["retry_after_s"] > 0
         # The parked jobs still recovered once the gate lifted.
-        assert parked_result["payloads"][0]["status"] == "recovered"
-        assert filler_result["payloads"][0]["status"] == "recovered"
+        assert (
+            json.loads(parked_result["fragments"][0])["status"] == "recovered"
+        )
+        assert (
+            json.loads(filler_result["fragments"][0])["status"] == "recovered"
+        )
         assert svc.registry.get("service.degraded").value == 1.0
 
     def test_overload_reject_policy_returns_429(self, due_word):
