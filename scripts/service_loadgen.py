@@ -162,6 +162,13 @@ def main(argv: list[str] | None = None) -> int:
         f"p99 {summary['latency_ms']['p99']:.2f} ms",
         file=sys.stderr,
     )
+    if summary["slowest_traces"]:
+        print("loadgen: slowest requests (look them up with "
+              "'repro trace <id>' if the service traces):",
+              file=sys.stderr)
+        for entry in summary["slowest_traces"]:
+            print(f"  {entry['trace_id']}  {entry['latency_ms']:.3f} ms",
+                  file=sys.stderr)
     if result.http_errors or result.requests == 0:
         print(f"loadgen: {result.http_errors} HTTP errors", file=sys.stderr)
         return 1

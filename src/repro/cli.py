@@ -18,6 +18,7 @@ Usage (also ``python -m repro``)::
     repro stats fig8 --instructions 5   # any command + profiling summary
     repro serve --port 9100 sweep --jobs 4   # any command + live /metrics
     repro serve-recovery --port 9200 --preload mcf   # online DUE recovery
+    repro trace [TRACE_ID] [--url http://127.0.0.1:9200] [--limit 10]
 
 Every command also accepts the observability flags (see
 ``docs/observability.md``): ``--profile`` prints metric and
@@ -38,6 +39,7 @@ live stderr rate/ETA line).
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 import time
@@ -295,6 +297,20 @@ def _build_parser() -> argparse.ArgumentParser:
                           metavar="SECONDS",
                           help="serve for a fixed time then exit "
                           "(default: until interrupted)")
+
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="fetch the slowest request traces from a running recovery "
+        "service (GET /traces) and print a latency waterfall",
+    )
+    trace_cmd.add_argument("trace_id", nargs="?", default=None,
+                           help="trace id (or unique prefix) to render; "
+                           "omit to list the slowest retained traces")
+    trace_cmd.add_argument("--url", default="http://127.0.0.1:9200",
+                           help="base URL of the service "
+                           "(default: the serve-recovery default)")
+    trace_cmd.add_argument("--limit", type=int, default=10, metavar="N",
+                           help="how many slow traces to fetch")
     return parser
 
 
@@ -677,6 +693,53 @@ def _command_serve_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    """``repro trace`` = print request waterfalls from ``GET /traces``."""
+    import urllib.error
+    import urllib.request
+
+    url = f"{args.url.rstrip('/')}/traces?limit={args.limit}"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        print(f"trace: cannot fetch {url}: {error}", file=sys.stderr)
+        return 2
+    if not payload.get("tracing"):
+        print("trace: tracing is disabled on the service "
+              "(start it with --trace or --profile)", file=sys.stderr)
+        return 1
+    traces = payload.get("traces", [])
+    if args.trace_id is None:
+        if not traces:
+            print("no traces retained yet")
+            return 0
+        rows = [
+            [t["trace_id"], f"{t['duration_ms']:.3f}", t["span_count"]]
+            for t in traces
+        ]
+        print(render_table(
+            ["trace id", "duration ms", "spans"], rows,
+            title="slowest requests",
+        ))
+        return 0
+    matches = [
+        t for t in traces if t["trace_id"].startswith(args.trace_id)
+    ]
+    if not matches:
+        print(f"trace: no retained trace matches {args.trace_id!r} "
+              f"(fetched {len(traces)})", file=sys.stderr)
+        return 1
+    exact = [t for t in matches if t["trace_id"] == args.trace_id]
+    if len(matches) > 1 and not exact:
+        ids = ", ".join(t["trace_id"] for t in matches)
+        print(f"trace: ambiguous prefix {args.trace_id!r}: {ids}",
+              file=sys.stderr)
+        return 1
+    print(obs_export.render_waterfall((exact or matches)[0]))
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     command = args.command
     if command == "fig4":
@@ -725,6 +788,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_recover(args)
     elif command == "serve-recovery":
         return _command_serve_recovery(args)
+    elif command == "trace":
+        return _command_trace(args)
     return 0
 
 

@@ -26,6 +26,7 @@ __all__ = [
     "render_metrics",
     "render_spans",
     "render_events_summary",
+    "render_waterfall",
     "write_events",
 ]
 
@@ -121,6 +122,50 @@ def render_spans(collector: SpanCollector, title: str = "stage latency") -> str:
         rows,
         title=title,
     )
+
+
+def render_waterfall(trace: Mapping, width: int = 48) -> str:
+    """A request trace as an indented waterfall (``repro trace``).
+
+    *trace* is one entry from ``GET /traces`` (the shape
+    :meth:`repro.obs.trace.TraceEntry.as_dict` produces): each span
+    prints indented under its parent with its duration and a bar
+    positioned along the request's end-to-end window, so queue wait
+    vs. linger vs. shard execution vs. serialization reads off at a
+    glance.
+    """
+    root = trace["root"]
+    total_ns = max(
+        int(trace.get("duration_ns") or root["duration_ns"]), 1
+    )
+    base_ns = int(root["start_ns"])
+    header = (
+        f"trace {trace['trace_id']}  "
+        f"{int(trace.get('duration_ns') or root['duration_ns']) / 1e6:.3f} ms"
+        f"  {trace.get('span_count', '?')} spans"
+    )
+    if trace.get("remote_parent_id"):
+        header += f"  (remote parent {trace['remote_parent_id']})"
+    lines = [header]
+
+    def walk(node: Mapping, depth: int) -> None:
+        duration_ns = int(node["duration_ns"])
+        offset_ns = max(int(node["start_ns"]) - base_ns, 0)
+        start_col = min(offset_ns * width // total_ns, width - 1)
+        length = max(duration_ns * width // total_ns, 1)
+        length = min(length, width - start_col)
+        bar = (
+            " " * start_col
+            + "█" * length
+            + " " * (width - start_col - length)
+        )
+        label = ("  " * depth + node["name"])[:38].ljust(38)
+        lines.append(f"{label} {duration_ns / 1e6:9.3f} ms |{bar}|")
+        for child in node.get("children", ()):
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
 
 
 def render_events_summary(log: EventLog, title: str = "DUE events") -> str:

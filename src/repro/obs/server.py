@@ -9,7 +9,12 @@ on a daemon thread so a long sweep can be watched *while it runs*:
 - ``GET /events?limit=N`` — the newest *N* retained DUE events as
   JSON lines (default: all retained).  ``limit`` must be a positive
   integer; anything else is a 400 with a JSON error body.
-- ``GET /spans`` — per-stage latency summary when tracing is enabled.
+- ``GET /spans`` — per-stage latency summary when tracing is enabled;
+  ``?format=json`` returns the retained raw spans as nested JSON
+  trees instead of the text-oriented aggregate.
+- ``GET /traces?limit=N`` — the slowest retained request traces
+  (full span trees, slowest first), from the collector's bounded
+  slow-request buffer.  Same ``limit`` validation as ``/events``.
 - ``GET /healthz`` — liveness probe.
 
 The server binds ``127.0.0.1`` by default (observability data includes
@@ -86,28 +91,69 @@ def _endpoint_metrics_json(obs: "ObsServer", query) -> tuple[int, str, str]:
 
 def _endpoint_events(obs: "ObsServer", query) -> tuple[int, str, str]:
     events = obs.event_log.events()
-    raw_limit = query.get("limit", [None])[0]
-    if raw_limit is not None:
-        try:
-            limit = int(raw_limit)
-        except ValueError:
-            limit = 0  # non-numeric: rejected below alongside <= 0
-        if limit < 1:
-            body = json.dumps({
-                "error": f"bad limit: {raw_limit!r} "
-                "(must be a positive integer)"
-            })
-            return 400, "application/json", body + "\n"
+    limit, error = _parse_limit(query)
+    if error is not None:
+        return 400, "application/json", error
+    if limit is not None:
         events = events[len(events) - min(limit, len(events)):]
     lines = [json.dumps(e.to_dict(), sort_keys=True) for e in events]
     return 200, "application/x-ndjson", "\n".join(lines) + ("\n" if lines else "")
 
 
+def _parse_limit(query) -> tuple[int | None, str | None]:
+    """Validate a ``?limit=N`` query: (limit, error-body-or-None)."""
+    raw_limit = query.get("limit", [None])[0]
+    if raw_limit is None:
+        return None, None
+    try:
+        limit = int(raw_limit)
+    except ValueError:
+        limit = 0  # non-numeric: rejected below alongside <= 0
+    if limit < 1:
+        body = json.dumps({
+            "error": f"bad limit: {raw_limit!r} "
+            "(must be a positive integer)"
+        })
+        return None, body + "\n"
+    return limit, None
+
+
 def _endpoint_spans(obs: "ObsServer", query) -> tuple[int, str, str]:
     collector = obs_trace.current_collector()
+    fmt = query.get("format", ["summary"])[0]
+    if fmt == "json":
+        spans = collector.spans if collector is not None else ()
+        body = {
+            "tracing": collector is not None,
+            "span_count": len(spans),
+            "dropped": collector.dropped if collector is not None else 0,
+            "spans": obs_trace.spans_to_forest(spans),
+        }
+    elif fmt == "summary":
+        body = {
+            "tracing": collector is not None,
+            "stages": collector.summary() if collector is not None else {},
+        }
+    else:
+        error = json.dumps({
+            "error": f"bad format: {fmt!r} (must be 'summary' or 'json')"
+        })
+        return 400, "application/json", error + "\n"
+    return 200, "application/json", json.dumps(body, sort_keys=True) + "\n"
+
+
+def _endpoint_traces(obs: "ObsServer", query) -> tuple[int, str, str]:
+    limit, error = _parse_limit(query)
+    if error is not None:
+        return 400, "application/json", error
+    collector = obs_trace.current_collector()
+    entries = (
+        collector.traces.slowest(limit) if collector is not None else []
+    )
     body = {
         "tracing": collector is not None,
-        "stages": collector.summary() if collector is not None else {},
+        "count": len(entries),
+        "traces": [entry.as_dict() for entry in entries],
     }
     return 200, "application/json", json.dumps(body, sort_keys=True) + "\n"
 
@@ -121,6 +167,7 @@ _ROUTES = {
     "/metrics.json": _endpoint_metrics_json,
     "/events": _endpoint_events,
     "/spans": _endpoint_spans,
+    "/traces": _endpoint_traces,
     "/healthz": _endpoint_healthz,
 }
 

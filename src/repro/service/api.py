@@ -17,6 +17,7 @@ from typing import Any
 
 from repro.core.swdecc import RecoveryResult
 from repro.errors import ServiceError
+from repro.obs.trace import TraceContext
 from repro.service.catalog import DEFAULT_CODE_ID, DEFAULT_CONTEXT_ID
 
 __all__ = [
@@ -63,6 +64,13 @@ class RecoveryRequest:
     ``timeout_s`` bounds how long the HTTP handler waits for the
     batcher before degrading to detect-only; ``None`` means the
     server's default.
+
+    ``trace`` is the request's sampled trace context, attached by the
+    HTTP layer when a collector is recording; it rides the request
+    through the batcher and across the shard process boundary (the
+    tuple pickles) so worker-side spans re-parent correctly.  It is
+    excluded from equality so identical recovery jobs still compare
+    equal regardless of trace identity.
     """
 
     words: tuple[int, ...]
@@ -70,6 +78,9 @@ class RecoveryRequest:
     context_id: str = DEFAULT_CONTEXT_ID
     timeout_s: float | None = None
     raw_words: tuple[Any, ...] = field(default=(), repr=False)
+    trace: TraceContext | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def from_json(

@@ -40,12 +40,13 @@ import time
 from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 from threading import Condition, Thread
 
 from repro.errors import ServiceError, ServiceOverloadError
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.service.api import RecoveryRequest
 from repro.service.shards import ShardPool
 
@@ -66,11 +67,19 @@ _EWMA_ALPHA = 0.2
 
 @dataclass
 class _Job:
-    """One queued request plus its completion future."""
+    """One queued request plus its completion future.
+
+    ``enqueued_ns`` / ``claimed_ns`` are ``perf_counter_ns`` readings
+    taken at submit time and at the moment the worker pops the job
+    from the queue; together with the batch's execute window they
+    decompose each request's latency into the ``service.stage.*``
+    histograms and spans.
+    """
 
     request: RecoveryRequest
     future: Future = field(default_factory=Future)
-    enqueued_at: float = field(default_factory=time.monotonic)
+    enqueued_ns: int = field(default_factory=time.perf_counter_ns)
+    claimed_ns: int = 0
 
     @property
     def words(self) -> int:
@@ -158,6 +167,23 @@ class RecoveryBatcher:
         self._c_overloads = registry.counter(
             f"{metric_prefix}.overloads",
             help="Submissions rejected because the queue was full",
+        )
+        # Per-request latency decomposition.  Deliberately *not* under
+        # the shard prefix: every shard batcher shares one family per
+        # stage, so dashboards see one distribution per stage however
+        # many shards serve it (get-or-create makes this idempotent).
+        self._h_stage_queue_wait = registry.histogram(
+            "service.stage.queue_wait",
+            help="Per request: submit until the batch worker claimed it",
+        )
+        self._h_stage_linger = registry.histogram(
+            "service.stage.linger",
+            help="Per request: claimed until its batch began executing",
+        )
+        self._h_stage_shard_exec = registry.histogram(
+            "service.stage.shard_exec",
+            help="Per request: executor wall time of its batch "
+            "(in-process or across the shard boundary)",
         )
 
     # ------------------------------------------------------------------
@@ -285,11 +311,13 @@ class RecoveryBatcher:
                     return None
                 self._cond.wait()
             batch = [self._queue.popleft()]
+            batch[0].claimed_ns = time.perf_counter_ns()
             words = batch[0].words
             deadline = time.monotonic() + self._linger_s
             while words < self._max_batch:
                 if self._queue:
                     batch.append(self._queue.popleft())
+                    batch[-1].claimed_ns = time.perf_counter_ns()
                     words += batch[-1].words
                     continue
                 remaining = deadline - time.monotonic()
@@ -320,22 +348,47 @@ class RecoveryBatcher:
         self._c_batches.inc()
         if not live:
             return
+        exec_start_ns = time.perf_counter_ns()
         self._h_batch_linger.observe(
             max(
-                time.monotonic()
-                - min(job.enqueued_at for job in live),
+                (exec_start_ns - min(job.enqueued_ns for job in live)) / 1e9,
                 0.0,
             )
         )
-        started = time.perf_counter()
+        for job in live:
+            self._h_stage_queue_wait.observe(
+                max(job.claimed_ns - job.enqueued_ns, 0) / 1e9
+            )
+            self._h_stage_linger.observe(
+                max(exec_start_ns - job.claimed_ns, 0) / 1e9
+            )
+        # Traced jobs get a per-request shard_exec span minted *now* so
+        # the executor (possibly in another process) can parent its own
+        # spans under it; the context rides inside the request.
+        collector = obs_trace.current_collector()
+        exec_span_ids: dict[int, int] = {}
+        requests = []
+        for job in live:
+            context = job.request.trace
+            if context is not None and collector is not None:
+                exec_id = obs_trace.new_span_id()
+                exec_span_ids[id(job)] = exec_id
+                requests.append(
+                    replace(job.request, trace=context.child(exec_id))
+                )
+            else:
+                requests.append(job.request)
         try:
-            results = self._execute([job.request for job in live])
+            results = self._execute(requests)
         except BaseException as error:  # executor failed: fail the batch
             for job in live:
                 job.future.set_exception(error)
             return
-        elapsed = time.perf_counter() - started
+        exec_end_ns = time.perf_counter_ns()
+        elapsed = (exec_end_ns - exec_start_ns) / 1e9
         self._h_batch_seconds.observe(elapsed)
+        for _ in live:
+            self._h_stage_shard_exec.observe(elapsed)
         if words:
             observed = elapsed / words
             self._seconds_per_word += _EWMA_ALPHA * (
@@ -350,7 +403,78 @@ class RecoveryBatcher:
                 job.future.set_exception(error)
             return
         for job, result in zip(live, results):
+            self._record_job_spans(
+                collector, job, result, exec_span_ids,
+                exec_start_ns, exec_end_ns,
+            )
             job.future.set_result(result)
+
+    @staticmethod
+    def _record_job_spans(
+        collector: obs_trace.SpanCollector | None,
+        job: _Job,
+        result: object,
+        exec_span_ids: dict[int, int],
+        exec_start_ns: int,
+        exec_end_ns: int,
+    ) -> None:
+        """Record one job's stage spans and re-parent shipped worker
+        spans into the parent collector.
+
+        Worker spans arrive inside the outcome dict as plain
+        ``{"name", "rel_start_ns", "rel_end_ns", "span_id",
+        "parent_id", "trace_id"}`` records, timed relative to the
+        worker's own execute start (its clock is not ours).  Rebasing
+        them onto the parent-observed execute window keeps every child
+        inside its ``service.stage.shard_exec`` parent: the worker's
+        own execute wall is strictly shorter than the parent-observed
+        one (which also pays the IPC), so ``rel_end_ns`` never
+        overruns the window.
+        """
+        shipped = (
+            result.pop("spans", None) if isinstance(result, dict) else None
+        )
+        context = job.request.trace
+        if collector is None or context is None:
+            return
+        exec_id = exec_span_ids.get(id(job))
+        if exec_id is None:
+            return
+        root_id, trace_id = context.span_id, context.trace_id
+        collector.record(obs_trace.Span(
+            name="service.stage.queue_wait",
+            start_ns=job.enqueued_ns,
+            end_ns=max(job.claimed_ns, job.enqueued_ns),
+            depth=1, span_id=obs_trace.new_span_id(),
+            parent_id=root_id, trace_id=trace_id,
+        ))
+        collector.record(obs_trace.Span(
+            name="service.stage.linger",
+            start_ns=job.claimed_ns,
+            end_ns=max(exec_start_ns, job.claimed_ns),
+            depth=1, span_id=obs_trace.new_span_id(),
+            parent_id=root_id, trace_id=trace_id,
+        ))
+        collector.record(obs_trace.Span(
+            name="service.stage.shard_exec",
+            start_ns=exec_start_ns, end_ns=exec_end_ns,
+            depth=1, span_id=exec_id,
+            parent_id=root_id, trace_id=trace_id,
+        ))
+        if shipped:
+            window = exec_end_ns - exec_start_ns
+            for raw in shipped:
+                rel_end = min(int(raw["rel_end_ns"]), window)
+                rel_start = min(int(raw["rel_start_ns"]), rel_end)
+                collector.record(obs_trace.Span(
+                    name=str(raw["name"]),
+                    start_ns=exec_start_ns + rel_start,
+                    end_ns=exec_start_ns + rel_end,
+                    depth=2,
+                    span_id=int(raw["span_id"]),
+                    parent_id=int(raw["parent_id"]),
+                    trace_id=str(raw["trace_id"]),
+                ))
 
 
 def _aggregate_queue_depth_collector() -> None:

@@ -22,6 +22,13 @@ both measure with identical methodology.
 Clients reuse one :class:`http.client.HTTPConnection` each — the
 service speaks HTTP/1.1 with Content-Length, so keep-alive works and
 connection setup stays out of the measured latency.
+
+Every request carries a generator-minted W3C ``traceparent`` header,
+and :meth:`LoadResult.slowest_traces` reports the trace ids of the
+slowest requests — when the service runs with tracing enabled, those
+ids resolve in its ``GET /traces`` buffer (``repro trace <id>``), so
+a latency outlier in a bench run can be decomposed into queue wait /
+linger / shard execution after the fact.
 """
 
 from __future__ import annotations
@@ -86,6 +93,13 @@ class LoadResult:
     http_errors: int = 0
     wall_s: float = 0.0
     latencies_s: list[float] = field(default_factory=list, repr=False)
+    #: ``(latency_s, trace_id)`` per answered request — the trace id
+    #: the generator sent in the request's ``traceparent`` header, so
+    #: a slow request here can be looked up in the service's
+    #: ``GET /traces`` buffer (when it serves with tracing on).
+    traced_latencies: list[tuple[float, str]] = field(
+        default_factory=list, repr=False
+    )
 
     @property
     def throughput_words_per_s(self) -> float:
@@ -97,6 +111,17 @@ class LoadResult:
 
     def latency_ms(self, q: float) -> float:
         return percentile(sorted(self.latencies_s), q) * 1e3
+
+    def slowest_traces(self, n: int = 5) -> list[dict]:
+        """The *n* slowest requests as ``{latency_ms, trace_id}``,
+        slowest first — cross-reference them against the service's
+        ``GET /traces`` (or ``repro trace <id>``) for the latency
+        decomposition."""
+        slowest = sorted(self.traced_latencies, reverse=True)[:n]
+        return [
+            {"latency_ms": round(latency * 1e3, 3), "trace_id": trace_id}
+            for latency, trace_id in slowest
+        ]
 
     def to_record(self) -> dict:
         """A JSON-ready summary (for ``BENCH_service.json`` history)."""
@@ -121,6 +146,7 @@ class LoadResult:
                 "p90": round(self.latency_ms(0.90), 3),
                 "p99": round(self.latency_ms(0.99), 3),
             },
+            "slowest_traces": self.slowest_traces(),
         }
 
 
@@ -149,6 +175,12 @@ def _client_loop(
 
     connection = connect()
     latencies: list[float] = []
+    traced: list[tuple[float, str]] = []
+    # A fresh trace id per request, minted with a seeded PRNG (the low
+    # bit is pinned so the ids are never the all-zero value the W3C
+    # format reserves).  os.urandom would cost a syscall per request;
+    # the generator must never be slower than the service it measures.
+    rng = random.Random(0x7ECC ^ offset)
     counted = dict(
         requests=0, words=0, recovered=0, degraded=0,
         rejected=0, word_errors=0, http_errors=0,
@@ -161,6 +193,13 @@ def _client_loop(
                 for i in range(words_per_request)
             ]
             body = json.dumps({"received": batch, "context": context})
+            trace_id = f"{rng.getrandbits(128) | 1:032x}"
+            headers = {
+                "Content-Type": "application/json",
+                "traceparent": (
+                    f"00-{trace_id}-{rng.getrandbits(63) | 1:016x}-01"
+                ),
+            }
             if schedule is not None:
                 # Open loop: fire at the scheduled arrival time, and
                 # measure latency *from* it — a request delayed behind
@@ -175,8 +214,7 @@ def _client_loop(
                 began = time.perf_counter()
             try:
                 connection.request(
-                    "POST", "/recover/batch", body=body,
-                    headers={"Content-Type": "application/json"},
+                    "POST", "/recover/batch", body=body, headers=headers,
                 )
                 response = connection.getresponse()
                 text = response.read().decode("utf-8")
@@ -187,7 +225,9 @@ def _client_loop(
                 connection = connect()
                 counted["http_errors"] += 1
                 continue
-            latencies.append(time.perf_counter() - began)
+            elapsed = time.perf_counter() - began
+            latencies.append(elapsed)
+            traced.append((elapsed, trace_id))
             counted["requests"] += 1
             counted["words"] += len(batch)
             if response.status == 429:
@@ -219,6 +259,7 @@ def _client_loop(
         result.word_errors += counted["word_errors"]
         result.http_errors += counted["http_errors"]
         result.latencies_s.extend(latencies)
+        result.traced_latencies.extend(traced)
 
 
 def run_load(

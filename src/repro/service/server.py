@@ -46,7 +46,9 @@ import json
 import logging
 import math
 import time
+from collections.abc import Callable
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from threading import Thread
 from urllib.parse import parse_qs, urlparse
@@ -57,8 +59,10 @@ from repro.errors import (
     ShardFailureError,
 )
 from repro.obs import events as obs_events
+from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
 from repro.obs import server as obs_server
+from repro.obs import trace as obs_trace
 from repro.service import api
 from repro.service.batcher import RecoveryBatcher, ShardedBatcher
 from repro.service.catalog import ServiceCatalog
@@ -72,6 +76,86 @@ _log.addHandler(logging.NullHandler())
 #: Reject request bodies beyond this size outright (DoS hygiene; a
 #: maximal legal batch is far smaller).
 _MAX_BODY_BYTES = 8 << 20
+
+
+class _RequestTrace:
+    """One request's trace lifecycle, owned by the HTTP layer.
+
+    Created at ingress by :meth:`RecoveryService.trace_ingress` —
+    every POST gets one, so a ``traceparent`` response header is
+    always emitted — but spans are recorded only while a collector is
+    installed *and* the inbound header (if any) asked for sampling.
+    ``finish`` records the root ``service.request`` span and folds the
+    staged spans into the collector's slow-trace buffer; it is
+    idempotent and runs in a ``finally`` so staging slots never leak.
+    """
+
+    __slots__ = (
+        "context", "remote_parent_id", "collector",
+        "root_start_ns", "_finished",
+    )
+
+    def __init__(
+        self,
+        context: obs_trace.TraceContext,
+        remote_parent_id: int | None,
+        collector: obs_trace.SpanCollector | None,
+    ) -> None:
+        self.context = context
+        self.remote_parent_id = remote_parent_id
+        self.collector = collector
+        self.root_start_ns = time.perf_counter_ns()
+        self._finished = False
+        if collector is not None:
+            collector.begin_trace(context.trace_id)
+
+    @property
+    def traceparent(self) -> str:
+        """The outbound ``traceparent`` response header value."""
+        return self.context.to_traceparent()
+
+    @property
+    def recording(self) -> bool:
+        """True when spans are being recorded for this request."""
+        return self.collector is not None
+
+    def stage(self, name: str, start_ns: int, end_ns: int) -> None:
+        """Record one stage span under the request root (if recording)."""
+        if self.collector is not None:
+            self.collector.record(obs_trace.Span(
+                name=name,
+                start_ns=start_ns,
+                end_ns=max(end_ns, start_ns),
+                depth=1,
+                span_id=obs_trace.new_span_id(),
+                parent_id=self.context.span_id,
+                trace_id=self.context.trace_id,
+            ))
+
+    def finish(self, end_ns: int | None = None) -> None:
+        """Record the root span and retire the trace (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        collector = self.collector
+        if collector is None:
+            return
+        if end_ns is None:
+            end_ns = time.perf_counter_ns()
+        collector.record(obs_trace.Span(
+            name="service.request",
+            start_ns=self.root_start_ns,
+            end_ns=max(end_ns, self.root_start_ns),
+            depth=0,
+            span_id=self.context.span_id,
+            parent_id=None,
+            trace_id=self.context.trace_id,
+        ))
+        collector.finish_trace(
+            self.context.trace_id,
+            root_span_id=self.context.span_id,
+            remote_parent_id=self.remote_parent_id,
+        )
 
 
 class _RecoveryRequestHandler(BaseHTTPRequestHandler):
@@ -112,26 +196,41 @@ class _RecoveryRequestHandler(BaseHTTPRequestHandler):
                         json.dumps({"error": f"no such endpoint: {url.path}"})
                         + "\n")
             return
+        trace = service.trace_ingress(self.headers.get("traceparent"))
         try:
-            # handle_recover returns a fully serialized body: success
-            # responses are spliced from cached JSON fragments, and
-            # re-serializing them here would cost more than the
-            # recovery itself on the cache-hit path.
-            status, body, headers = service.handle_recover(
-                self._read_body(), batch=url.path.endswith("/batch")
-            )
-        except BrokenPipeError:  # pragma: no cover - client went away
-            return
-        except ServiceError as error:
-            status, headers = 400, {}
-            body = json.dumps({"error": str(error)}, sort_keys=True) + "\n"
-        except Exception as error:  # pragma: no cover - defensive
-            status, headers = 500, {}
-            body = json.dumps({"error": str(error)}, sort_keys=True) + "\n"
-        try:
-            self._reply(status, "application/json", body, headers)
-        except BrokenPipeError:  # pragma: no cover - client went away
-            pass
+            try:
+                # handle_recover returns a fully serialized body:
+                # success responses are spliced from cached JSON
+                # fragments, and re-serializing them here would cost
+                # more than the recovery itself on the cache-hit path.
+                status, body, headers = service.handle_recover(
+                    self._read_body(),
+                    batch=url.path.endswith("/batch"),
+                    trace=trace,
+                )
+            except BrokenPipeError:  # pragma: no cover - client went away
+                return
+            except ServiceError as error:
+                status, headers = 400, {}
+                body = (
+                    json.dumps({"error": str(error)}, sort_keys=True) + "\n"
+                )
+            except Exception as error:  # pragma: no cover - defensive
+                status, headers = 500, {}
+                body = (
+                    json.dumps({"error": str(error)}, sort_keys=True) + "\n"
+                )
+            headers = {**headers, "traceparent": trace.traceparent}
+            respond_start_ns = time.perf_counter_ns()
+            try:
+                self._reply(status, "application/json", body, headers)
+            except BrokenPipeError:  # pragma: no cover - client went away
+                pass
+            respond_end_ns = time.perf_counter_ns()
+            service.observe_respond(trace, respond_start_ns, respond_end_ns)
+            trace.finish(respond_end_ns)
+        finally:
+            trace.finish()
 
     def _read_body(self) -> bytes:
         try:
@@ -285,6 +384,17 @@ class RecoveryService:
             "service.request_seconds",
             help="End-to-end request latency (parse to response body)",
         )
+        # The HTTP-layer halves of the per-request stage decomposition
+        # (the batcher owns queue_wait / linger / shard_exec).
+        self._h_stage_serialize = resolved.histogram(
+            "service.stage.serialize",
+            help="Per request: response-body construction "
+            "(fragment splice / degradation payload)",
+        )
+        self._h_stage_respond = resolved.histogram(
+            "service.stage.respond",
+            help="Per request: writing the HTTP response to the socket",
+        )
 
     # ------------------------------------------------------------------
     # Shared-observability owner protocol (see repro.obs.server)
@@ -433,15 +543,61 @@ class RecoveryService:
     # Request handling (called from handler threads)
     # ------------------------------------------------------------------
 
+    def trace_ingress(self, traceparent: str | None) -> _RequestTrace:
+        """Open one request's trace from its inbound header (if any).
+
+        A well-formed inbound ``traceparent`` donates its trace id (so
+        the caller can correlate) and becomes the remote parent of our
+        root span; otherwise fresh ids are minted.  Recording requires
+        both an installed collector and the inbound sampled flag — an
+        unsampled inbound header is propagated but never recorded.
+        """
+        inbound = obs_trace.parse_traceparent(traceparent)
+        collector = obs_trace.current_collector()
+        sampled_in = inbound.sampled if inbound is not None else True
+        recording = collector is not None and sampled_in
+        if inbound is not None:
+            context = obs_trace.TraceContext(
+                inbound.trace_id, obs_trace.new_span_id(), recording
+            )
+            remote_parent = inbound.span_id
+        else:
+            context = obs_trace.TraceContext.new(sampled=recording)
+            remote_parent = None
+        return _RequestTrace(
+            context, remote_parent, collector if recording else None
+        )
+
+    def observe_respond(
+        self, trace: _RequestTrace, start_ns: int, end_ns: int
+    ) -> None:
+        """Account the socket-write stage (histogram always, span when
+        recording)."""
+        self._h_stage_respond.observe(max(end_ns - start_ns, 0) / 1e9)
+        trace.stage("service.stage.respond", start_ns, end_ns)
+
     def handle_recover(
-        self, body: bytes, batch: bool
+        self, body: bytes, batch: bool, trace: _RequestTrace | None = None
     ) -> tuple[int, str, dict[str, str]]:
         """Process one POST body; returns (status, body, headers).
 
         The returned body is already serialized: success responses are
         spliced together from the executor's pre-serialized per-word
         fragments, so a cache-served word is never re-serialized.
+
+        When *trace* is given (the HTTP layer always passes one), its
+        trace id is bound into any structured JSON logs emitted while
+        the request is handled, its context rides the queued request,
+        and the serialize stage is recorded.
         """
+        if trace is None:
+            return self._handle_recover(body, batch, None)
+        with obs_logging.bind(trace_id=trace.context.trace_id):
+            return self._handle_recover(body, batch, trace)
+
+    def _handle_recover(
+        self, body: bytes, batch: bool, trace: _RequestTrace | None
+    ) -> tuple[int, str, dict[str, str]]:
         started = time.perf_counter()
         self._c_requests.inc()
         try:
@@ -452,6 +608,8 @@ class RecoveryService:
             parsed, batch=batch,
             width_for=lambda code_id: self._catalog.code(code_id).n,
         )
+        if trace is not None and trace.recording:
+            request = replace(request, trace=trace.context)
         # Resolve the context now: unknown ids are a 400, not a queued
         # failure, and the build cost is paid before entering the queue.
         self._catalog.context(request.context_id)
@@ -474,7 +632,9 @@ class RecoveryService:
             future.cancel()  # shed the work if the batch hasn't claimed it
             self._c_timeouts.inc()
             self._c_degraded.inc()
-            body_out = self._degraded_body(request, "timeout", batch)
+            body_out = self._serialize_stage(
+                trace, lambda: self._degraded_body(request, "timeout", batch)
+            )
             self._h_request_seconds.observe(time.perf_counter() - started)
             return 200, body_out, {}
         except ShardFailureError as failure:
@@ -484,9 +644,22 @@ class RecoveryService:
             return self._shard_failure_response(
                 request, failure, batch, started
             )
-        body_out = self._success_body(request, outcome, batch)
+        body_out = self._serialize_stage(
+            trace, lambda: self._success_body(request, outcome, batch)
+        )
         self._h_request_seconds.observe(time.perf_counter() - started)
         return 200, body_out, {}
+
+    def _serialize_stage(
+        self, trace: _RequestTrace | None, build: "Callable[[], str]"
+    ) -> str:
+        start_ns = time.perf_counter_ns()
+        body_out = build()
+        end_ns = time.perf_counter_ns()
+        self._h_stage_serialize.observe((end_ns - start_ns) / 1e9)
+        if trace is not None:
+            trace.stage("service.stage.serialize", start_ns, end_ns)
+        return body_out
 
     def _success_body(
         self, request: api.RecoveryRequest, outcome: dict, batch: bool

@@ -113,6 +113,110 @@ class TestEndpoints:
         assert families["swdecc_recoveries"].sample_value("_total") == 13
 
 
+class TestTraceEndpoints:
+    @pytest.fixture()
+    def traced(self, served):
+        from repro.obs import trace as obs_trace
+
+        collector = obs_trace.enable_tracing(obs_trace.SpanCollector())
+        try:
+            yield served[0], collector
+        finally:
+            obs_trace.disable_tracing()
+
+    @staticmethod
+    def _finish_request(collector, trace_id: str, duration_ns: int):
+        from repro.obs.trace import Span
+
+        collector.begin_trace(trace_id)
+        collector.record(Span(
+            name="service.stage.shard_exec", start_ns=10,
+            end_ns=duration_ns - 10, depth=1, span_id=2, parent_id=1,
+            trace_id=trace_id,
+        ))
+        collector.record(Span(
+            name="service.request", start_ns=0, end_ns=duration_ns,
+            depth=0, span_id=1, parent_id=None, trace_id=trace_id,
+        ))
+        collector.finish_trace(trace_id, root_span_id=1)
+
+    def test_spans_json_returns_forest(self, traced):
+        server, _ = traced
+        from repro.obs.trace import span
+        with span("outer"):
+            with span("inner"):
+                pass
+        status, content_type, body = _get(server, "/spans?format=json")
+        assert status == 200
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["tracing"] is True
+        assert payload["span_count"] == 2
+        assert payload["dropped"] == 0
+        (root,) = payload["spans"]
+        assert root["name"] == "outer"
+        assert [c["name"] for c in root["children"]] == ["inner"]
+
+    def test_spans_summary_still_default(self, traced):
+        server, _ = traced
+        from repro.obs.trace import span
+        with span("stage"):
+            pass
+        _, _, body = _get(server, "/spans")
+        payload = json.loads(body)
+        assert payload["tracing"] is True
+        assert payload["stages"]["stage"]["count"] == 1
+
+    def test_spans_bad_format_is_400(self, traced):
+        server, _ = traced
+        status, content_type, body = _get(server, "/spans?format=xml")
+        assert status == 400
+        assert content_type == "application/json"
+        assert "bad format" in json.loads(body)["error"]
+
+    def test_traces_lists_slowest_first(self, traced):
+        server, collector = traced
+        self._finish_request(collector, "aa" * 16, 1_000_000)
+        self._finish_request(collector, "bb" * 16, 5_000_000)
+        status, content_type, body = _get(server, "/traces")
+        assert status == 200
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["tracing"] is True
+        assert payload["count"] == 2
+        assert [t["trace_id"] for t in payload["traces"]] == \
+            ["bb" * 16, "aa" * 16]
+        root = payload["traces"][0]["root"]
+        assert root["name"] == "service.request"
+        assert [c["name"] for c in root["children"]] == \
+            ["service.stage.shard_exec"]
+
+    def test_traces_limit(self, traced):
+        server, collector = traced
+        for index in range(3):
+            self._finish_request(
+                collector, f"{index:032x}", (index + 1) * 1_000
+            )
+        _, _, body = _get(server, "/traces?limit=1")
+        payload = json.loads(body)
+        assert payload["count"] == 1
+        assert payload["traces"][0]["trace_id"] == f"{2:032x}"
+
+    def test_traces_bad_limit_is_400(self, traced):
+        server, _ = traced
+        status, _, body = _get(server, "/traces?limit=zero")
+        assert status == 400
+        assert "bad limit" in json.loads(body)["error"]
+
+    def test_traces_with_tracing_disabled(self, served):
+        server, _, _ = served
+        status, _, body = _get(server, "/traces")
+        assert status == 200
+        assert json.loads(body) == {
+            "tracing": False, "count": 0, "traces": [],
+        }
+
+
 class TestLifecycle:
     def test_port_zero_resolves_to_real_port(self, served):
         server, _, _ = served

@@ -1,15 +1,25 @@
-"""Unit tests for tracing spans: nesting, timing monotonicity, no-op mode."""
+"""Unit tests for tracing spans: nesting, timing monotonicity, no-op mode,
+traceparent propagation, bounded retention, and slow-trace staging."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.obs.trace import (
+    Span,
     SpanCollector,
+    TraceBuffer,
+    TraceContext,
+    TraceEntry,
     current_collector,
     disable_tracing,
     enable_tracing,
+    format_span_id,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
     span,
+    spans_to_forest,
     tracing_enabled,
 )
 
@@ -121,3 +131,253 @@ class TestSummary:
         collector.clear()
         assert len(collector) == 0
         assert collector.summary() == {}
+
+
+_TRACE_ID = "ab" * 16
+_SPAN_HEX = "cd" * 8
+
+
+class TestTraceparent:
+    def test_roundtrip(self):
+        context = TraceContext.new()
+        assert parse_traceparent(context.to_traceparent()) == context
+
+    def test_unsampled_roundtrip(self):
+        context = TraceContext.new(sampled=False)
+        header = context.to_traceparent()
+        assert header.endswith("-00")
+        assert parse_traceparent(header) == context
+
+    def test_parse_fields(self):
+        context = parse_traceparent(f"00-{_TRACE_ID}-{_SPAN_HEX}-01")
+        assert context == TraceContext(_TRACE_ID, int(_SPAN_HEX, 16), True)
+
+    def test_flags_other_bits_ignored_for_sampling(self):
+        context = parse_traceparent(f"00-{_TRACE_ID}-{_SPAN_HEX}-fe")
+        assert context is not None and not context.sampled
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "garbage",
+        f"00-{_TRACE_ID}-{_SPAN_HEX}",            # missing flags
+        f"0-{_TRACE_ID}-{_SPAN_HEX}-01",          # short version
+        f"ff-{_TRACE_ID}-{_SPAN_HEX}-01",         # forbidden version
+        f"00-{_TRACE_ID[:-2]}-{_SPAN_HEX}-01",    # short trace id
+        f"00-{_TRACE_ID}-{_SPAN_HEX[:-2]}-01",    # short span id
+        f"00-{'0' * 32}-{_SPAN_HEX}-01",          # all-zero trace id
+        f"00-{_TRACE_ID}-{'0' * 16}-01",          # all-zero span id
+        f"00-{_TRACE_ID.upper()}-{_SPAN_HEX}-01",  # uppercase hex
+        f"00-{_TRACE_ID}-{_SPAN_HEX}-01-extra",   # v00 has 4 fields
+        f"00-{'zz' * 16}-{_SPAN_HEX}-01",         # non-hex trace id
+        f"00-{_TRACE_ID}-{_SPAN_HEX}-xx",         # non-hex flags
+    ])
+    def test_malformed_headers_parse_to_none(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_future_version_tolerates_extra_fields(self):
+        context = parse_traceparent(
+            f"01-{_TRACE_ID}-{_SPAN_HEX}-01-future-stuff"
+        )
+        assert context is not None
+        assert context.trace_id == _TRACE_ID
+
+    def test_child_keeps_trace_and_sampling(self):
+        parent = TraceContext(_TRACE_ID, 7, sampled=False)
+        child = parent.child(11)
+        assert child == TraceContext(_TRACE_ID, 11, False)
+
+    def test_random_ids_are_well_formed(self):
+        assert len(new_trace_id()) == 32
+        assert new_trace_id() != new_trace_id()
+        span_id = new_span_id()
+        assert 0 < span_id < (1 << 63)
+        assert len(format_span_id(span_id)) == 16
+        assert int(format_span_id(span_id), 16) == span_id
+
+
+def _make_span(
+    name: str,
+    start_ns: int,
+    end_ns: int,
+    span_id: int,
+    parent_id: int | None = None,
+    trace_id: str | None = None,
+    depth: int = 0,
+) -> Span:
+    return Span(name=name, start_ns=start_ns, end_ns=end_ns, depth=depth,
+                span_id=span_id, parent_id=parent_id, trace_id=trace_id)
+
+
+class TestBoundedRetention:
+    def test_raw_spans_capped_but_summary_stays_exact(self):
+        collector = SpanCollector(max_spans=8)
+        enable_tracing(collector)
+        try:
+            for _ in range(20):
+                with span("hot"):
+                    pass
+        finally:
+            disable_tracing()
+        assert len(collector) == 8
+        assert len(collector.spans) == 8
+        assert collector.dropped == 12
+        entry = collector.summary()["hot"]
+        assert entry["count"] == 20  # exact despite eviction
+        assert entry["total_ns"] >= entry["max_ns"]
+
+    def test_clear_resets_drop_accounting(self):
+        collector = SpanCollector(max_spans=2)
+        for index in range(5):
+            collector.record(_make_span("s", 0, 1, span_id=index))
+        collector.clear()
+        assert collector.dropped == 0
+        for index in range(3):
+            collector.record(_make_span("s", 0, 1, span_id=index))
+        assert collector.dropped == 1
+
+    def test_bad_max_spans_rejected(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            SpanCollector(max_spans=0)
+
+
+class TestSpansToForest:
+    def test_nests_children_and_formats_ids(self):
+        spans = [
+            _make_span("child", 10, 50, span_id=2, parent_id=1,
+                       trace_id=_TRACE_ID, depth=1),
+            _make_span("root", 0, 100, span_id=1, trace_id=_TRACE_ID),
+        ]
+        forest = spans_to_forest(spans)
+        assert len(forest) == 1
+        root = forest[0]
+        assert root["name"] == "root"
+        assert root["span_id"] == format_span_id(1)
+        assert root["parent_id"] is None
+        assert [c["name"] for c in root["children"]] == ["child"]
+        assert root["children"][0]["parent_id"] == format_span_id(1)
+        assert root["children"][0]["duration_ns"] == 40
+
+    def test_missing_parent_becomes_root(self):
+        forest = spans_to_forest(
+            [_make_span("dangling", 5, 9, span_id=3, parent_id=999)]
+        )
+        assert len(forest) == 1
+        assert forest[0]["parent_id"] is None
+
+    def test_roots_and_children_sorted_by_start(self):
+        spans = [
+            _make_span("late-root", 50, 60, span_id=4),
+            _make_span("early-root", 0, 40, span_id=1),
+            _make_span("b", 30, 35, span_id=3, parent_id=1),
+            _make_span("a", 10, 20, span_id=2, parent_id=1),
+        ]
+        forest = spans_to_forest(spans)
+        assert [n["name"] for n in forest] == ["early-root", "late-root"]
+        assert [c["name"] for c in forest[0]["children"]] == ["a", "b"]
+
+
+def _trace_entry(trace_id: str, duration_ns: int) -> TraceEntry:
+    return TraceEntry(
+        trace_id=trace_id, root_span_id=1, remote_parent_id=None,
+        duration_ns=duration_ns,
+        spans=(_make_span("service.request", 0, duration_ns, span_id=1,
+                          trace_id=trace_id),),
+    )
+
+
+class TestTraceBuffer:
+    def test_evicts_fastest_when_full(self):
+        buffer = TraceBuffer(capacity=3)
+        for index, duration in enumerate([50, 10, 30, 40]):
+            buffer.add(_trace_entry(f"t{index}", duration))
+        assert len(buffer) == 3
+        retained = [e.duration_ns for e in buffer.slowest()]
+        assert retained == [50, 40, 30]  # t1 (fastest) evicted
+        assert buffer.get("t1") is None
+        assert buffer.get("t0") is not None
+
+    def test_slowest_limit(self):
+        buffer = TraceBuffer(capacity=8)
+        for index in range(5):
+            buffer.add(_trace_entry(f"t{index}", index * 100))
+        top = buffer.slowest(2)
+        assert [e.trace_id for e in top] == ["t4", "t3"]
+
+    def test_clear_and_bad_capacity(self):
+        buffer = TraceBuffer(capacity=2)
+        buffer.add(_trace_entry("t", 1))
+        buffer.clear()
+        assert len(buffer) == 0
+        with pytest.raises(ValueError, match="capacity"):
+            TraceBuffer(capacity=0)
+
+
+class TestTraceStaging:
+    def test_begin_record_finish_builds_entry(self):
+        collector = SpanCollector()
+        collector.begin_trace(_TRACE_ID)
+        collector.record(_make_span("service.stage.queue_wait", 10, 20,
+                                    span_id=2, parent_id=1,
+                                    trace_id=_TRACE_ID, depth=1))
+        collector.record(_make_span("service.request", 0, 100, span_id=1,
+                                    trace_id=_TRACE_ID))
+        entry = collector.finish_trace(
+            _TRACE_ID, root_span_id=1, remote_parent_id=0xCD
+        )
+        assert entry is not None
+        assert entry.duration_ns == 100  # the root span's duration
+        assert collector.traces.get(_TRACE_ID) is entry
+        tree = entry.as_dict()
+        assert tree["remote_parent_id"] == format_span_id(0xCD)
+        assert tree["span_count"] == 2
+        assert tree["root"]["name"] == "service.request"
+        children = tree["root"]["children"]
+        assert [c["name"] for c in children] == ["service.stage.queue_wait"]
+
+    def test_finish_without_begin_returns_none(self):
+        collector = SpanCollector()
+        assert collector.finish_trace("un" * 16, root_span_id=1) is None
+        assert len(collector.traces) == 0
+
+    def test_orphans_adopted_under_root(self):
+        collector = SpanCollector()
+        collector.begin_trace(_TRACE_ID)
+        collector.record(_make_span("service.request", 0, 100, span_id=1,
+                                    trace_id=_TRACE_ID))
+        collector.record(_make_span("stray", 40, 60, span_id=5,
+                                    parent_id=999, trace_id=_TRACE_ID))
+        entry = collector.finish_trace(_TRACE_ID, root_span_id=1)
+        tree = entry.as_dict()
+        stray = next(
+            c for c in tree["root"]["children"] if c["name"] == "stray"
+        )
+        assert stray["parent_id"] == format_span_id(1)
+
+    def test_untraced_spans_stay_out_of_staging(self):
+        collector = SpanCollector()
+        collector.begin_trace(_TRACE_ID)
+        collector.record(_make_span("plain", 0, 1, span_id=9))
+        collector.record(_make_span("service.request", 0, 100, span_id=1,
+                                    trace_id=_TRACE_ID))
+        entry = collector.finish_trace(_TRACE_ID, root_span_id=1)
+        assert [s.name for s in entry.spans] == ["service.request"]
+
+    def test_spans_for_unstaged_trace_still_recorded(self):
+        collector = SpanCollector()
+        collector.record(_make_span("service.request", 0, 1, span_id=1,
+                                    trace_id="fe" * 16))
+        assert len(collector) == 1
+        assert collector.finish_trace("fe" * 16, root_span_id=1) is None
+
+    def test_staging_pressure_sheds_oldest_slot(self):
+        from repro.obs.trace import _MAX_STAGED_TRACES
+
+        collector = SpanCollector()
+        collector.begin_trace("old" + "0" * 29)
+        for index in range(_MAX_STAGED_TRACES):
+            collector.begin_trace(f"{index:032x}")
+        # The oldest slot was shed; finishing it yields nothing.
+        assert collector.finish_trace(
+            "old" + "0" * 29, root_span_id=1
+        ) is None

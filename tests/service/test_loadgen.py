@@ -60,3 +60,37 @@ class TestRunLoad:
         assert len(result.latencies_s) == 6
         record = result.to_record()
         assert record["latency_ms"]["p50"] <= record["latency_ms"]["p99"]
+
+    def test_slowest_traces_name_retained_server_traces(self):
+        """The generator's slow-request trace ids resolve in the
+        service's /traces buffer when it serves with tracing on."""
+        from repro.obs import trace as obs_trace
+
+        words = generate_due_words(count=16, seed=11)
+        collector = obs_trace.enable_tracing(obs_trace.SpanCollector())
+        service = RecoveryService(
+            port=0, registry=MetricsRegistry(), event_log=EventLog()
+        )
+        try:
+            with service:
+                result = run_load(
+                    "127.0.0.1", service.port,
+                    clients=2, requests_per_client=3,
+                    words_per_request=2, context="none", words=words,
+                )
+        finally:
+            obs_trace.disable_tracing()
+        assert len(result.traced_latencies) == 6
+        slowest = result.slowest_traces(3)
+        assert len(slowest) == 3
+        latencies = [entry["latency_ms"] for entry in slowest]
+        assert latencies == sorted(latencies, reverse=True)
+        assert result.to_record()["slowest_traces"] == \
+            result.slowest_traces()
+        for entry in slowest:
+            assert obs_trace.parse_traceparent(
+                f"00-{entry['trace_id']}-{'ab' * 8}-01"
+            ) is not None  # well-formed W3C trace id
+            # The id the generator reports is the id the service
+            # staged: the slow request is directly inspectable.
+            assert collector.traces.get(entry["trace_id"]) is not None
