@@ -1,0 +1,220 @@
+"""Single-word ``recover()`` latency: precompiled vs memoized vs uncached.
+
+The service-throughput benchmark exercises the batched HTTP path; this
+one isolates the engine itself.  Three engine configurations recover
+the same kind of double-bit-error words (mcf image, all 741 patterns)
+under one stable instruction-memory context:
+
+- ``uncached``     — ``SwdEcc(cache=False)``, measured over *distinct*
+  words with the module-level decoder memo cleared before every pass,
+  so every call pays full enumeration + decode + filter + rank cost;
+- ``memoized``     — ``SwdEcc(cache=True)`` (the pre-table default),
+  measured steady-state after a warm-up pass;
+- ``precompiled``  — ``SwdEcc(precompile=True)``, the syndrome decode
+  table fast path, also measured steady-state.
+
+Throughput is gated on the *minimum* per-call time across several
+tight untimed-loop passes — the noise-robust estimator on a shared
+box, and conservative for the gate because uncached noise can only
+push its best pass *down*.  A separate per-call sampling pass
+(``perf_counter_ns`` around each ``recover()``) supplies the reported
+p50/p99 microseconds; it is not used for the gate.
+
+The gate asserts the tentpole's promise: precompiled recoveries/s must
+be at least ``MIN_SPEEDUP``x the uncached configuration.  Every run
+appends one record per configuration to ``BENCH_recover.json`` at the
+repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from datetime import datetime, timezone
+from pathlib import Path
+from time import perf_counter, perf_counter_ns
+
+from benchmarks.conftest import emit
+from repro.core.sideinfo import RecoveryContext
+from repro.core.swdecc import SwdEcc, TieBreak
+from repro.ecc import canonical_secded_39_32
+from repro.ecc.channel import double_bit_patterns
+from repro.isa import decoder as isa_decoder
+from repro.program.stats import FrequencyTable
+from repro.program.synth import synthesize_benchmark
+
+MIN_SPEEDUP = 10.0
+CONTEXT = "mcf"
+IMAGE_LENGTH = 2048
+SEED = 2016
+#: Distinct DUE words per measurement pass (4 words per pattern).
+WORDS_PER_PASS = 4 * 741
+#: Tight-loop passes whose per-call minimum becomes the gated figure.
+PASSES = 5
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_recover.json"
+
+MODES = ("uncached", "memoized", "precompiled")
+
+
+def _append_history(record) -> None:
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _due_word_sets(code, image) -> list[list[int]]:
+    """``PASSES`` disjoint sets of distinct double-bit DUE words.
+
+    Word index cycles the image while the pattern index strides by 7
+    (coprime with 741), so every (word, pattern) pair — and hence every
+    received word — is distinct across all sets.
+    """
+    patterns = [pattern.vector for pattern in double_bit_patterns(code.n)]
+    words = [
+        code.encode(image.words[i % len(image.words)])
+        ^ patterns[(i * 7) % len(patterns)]
+        for i in range(PASSES * WORDS_PER_PASS)
+    ]
+    return [
+        words[i * WORDS_PER_PASS:(i + 1) * WORDS_PER_PASS]
+        for i in range(PASSES)
+    ]
+
+
+def _engine(mode: str, code) -> SwdEcc:
+    if mode == "uncached":
+        return SwdEcc(
+            code, tie_break=TieBreak.FIRST, rng=random.Random(0), cache=False
+        )
+    if mode == "memoized":
+        return SwdEcc(code, tie_break=TieBreak.FIRST, rng=random.Random(0))
+    return SwdEcc(
+        code, tie_break=TieBreak.FIRST, rng=random.Random(0), precompile=True
+    )
+
+
+def _clear_decoder_memo() -> None:
+    # Other benchmarks (or earlier passes) may have warmed the
+    # module-level decoder memo for these words' candidate messages;
+    # clear it so "uncached" really pays first-touch decode cost.
+    isa_decoder._spec_for_word.cache_clear()
+
+
+def _measure(mode: str, code, word_sets, context):
+    engine = _engine(mode, code)
+    recover = engine.recover
+    if mode != "uncached":
+        for word in word_sets[0]:  # warm-up: memo / rows / table hits
+            recover(word, context)
+    best_per_call = None
+    for word_pass in range(PASSES):
+        # Steady-state modes re-measure one warm set; uncached walks a
+        # fresh distinct set each pass with the decoder memo cleared.
+        words = word_sets[0] if mode != "uncached" else word_sets[word_pass]
+        if mode == "uncached":
+            _clear_decoder_memo()
+        start = perf_counter()
+        for word in words:
+            recover(word, context)
+        per_call = (perf_counter() - start) / len(words)
+        if best_per_call is None or per_call < best_per_call:
+            best_per_call = per_call
+    # Percentile sampling pass (reported, not gated): per-call timing
+    # adds ~100 ns of timer overhead to every call.
+    if mode == "uncached":
+        _clear_decoder_memo()
+    samples_ns = []
+    for word in word_sets[0]:
+        t0 = perf_counter_ns()
+        recover(word, context)
+        samples_ns.append(perf_counter_ns() - t0)
+    samples_ns.sort()
+    calls = len(samples_ns)
+    return {
+        "mode": mode,
+        "calls_per_pass": calls,
+        "passes": PASSES,
+        "recoveries_per_s": 1.0 / best_per_call,
+        "best_pass_us": best_per_call * 1e6,
+        "p50_us": samples_ns[calls // 2] / 1e3,
+        "p99_us": samples_ns[min(calls - 1, (calls * 99) // 100)] / 1e3,
+    }
+
+
+def test_precompiled_recover_is_10x_uncached():
+    code = canonical_secded_39_32()
+    image = synthesize_benchmark(CONTEXT, length=IMAGE_LENGTH, seed=SEED)
+    context = RecoveryContext.for_instructions(FrequencyTable.from_image(image))
+    word_sets = _due_word_sets(code, image)
+
+    timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    results = {}
+    notes = []
+    for mode in MODES:
+        results[mode] = _measure(mode, code, word_sets, context)
+
+    def _speedup() -> float:
+        return (
+            results["precompiled"]["recoveries_per_s"]
+            / results["uncached"]["recoveries_per_s"]
+        )
+
+    # Noise guard: a single descheduling burst can inflate every
+    # precompiled pass while leaving the (30x longer) uncached passes
+    # mostly untouched.  Re-measure the two gated modes a bounded
+    # number of times, keeping each mode's best figures.
+    retries = 0
+    while _speedup() < MIN_SPEEDUP and retries < 2:
+        retries += 1
+        for mode in ("uncached", "precompiled"):
+            remeasured = _measure(mode, code, word_sets, context)
+            if (
+                remeasured["recoveries_per_s"]
+                > results[mode]["recoveries_per_s"]
+            ):
+                results[mode] = remeasured
+        notes.append(f"(retry {retries}: re-measured gated modes)")
+
+    speedup = _speedup()
+    lines = [
+        f"{mode:12s}: {results[mode]['recoveries_per_s']:9.0f} recover()/s  "
+        f"best {results[mode]['best_pass_us']:7.2f} us  "
+        f"p50 {results[mode]['p50_us']:7.2f} us  "
+        f"p99 {results[mode]['p99_us']:7.2f} us"
+        for mode in MODES
+    ] + notes
+    for mode in MODES:
+        record = {
+            "timestamp": timestamp,
+            "tool": "bench_recover_latency",
+            "context": CONTEXT,
+            **results[mode],
+        }
+        if mode == "precompiled":
+            record["speedup_vs_uncached"] = round(speedup, 2)
+        _append_history(record)
+
+    emit(
+        "Performance | single-word recover() latency (decode-table fast path)",
+        "\n".join(
+            [
+                f"workload      : {PASSES} passes x {WORDS_PER_PASS} "
+                f"distinct DUE words, context={CONTEXT}",
+                *lines,
+                f"speedup       : precompiled is {speedup:.1f}x uncached "
+                f"(gate >= {MIN_SPEEDUP:.0f}x)",
+                f"history       : {RESULTS_PATH.name}",
+            ]
+        ),
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"precompiled recover() is only {speedup:.1f}x uncached; the "
+        f"decode table promises >= {MIN_SPEEDUP:.0f}x"
+    )

@@ -285,6 +285,61 @@ def check_worker_kill_respawn(failures: list[str]) -> None:
         if family not in families:
             failures.append(f"/metrics is missing per-shard {family}")
 
+    # Decode-table precompilation: each serving worker builds its
+    # table at fork (ShardSpec.precompile defaults on), and the build
+    # counters/histogram ship to the parent with the worker's first
+    # delta — so the parent's strict-parsed /metrics must carry the
+    # full decode_table_* group with internally consistent values.
+    for family in ("decode_table_builds", "decode_table_entries",
+                   "decode_table_pair_masks",
+                   "decode_table_resident_bytes",
+                   "decode_table_build_seconds"):
+        if family not in families:
+            failures.append(f"/metrics is missing {family}")
+    builds_metric = families.get("decode_table_builds")
+    builds = (
+        builds_metric.sample_value("_total") if builds_metric else 0
+    )
+    if builds < 2:
+        # At least the pre-kill victim and its respawn served traffic,
+        # and each shipped its own table build.
+        failures.append(
+            f"decode_table_builds_total {builds} < 2 across the "
+            f"worker kill (victim + respawn must each build)"
+        )
+    if "decode_table_entries" in families and builds:
+        entries = families["decode_table_entries"].sample_value("_total")
+        if entries != 63 * builds:
+            failures.append(
+                f"decode_table_entries_total {entries} != 63 per build "
+                f"x {builds} builds for the (39,32) SECDED code"
+            )
+    if "decode_table_pair_masks" in families and builds:
+        pair_masks = families["decode_table_pair_masks"].sample_value(
+            "_total"
+        )
+        if pair_masks != 741 * builds:
+            failures.append(
+                f"decode_table_pair_masks_total {pair_masks} != 741 "
+                f"per build x {builds} builds (C(39,2) column pairs)"
+            )
+    if "decode_table_build_seconds" in families:
+        build_seconds = families["decode_table_build_seconds"]
+        if build_seconds.sample_value("_count") != builds:
+            failures.append(
+                "decode_table_build_seconds_count disagrees with "
+                "decode_table_builds_total"
+            )
+    if "decode_table_resident_bytes" in families and builds:
+        resident = families["decode_table_resident_bytes"].sample_value(
+            "_total"
+        )
+        if not 0 < resident / builds < 16 * 1024 * 1024:
+            failures.append(
+                f"decode_table_resident_bytes_total/build {resident}/"
+                f"{builds} is outside the plausible (39,32) range"
+            )
+
     print(
         f"service smoke: worker kill survived "
         f"(pid {victim_pid} -> {respawned_pid}, "

@@ -64,14 +64,18 @@ class RecoveryStrategy(enum.Enum):
 
 
 def _engine_for(
-    strategy: RecoveryStrategy, code: LinearBlockCode, cache: bool = True
+    strategy: RecoveryStrategy,
+    code: LinearBlockCode,
+    cache: bool = True,
+    precompile: bool = False,
 ) -> SwdEcc:
     # The sweep consumes exact probabilities, so the tie-break RNG is
     # never sampled; a fixed instance keeps construction cheap.
     rng = random.Random(0)
     if strategy is RecoveryStrategy.RANDOM_CANDIDATE:
         return SwdEcc(
-            code, filters=(), ranker=UniformRanker(), rng=rng, cache=cache
+            code, filters=(), ranker=UniformRanker(), rng=rng, cache=cache,
+            precompile=precompile,
         )
     if strategy is RecoveryStrategy.FILTER_ONLY:
         return SwdEcc(
@@ -80,6 +84,7 @@ def _engine_for(
             ranker=UniformRanker(),
             rng=rng,
             cache=cache,
+            precompile=precompile,
         )
     return SwdEcc(
         code,
@@ -88,6 +93,7 @@ def _engine_for(
         tie_break=TieBreak.RANDOM,
         rng=rng,
         cache=cache,
+        precompile=precompile,
     )
 
 
@@ -141,6 +147,12 @@ class DueSweep:
     cache:
         Enable the engine's memoization layers (default); disable only
         for uncached baseline measurements.
+    precompile:
+        Build the engine's full syndrome decode table before sweeping
+        (see :meth:`SwdEcc.precompile`).  Results are bit-identical
+        either way; the sweep's vectorized kernel already amortizes
+        enumeration per pattern, so this mainly helps the uncached-
+        comparison and recover_batch paths.
     """
 
     def __init__(
@@ -150,6 +162,7 @@ class DueSweep:
         num_instructions: int = 100,
         patterns: Sequence[ErrorPattern] | None = None,
         cache: bool = True,
+        precompile: bool = False,
     ) -> None:
         if num_instructions < 1:
             raise AnalysisError(
@@ -159,6 +172,7 @@ class DueSweep:
         self._strategy = strategy
         self._num_instructions = num_instructions
         self._cache = cache
+        self._precompile = precompile
         self._patterns = (
             tuple(patterns) if patterns is not None
             else tuple(double_bit_patterns(code.n))
@@ -168,7 +182,9 @@ class DueSweep:
                 raise AnalysisError(
                     f"pattern width {pattern.width} != code length {code.n}"
                 )
-        self._engine = _engine_for(strategy, code, cache=cache)
+        self._engine = _engine_for(
+            strategy, code, cache=cache, precompile=precompile
+        )
 
     @property
     def patterns(self) -> tuple[ErrorPattern, ...]:
@@ -305,7 +321,7 @@ class DueSweep:
             if jobs > 1 and len(self._patterns) > 1:
                 payloads = [
                     (self._code, self._strategy, self._num_instructions,
-                     self._cache, image, chunk)
+                     self._cache, self._precompile, image, chunk)
                     for chunk in chunk_evenly(self._patterns, jobs)
                 ]
                 outcomes = [
@@ -376,8 +392,11 @@ def _sweep_chunk_worker(payload) -> list[PatternOutcome]:
     with fresh caches) from plain data because engines hold
     process-local metric objects that must bind to the worker registry.
     """
-    code, strategy, num_instructions, cache, image, patterns = payload
+    code, strategy, num_instructions, cache, precompile, image, patterns = (
+        payload
+    )
     sweep = DueSweep(
-        code, strategy, num_instructions, patterns=patterns, cache=cache
+        code, strategy, num_instructions, patterns=patterns, cache=cache,
+        precompile=precompile,
     )
     return sweep._outcomes_for(image, patterns)

@@ -58,6 +58,21 @@ class CandidateFilter(ABC):
         messages that were not in the input.
         """
 
+    def spec_predicate(self):
+        """A ``spec -> bool`` verdict function, or ``None``.
+
+        The precompiled fast path (see ``repro.ecc.decode_table``)
+        caches filter verdicts per (syndrome, selector-field) class,
+        which is only sound when the filter's keep/drop decision is a
+        pure function of the message's decoded
+        :class:`~repro.isa.opcodes.InstructionSpec` (``None`` for
+        illegal words) — i.e. legality-style field-local filters.
+        Filters whose verdict depends on other message bits or on the
+        context must return ``None`` (the default) to keep the engine
+        on the reference path.
+        """
+        return None
+
 
 class InstructionLegalityFilter(CandidateFilter):
     """Keep only messages that decode as legal MIPS instructions.
@@ -72,6 +87,10 @@ class InstructionLegalityFilter(CandidateFilter):
         self, messages: Sequence[int], context: RecoveryContext
     ) -> tuple[int, ...]:
         return tuple(message for message in messages if is_legal(message))
+
+    def spec_predicate(self):
+        """Legality is exactly "the word decodes to a spec"."""
+        return _spec_is_legal
 
 
 class OracleLegalityFilter(CandidateFilter):
@@ -156,6 +175,16 @@ class PointerRangeFilter(CandidateFilter):
         return tuple(message for message in messages if low <= message < high)
 
 
+def _spec_is_legal(spec) -> bool:
+    """`InstructionLegalityFilter`'s verdict, keyed by decoded spec."""
+    return spec is not None
+
+
+def _spec_always_true(spec) -> bool:
+    """The identity chain's verdict: every message survives."""
+    return True
+
+
 class FilterChain(CandidateFilter):
     """Apply several filters in sequence.
 
@@ -204,6 +233,25 @@ class FilterChain(CandidateFilter):
     def filters(self) -> tuple[CandidateFilter, ...]:
         """The composed filters, in application order."""
         return self._filters
+
+    def spec_predicate(self):
+        """The chain's composed spec verdict, or ``None``.
+
+        Available only when *every* member provides one (an empty
+        chain is the always-keep identity); any member on the
+        reference-only default disables the whole chain's fast path.
+        """
+        predicates = []
+        for candidate_filter in self._filters:
+            predicate = candidate_filter.spec_predicate()
+            if predicate is None:
+                return None
+            predicates.append(predicate)
+        if not predicates:
+            return _spec_always_true
+        if len(predicates) == 1:
+            return predicates[0]
+        return lambda spec: all(predicate(spec) for predicate in predicates)
 
     def apply(
         self, messages: Sequence[int], context: RecoveryContext

@@ -56,6 +56,20 @@ class CandidateRanker(ABC):
         """
         return [self.score(message, context) for message in messages]
 
+    def spec_scorer(self):
+        """A ``(spec, context) -> float`` scorer, or ``None``.
+
+        The precompiled fast path (see ``repro.ecc.decode_table``)
+        caches scores per (syndrome, selector-field) class, which is
+        only sound when the score is a pure function of the message's
+        decoded :class:`~repro.isa.opcodes.InstructionSpec` (``None``
+        for illegal words) and the context.  Rankers that read other
+        message bits return ``None`` (the default) to keep the engine
+        on the reference path; providers must return exactly what
+        :meth:`score` would for any message decoding to that spec.
+        """
+        return None
+
 
 class _MemoizedRanker(CandidateRanker):
     """Base for rankers whose score is a pure function of (message,
@@ -135,6 +149,31 @@ class FrequencyRanker(_MemoizedRanker):
         if context.frequency_table is None:
             return 1.0
         return context.frequency_table.frequency(instruction.mnemonic)
+
+    def spec_scorer(self):
+        """Spec-keyed twin of :meth:`_compute_score`.
+
+        ``Instruction.mnemonic`` is ``spec.mnemonic``, so the score is
+        a pure function of the decoded spec.  Subclasses overriding
+        ``_compute_score`` must opt in again explicitly — the exact
+        type check keeps an inherited scorer from silently diverging
+        from an overridden reference path.
+        """
+        if type(self) is not FrequencyRanker:
+            return None
+        return _frequency_spec_score
+
+
+def _frequency_spec_score(spec, context: RecoveryContext) -> float:
+    if spec is None:
+        return 0.0
+    if context.frequency_table is None:
+        return 1.0
+    return context.frequency_table.frequency(spec.mnemonic)
+
+
+def _uniform_spec_score(spec, context: RecoveryContext) -> float:
+    return 1.0
 
 
 class OracleFrequencyRanker(_MemoizedRanker):
@@ -242,6 +281,13 @@ class UniformRanker(CandidateRanker):
 
     def score(self, message: int, context: RecoveryContext) -> float:
         return 1.0
+
+    def spec_scorer(self):
+        """Constant, so trivially spec-pure (exact type only, as with
+        :meth:`FrequencyRanker.spec_scorer`)."""
+        if type(self) is not UniformRanker:
+            return None
+        return _uniform_spec_score
 
 
 class MagnitudeSimilarityRanker(CandidateRanker):

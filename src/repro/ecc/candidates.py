@@ -42,6 +42,12 @@ __all__ = [
     "candidate_count_profile",
 ]
 
+#: Escalation-cache entries before the memo is cleared and restarted —
+#: the same clear-in-place policy (and the same bound) as
+#: ``repro.core.cache.MAX_ENTRIES``, kept as a local constant so the
+#: ecc layer does not depend on the core layer.
+MAX_RADIUS_ENTRIES = 1 << 16
+
 
 class CandidateEnumerator:
     """Enumerates equidistant candidate codewords for a DUE.
@@ -63,6 +69,10 @@ class CandidateEnumerator:
         self._column_syndromes = code.column_syndromes
         self._syndrome_to_position = code.syndrome_to_position
         self._memoize = memoize
+        # Precompiled syndrome table (see repro.ecc.decode_table);
+        # installed by SwdEcc.precompile() and consulted ahead of the
+        # lazy per-syndrome walk.
+        self._table = None
         # syndrome -> flip masks whose XOR reaches a distance-2 codeword
         self._pair_masks: dict[int, tuple[int, ...]] = {}
         # (syndrome, radius) -> flip offsets for the escalated search
@@ -83,6 +93,23 @@ class CandidateEnumerator:
         """The code this enumerator works over."""
         return self._code
 
+    def install_table(self, table) -> None:
+        """Serve :meth:`pair_masks` from a precompiled
+        :class:`~repro.ecc.decode_table.DecodeTable`.
+
+        The table covers every syndrome at once (it enumerated all
+        column pairs at build), so installed lookups count as cache
+        hits — the per-syndrome walk, already charged at table build,
+        never runs again.  The escalation path
+        (:meth:`candidates_within_radius`) deliberately bypasses the
+        table: its trial-flip search is not a pair enumeration.
+        """
+        if table.code is not self._code:
+            raise DecodingError(
+                "decode table was built for a different code instance"
+            )
+        self._table = table
+
     def pair_masks(self, syndrome: int) -> tuple[int, ...]:
         """Flip masks reaching every distance-2 codeword of a coset.
 
@@ -90,8 +117,13 @@ class CandidateEnumerator:
         ``column_i XOR column_j == syndrome``, the returned tuple holds
         the n-bit mask with bits i and j set; XOR-ing any received word
         of that syndrome with each mask yields exactly the distance-2
-        candidate codewords.  Results are memoized per syndrome.
+        candidate codewords.  Results are memoized per syndrome, or
+        answered directly from an installed precompiled table.
         """
+        table = self._table
+        if table is not None:
+            self._m_hits.inc()
+            return table.pair_masks(syndrome)
         masks = self._pair_masks.get(syndrome)
         if masks is not None:
             self._m_hits.inc()
@@ -203,6 +235,11 @@ class CandidateEnumerator:
                 if popcount(codeword ^ received) <= radius:
                     found.add(codeword)
         if self._memoize:
+            if len(self._radius_offsets) >= MAX_RADIUS_ENTRIES:
+                # Clear in place, like ContextCache: bound worst-case
+                # RAM under pathological syndrome/radius churn without
+                # invalidating outstanding references to the dict.
+                self._radius_offsets.clear()
             self._radius_offsets[key] = tuple(
                 codeword ^ received for codeword in found
             )

@@ -47,7 +47,74 @@ from repro.isa.opcodes import (
     SPECIAL_OPCODE,
 )
 
-__all__ = ["decode", "try_decode", "is_legal", "mnemonic_of"]
+__all__ = [
+    "decode",
+    "try_decode",
+    "is_legal",
+    "mnemonic_of",
+    "SELECTOR_FIELD_MASKS",
+    "ALL_SELECTOR_FIELDS",
+    "selector_key",
+    "spec_for_selector_key",
+]
+
+_OPCODE_FIELD = 0xFC00_0000
+_RS_FIELD = 0x03E0_0000
+_RT_FIELD = 0x001F_0000
+_FUNCT_FIELD = 0x0000_003F
+
+
+def _selector_fields(opcode: int) -> int:
+    """The bit fields that decide legality/mnemonic under *opcode*.
+
+    Decoding walks opcode, then at most one delegated sub-field (see
+    the module docstring): funct for SPECIAL, rt for REGIMM, rs+funct
+    for COP0/COP1, rs+rt for COP2/COP3.  Register and immediate fields
+    outside these masks never affect the decoded spec.
+    """
+    if opcode == SPECIAL_OPCODE:
+        return _OPCODE_FIELD | _FUNCT_FIELD
+    if opcode == REGIMM_OPCODE:
+        return _OPCODE_FIELD | _RT_FIELD
+    if opcode in (COP0_OPCODE, COP1_OPCODE):
+        return _OPCODE_FIELD | _RS_FIELD | _FUNCT_FIELD
+    if opcode in (COP2_OPCODE, COP3_OPCODE):
+        return _OPCODE_FIELD | _RS_FIELD | _RT_FIELD
+    return _OPCODE_FIELD
+
+
+#: Per-opcode mask of the fields that determine the decoded spec:
+#: ``_spec_for_word(w) == _spec_for_word(w & SELECTOR_FIELD_MASKS[op])``.
+SELECTOR_FIELD_MASKS: tuple[int, ...] = tuple(
+    _selector_fields(opcode) for opcode in range(64)
+)
+
+#: Union of every selector mask (0xFFFF003F).  Two words that agree on
+#: these bits decode to the same spec, which is what lets the
+#: precompiled recovery fast path key filter verdicts and ranker scores
+#: by ``word & ALL_SELECTOR_FIELDS`` instead of the full word.
+ALL_SELECTOR_FIELDS: int = 0
+for _mask in SELECTOR_FIELD_MASKS:
+    ALL_SELECTOR_FIELDS |= _mask
+del _mask
+
+
+def selector_key(word: int) -> int:
+    """The subset of *word*'s bits that determine its decoded spec."""
+    return word & SELECTOR_FIELD_MASKS[(word >> 26) & 0x3F]
+
+
+@lru_cache(maxsize=1 << 13)
+def spec_for_selector_key(key: int) -> InstructionSpec | None:
+    """Decode a :func:`selector_key`, or ``None`` when illegal.
+
+    ``spec_for_selector_key(selector_key(w))`` equals
+    ``_spec_for_word(w)`` for every 32-bit *w*: masking zeroes only
+    fields that never reach the sub-decoders.  The selector keyspace is
+    structurally bounded (about 6.3k distinct keys over all opcodes),
+    so the cache converges to a complete decode table.
+    """
+    return _spec_for_word(key)
 
 
 def _spec(mnemonic: str) -> InstructionSpec:

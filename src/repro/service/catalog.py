@@ -66,15 +66,23 @@ class ServiceCatalog:
         Synthesis knobs for lazily-built benchmark contexts; pinned
         defaults match the CLI's, so service answers line up with
         ``repro recover``-style offline runs.
+    precompile:
+        Build each engine's syndrome decode table when the engine is
+        built (default).  Precompiled answers are bit-identical to
+        reference ones (``SwdEcc.precompile``), so this is purely a
+        latency/CPU trade: ~10 ms once per engine per worker versus a
+        table-lookup hot path on every recovery.
     """
 
     def __init__(
         self,
         image_length: int = _CONTEXT_IMAGE_LENGTH,
         seed: int = _CONTEXT_SEED,
+        precompile: bool = True,
     ) -> None:
         self._image_length = image_length
         self._seed = seed
+        self._precompile = precompile
         self._lock = Lock()
         self._codes: dict[str, LinearBlockCode] = {}
         self._engines: dict[str, SwdEcc] = {}
@@ -93,6 +101,11 @@ class ServiceCatalog:
     def seed(self) -> int:
         """Synthesis seed for lazily-built benchmark contexts."""
         return self._seed
+
+    @property
+    def precompile(self) -> bool:
+        """Whether engines are built with precompiled decode tables."""
+        return self._precompile
 
     # ------------------------------------------------------------------
     # Registration / enumeration
@@ -197,6 +210,7 @@ class ServiceCatalog:
                     tie_break=TieBreak.FIRST,
                     rng=random.Random(0),
                     cache=True,
+                    precompile=self._precompile,
                 )
                 self._engines[code_id] = engine
             return engine

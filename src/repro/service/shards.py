@@ -98,6 +98,10 @@ class ShardSpec(NamedTuple):
     contexts: tuple[tuple[str, RecoveryContext], ...] = ()
     report_cost: bool = False
     result_cache_limit: int = DEFAULT_RESULT_CACHE_LIMIT
+    #: Pre-warm each worker's engines with precompiled syndrome decode
+    #: tables (mirrors ServiceCatalog's flag; built during the shard
+    #: initializer, before the shard serves its first batch).
+    precompile: bool = True
 
     @classmethod
     def from_catalog(
@@ -116,6 +120,7 @@ class ShardSpec(NamedTuple):
             contexts=tuple(sorted(contexts.items())),
             report_cost=report_cost,
             result_cache_limit=result_cache_limit,
+            precompile=catalog.precompile,
         )
 
 
@@ -329,7 +334,9 @@ def _shard_initializer(spec: ShardSpec) -> None:
     event_log = obs_events.get_event_log()
     event_log.clear()
     catalog = ServiceCatalog(
-        image_length=spec.image_length, seed=spec.seed
+        image_length=spec.image_length,
+        seed=spec.seed,
+        precompile=spec.precompile,
     )
     for code_id, code in spec.codes:
         catalog.register_code(code_id, code)

@@ -1,0 +1,325 @@
+"""Precompiled decode tables: bit-identity, fallbacks, and bounds.
+
+The fast path's contract is *bit-identity*: a precompiled engine must
+return results indistinguishable from the reference pipeline — same
+fields, same tie-break RNG consumption, same exceptions with the same
+messages — across every double-bit syndrome, plus clean bypasses for
+everything the table does not cover (radius escalation) and clean
+interop for everything downstream (equality, hashing, pickling).
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sideinfo import RecoveryContext
+from repro.core.swdecc import RecoveryResult, SwdEcc, TieBreak
+from repro.ecc import canonical_secded_39_32, hsiao_39_32
+from repro.ecc.candidates import MAX_RADIUS_ENTRIES, CandidateEnumerator
+from repro.ecc.channel import double_bit_patterns
+from repro.ecc.decode_table import DecodeTable
+from repro.errors import DecodingError
+from repro.isa.decoder import (
+    ALL_SELECTOR_FIELDS,
+    SELECTOR_FIELD_MASKS,
+    _spec_for_word,
+    selector_key,
+    spec_for_selector_key,
+)
+from repro.obs import metrics as obs_metrics
+from repro.program.stats import FrequencyTable
+from repro.program.synth import synthesize_benchmark
+
+CODE = canonical_secded_39_32()
+PATTERNS = tuple(pattern.vector for pattern in double_bit_patterns(CODE.n))
+IMAGE = synthesize_benchmark("mcf", length=512, seed=2016)
+CONTEXT = RecoveryContext.for_instructions(FrequencyTable.from_image(IMAGE))
+
+
+def _engines(tie_break=TieBreak.FIRST, seed=0):
+    """An identically configured (precompiled, reference) engine pair."""
+    fast = SwdEcc(
+        CODE, tie_break=tie_break, rng=random.Random(seed), precompile=True
+    )
+    reference = SwdEcc(CODE, tie_break=tie_break, rng=random.Random(seed))
+    assert fast.precompiled and not reference.precompiled
+    return fast, reference
+
+
+# ---------------------------------------------------------------------------
+# Table structure
+# ---------------------------------------------------------------------------
+
+
+def test_table_covers_all_double_bit_syndromes():
+    table = DecodeTable(CODE)
+    assert table.num_syndromes == 63
+    assert table.num_pairs == 741
+    assert table.supports_fast_path
+    assert table.resident_bytes > 0
+    assert table.build_seconds > 0
+
+
+def test_table_pair_masks_match_lazy_enumerator():
+    table = DecodeTable(CODE)
+    lazy = CandidateEnumerator(CODE)
+    seen = set()
+    for pattern in PATTERNS:
+        syndrome = CODE.syndrome(pattern)
+        if syndrome in seen:
+            continue
+        seen.add(syndrome)
+        assert table.pair_masks(syndrome) == lazy.pair_masks(syndrome)
+    # Syndromes no pair produces answer the empty tuple, like the walk.
+    uncovered = next(
+        s for s in range(1, 128) if table.entry(s) is None
+    )
+    assert table.pair_masks(uncovered) == lazy.pair_masks(uncovered) == ()
+
+
+@settings(max_examples=100, deadline=None)
+@given(received=st.integers(min_value=0, max_value=(1 << CODE.n) - 1))
+def test_chunked_syndrome_matches_code(received):
+    table = DecodeTable(CODE)
+    assert table.syndrome_of(received) == CODE.syndrome(received)
+
+
+def test_install_table_rejects_foreign_code():
+    table = DecodeTable(CODE)
+    enumerator = CandidateEnumerator(hsiao_39_32())
+    with pytest.raises(DecodingError, match="different code"):
+        enumerator.install_table(table)
+
+
+def test_build_registers_metrics():
+    registry = obs_metrics.MetricsRegistry()
+    previous = obs_metrics.set_registry(registry)
+    try:
+        DecodeTable(CODE)
+    finally:
+        obs_metrics.set_registry(previous)
+    assert registry.counter("decode_table.builds").value == 1
+    assert registry.counter("decode_table.entries").value == 63
+    assert registry.counter("decode_table.pair_masks").value == 741
+    assert registry.counter("decode_table.resident_bytes").value > 0
+    assert registry.histogram("decode_table.build_seconds").count == 1
+
+
+# ---------------------------------------------------------------------------
+# Selector-key purity (what makes decision rows safe to share)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(word=st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_spec_is_selector_pure(word):
+    """Legality and mnemonic depend only on the selector-field bits."""
+    via_key = spec_for_selector_key(selector_key(word))
+    direct = _spec_for_word(word)
+    assert (direct is None) == (via_key is None)
+    if direct is not None:
+        assert direct.mnemonic == via_key.mnemonic
+
+
+def test_selector_masks_within_union():
+    for opcode_mask in SELECTOR_FIELD_MASKS:
+        assert opcode_mask & ~ALL_SELECTOR_FIELDS == 0
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity of recover()
+# ---------------------------------------------------------------------------
+
+
+def test_identical_across_all_741_patterns():
+    """Every double-bit pattern, deterministic tie-break, full equality
+    (equality materializes every lazy field on the fast result)."""
+    fast, reference = _engines()
+    for index, pattern in enumerate(PATTERNS):
+        received = CODE.encode(IMAGE.words[index % len(IMAGE.words)]) ^ pattern
+        fast_result = fast.recover(received, CONTEXT)
+        reference_result = reference.recover(received, CONTEXT)
+        assert fast_result == reference_result
+        assert reference_result == fast_result  # reflected (cross-class)
+        assert hash(fast_result) == hash(reference_result)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    message=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    pattern_index=st.integers(min_value=0, max_value=len(PATTERNS) - 1),
+)
+def test_identical_on_random_words(message, pattern_index):
+    fast, reference = _engines()
+    received = CODE.encode(message) ^ PATTERNS[pattern_index]
+    assert fast.recover(received, CONTEXT) == reference.recover(
+        received, CONTEXT
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    message=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    pattern_index=st.integers(min_value=0, max_value=len(PATTERNS) - 1),
+    seed=st.integers(min_value=0, max_value=1 << 16),
+)
+def test_identical_rng_consumption_random_tie_break(
+    message, pattern_index, seed
+):
+    """RANDOM tie-break consumes identical RNG state on both paths."""
+    fast, reference = _engines(tie_break=TieBreak.RANDOM, seed=seed)
+    received = CODE.encode(message) ^ PATTERNS[pattern_index]
+    for _ in range(3):  # repeated draws keep the streams aligned
+        assert fast.recover(received, CONTEXT) == reference.recover(
+            received, CONTEXT
+        )
+    assert fast._rng.random() == reference._rng.random()
+
+
+def test_identical_without_context():
+    """No side info: empty filter/ranker context, still bit-identical."""
+    fast, reference = _engines()
+    received = CODE.encode(0xDEADBEEF) ^ PATTERNS[3]
+    assert fast.recover(received) == reference.recover(received)
+
+
+def test_identical_on_filter_fallback():
+    """A word whose candidates are all illegal falls back identically."""
+    fast, reference = _engines()
+    fallback = None
+    for message in range(0, 1 << 16):
+        received = CODE.encode(message << 26) ^ PATTERNS[0]
+        result = reference.recover(received, CONTEXT)
+        if result.filter_fell_back:
+            fallback = received
+            break
+    assert fallback is not None, "no fallback case found"
+    fast_result = fast.recover(fallback, CONTEXT)
+    assert fast_result.filter_fell_back
+    assert fast_result == reference.recover(fallback, CONTEXT)
+
+
+def test_radius_escalation_bypasses_table():
+    """A 3-bit error has no table entry: the reference path serves it."""
+    fast, reference = _engines()
+    table = fast.decode_table
+    received = None
+    for i in range(CODE.n):
+        for j in range(i + 1, CODE.n):
+            for k in range(j + 1, CODE.n):
+                error = (1 << i) | (1 << j) | (1 << k)
+                word = CODE.encode(0x12345678) ^ error
+                syndrome = CODE.syndrome(word)
+                if (
+                    syndrome != 0
+                    and syndrome not in CODE.syndrome_to_position
+                    and table.entry(syndrome) is None
+                ):
+                    received = word
+                    break
+            if received is not None:
+                break
+        if received is not None:
+            break
+    assert received is not None, "no escalating triple error found"
+    fast_result = fast.recover(received, CONTEXT)
+    reference_result = reference.recover(received, CONTEXT)
+    assert fast_result == reference_result
+    assert type(fast_result) is RecoveryResult  # not a table-served result
+
+
+@pytest.mark.parametrize(
+    "received",
+    [
+        CODE.encode(0xCAFE),        # clean codeword
+        CODE.encode(0xCAFE) ^ 1,    # correctable single-bit error
+        1 << CODE.n,                # out of range
+        -1,                         # negative
+    ],
+)
+def test_non_due_errors_match_reference(received):
+    fast, reference = _engines()
+    with pytest.raises(DecodingError) as fast_error:
+        fast.recover(received, CONTEXT)
+    with pytest.raises(DecodingError) as reference_error:
+        reference.recover(received, CONTEXT)
+    assert str(fast_error.value) == str(reference_error.value)
+
+
+# ---------------------------------------------------------------------------
+# Result interop (lazy fields, pickling, copying)
+# ---------------------------------------------------------------------------
+
+
+def test_lazy_result_pickles_and_copies_as_plain_result():
+    fast, reference = _engines()
+    received = CODE.encode(IMAGE.words[0]) ^ PATTERNS[10]
+    fast_result = fast.recover(received, CONTEXT)
+    reference_result = reference.recover(received, CONTEXT)
+
+    unpickled = pickle.loads(pickle.dumps(fast_result))
+    assert type(unpickled) is RecoveryResult
+    assert unpickled == reference_result
+    assert copy.copy(fast_result) == reference_result
+    assert copy.deepcopy(fast_result) == reference_result
+    assert {fast_result, reference_result} == {reference_result}
+
+    assert fast_result.num_candidates == reference_result.num_candidates
+    assert fast_result.num_valid == reference_result.num_valid
+    assert fast_result.recovered(IMAGE.words[0]) == reference_result.recovered(
+        IMAGE.words[0]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Engine configuration guards
+# ---------------------------------------------------------------------------
+
+
+def test_precompile_requires_cache():
+    with pytest.raises(ValueError, match="requires cache=True"):
+        SwdEcc(CODE, precompile=True, cache=False)
+
+
+def test_precompile_is_idempotent():
+    engine = SwdEcc(CODE, precompile=True)
+    table = engine.decode_table
+    assert engine.precompile() is table
+
+
+def test_service_catalog_precompiles_by_default():
+    from repro.service.catalog import DEFAULT_CODE_ID, ServiceCatalog
+
+    assert ServiceCatalog().engine(DEFAULT_CODE_ID).precompiled
+    assert not ServiceCatalog(precompile=False).engine(
+        DEFAULT_CODE_ID
+    ).precompiled
+
+
+# ---------------------------------------------------------------------------
+# Escalation memo bound (clear-in-place, like ContextCache)
+# ---------------------------------------------------------------------------
+
+
+def test_radius_offsets_memo_is_bounded():
+    enumerator = CandidateEnumerator(CODE)
+    memo = enumerator._radius_offsets
+    for fake_key in range(MAX_RADIUS_ENTRIES):
+        memo[(1 << 20) + fake_key, 3] = ()
+    assert len(memo) == MAX_RADIUS_ENTRIES
+
+    received = CODE.encode(0xABCD) ^ 0b111  # triple error: escalates
+    result = enumerator.candidates_within_radius(received, 3)
+    assert result  # the original codeword is within radius 3
+    # The cap cleared the memo in place (same dict object) and the new
+    # entry was recorded afterwards.
+    assert enumerator._radius_offsets is memo
+    assert len(memo) == 1
+    # A repeat enumeration is served from the freshly stored entry.
+    assert enumerator.candidates_within_radius(received, 3) == result

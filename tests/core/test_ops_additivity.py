@@ -32,7 +32,7 @@ from repro.obs.energy import op_counts
 _WORD_CODE = canonical_secded_39_32()
 
 
-def _measure(drive):
+def _measure(drive, precompile=False):
     """Run *drive(engine)* against a fresh registry + engine; return
     the op-counter totals it charged."""
     registry = obs_metrics.MetricsRegistry()
@@ -43,6 +43,7 @@ def _measure(drive):
             tie_break=TieBreak.FIRST,
             rng=random.Random(0),
             cache=True,
+            precompile=precompile,
         )
         drive(engine)
         return op_counts(registry)
@@ -95,3 +96,57 @@ def test_batch_boundaries_do_not_change_ops(specs, split):
         engine.recover_batch(words[split:])
 
     assert _measure(in_two) == whole
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=st.lists(_SPEC, min_size=1, max_size=8))
+def test_precompiled_batch_charges_same_ops_as_serial(specs):
+    """The decode-table fast path keeps the same grouping invariance.
+
+    Decision rows are cached per *context identity*, so the comparison
+    pins one shared context — bare ``recover(word)`` calls each resolve
+    a fresh context, which legitimately rebuilds rows (and recharges
+    their filter/ranker evals) rather than being a grouping effect.
+    """
+    from repro.core.sideinfo import RecoveryContext
+
+    words = _due_words(specs)
+    context = RecoveryContext()
+    batched = _measure(
+        lambda engine: engine.recover_batch(words, context), precompile=True
+    )
+    serial = _measure(
+        lambda engine: [engine.recover(word, context) for word in words],
+        precompile=True,
+    )
+    assert batched == serial
+    assert any(value > 0 for value in batched.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=st.lists(_SPEC, min_size=1, max_size=8))
+def test_precompiled_charges_reference_ops_minus_amortized_walk(specs):
+    """Build is a one-time charge; serving matches the reference on
+    every op except XOR, where the table legitimately charges *less*
+    because the pair-mask walk was amortized into the build."""
+    words = _due_words(specs)
+    build_only = _measure(lambda engine: None, precompile=True)
+    assert build_only["ops.xor"] > 0
+    assert build_only["ops.candidate_enumerations"] == 0
+    assert build_only["ops.filter_evals"] == 0
+    assert build_only["ops.ranker_evals"] == 0
+
+    precompiled = _measure(
+        lambda engine: [engine.recover(word) for word in words],
+        precompile=True,
+    )
+    reference = _measure(
+        lambda engine: [engine.recover(word) for word in words]
+    )
+    served = {
+        op: total - build_only.get(op, 0)
+        for op, total in precompiled.items()
+    }
+    assert served["ops.xor"] <= reference["ops.xor"]
+    del served["ops.xor"], reference["ops.xor"]
+    assert served == reference
