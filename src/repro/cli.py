@@ -10,6 +10,7 @@ Usage (also ``python -m repro``)::
     repro legality                 # Sec. III-B counts
     repro properties               # Sec. IV-B code properties
     repro resilience [--trials 5] [--jobs 4] [--json]
+    repro resilience --mbu [--record BENCH_sweep.json]   # adaptive vs static
     repro sweep [--benchmark mcf] [--strategy filter-and-rank] [--jobs 4]
     repro pareto [--benchmark mcf] [--record BENCH_energy.json] [--json]
     repro synth mcf --length 1024 --out mcf.elf
@@ -203,11 +204,25 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--instructions", type=int, default=15)
 
     resilience = subparsers.add_parser(
-        "resilience", help="survival study: crash vs SWD-ECC, +/- scrubbing",
+        "resilience", help="survival study: crash vs SWD-ECC, +/- scrubbing "
+        "(or, with --mbu, adaptive code selection under adjacent bursts)",
         parents=[obs_flags, jobs_flag],
     )
     resilience.add_argument("--trials", type=int, default=5)
-    resilience.add_argument("--epochs", type=int, default=40)
+    resilience.add_argument("--epochs", type=int, default=None,
+                            help="rounds per trial (default: 40, or 24 "
+                                 "with --mbu)")
+    resilience.add_argument("--mbu", action="store_true",
+                            help="run the adjacent-MBU study instead: static "
+                                 "SECDED vs static DAEC vs the adaptive "
+                                 "selector, across burst profiles")
+    resilience.add_argument("--seed", type=int, default=0,
+                            help="base trial seed (--mbu only)")
+    resilience.add_argument(
+        "--record", metavar="PATH", default=None,
+        help="append the --mbu study to a JSON trajectory file, "
+        "e.g. BENCH_sweep.json",
+    )
     resilience.add_argument("--json", action="store_true",
                             help="emit machine-readable JSON results")
 
@@ -361,6 +376,13 @@ def _progress_for(args: argparse.Namespace, unit: str = "patterns"):
 
 
 def _command_resilience(args: argparse.Namespace) -> int:
+    if args.mbu:
+        return _command_mbu(args)
+    if args.record:
+        print("resilience: --record applies to the --mbu study only",
+              file=sys.stderr)
+        return 2
+    epochs = args.epochs if args.epochs is not None else 40
     code = default_code()
     image = synthesize_benchmark("mcf", length=512)
     progress = _progress_for(args, unit="trials")
@@ -368,7 +390,7 @@ def _command_resilience(args: argparse.Namespace) -> int:
         code,
         image,
         trials=args.trials,
-        base_config=ResilienceConfig(epochs=args.epochs),
+        base_config=ResilienceConfig(epochs=epochs),
         jobs=args.jobs,
         progress=progress,
     )
@@ -378,14 +400,14 @@ def _command_resilience(args: argparse.Namespace) -> int:
         print(obs_export.to_json({
             "command": "resilience",
             "trials": args.trials,
-            "epochs": args.epochs,
+            "epochs": epochs,
             "configurations": study,
         }))
         return 0
     rows = [
         [
             label,
-            f"{metrics['mean_survived_epochs']:.1f}/{args.epochs}",
+            f"{metrics['mean_survived_epochs']:.1f}/{epochs}",
             f"{metrics['completion_rate']:.0%}",
             f"{metrics['mean_correct_recoveries']:.1f}",
             f"{metrics['mean_silent_corruptions']:.1f}",
@@ -397,6 +419,65 @@ def _command_resilience(args: argparse.Namespace) -> int:
          "silent corruptions"],
         rows,
         title="Survival study (mcf image, BSC fault arrivals)",
+    ))
+    return 0
+
+
+def _command_mbu(args: argparse.Namespace) -> int:
+    """``repro resilience --mbu``: adaptive selection vs static codes."""
+    from datetime import datetime, timezone
+
+    from repro.analysis.mbu import MbuConfig, append_mbu_record, mbu_study
+
+    epochs = args.epochs if args.epochs is not None else 24
+    progress = _progress_for(args, unit="trials")
+    study = mbu_study(
+        trials=args.trials,
+        base_config=MbuConfig(epochs=epochs, seed=args.seed),
+        jobs=args.jobs,
+        progress=progress,
+    )
+    if progress is not None:
+        progress.finish()
+    if args.record:
+        depth = append_mbu_record(
+            args.record,
+            study,
+            datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            meta={
+                "trials": args.trials,
+                "epochs": epochs,
+                "seed": args.seed,
+                "jobs": args.jobs,
+            },
+        )
+        print(f"appended record #{depth} to {args.record}", file=sys.stderr)
+    if args.json:
+        print(obs_export.to_json({
+            "command": "resilience",
+            "mbu": True,
+            "trials": args.trials,
+            "epochs": epochs,
+            "profiles": study,
+        }))
+        return 0
+    rows = [
+        [
+            profile,
+            arm,
+            f"{metrics['recovery_rate']:.4f}",
+            f"{metrics['mean_silent_corruptions']:.1f}",
+            f"{metrics['mean_regions_upgraded']:.1f}",
+            f"{metrics['joules_per_fault']:.3e}",
+        ]
+        for profile, arms in study.items()
+        for arm, metrics in arms.items()
+    ]
+    print(render_table(
+        ["burst profile", "arm", "recovery rate", "silent corruptions",
+         "regions upgraded", "J/fault"],
+        rows,
+        title="Adjacent-MBU study (static SECDED vs static DAEC vs adaptive)",
     ))
     return 0
 

@@ -13,14 +13,23 @@ from repro.ecc.candidates import (
     candidate_count_profile,
 )
 from repro.ecc.channel import (
+    AdjacentBurstChannel,
     BinarySymmetricChannel,
     ErrorPattern,
+    adjacent_burst_patterns,
     double_bit_patterns,
     exhaustive_error_patterns,
     pattern_from_positions,
     pattern_from_vector,
 )
 from repro.ecc.code import DecodeResult, DecodeStatus, LinearBlockCode
+from repro.ecc.daec import (
+    DAEC_41_32_COLUMNS,
+    DaecCode,
+    adjacent_pair_syndromes,
+    adjacent_syndrome_set,
+    daec_code,
+)
 from repro.ecc.gf2 import GF2Matrix
 from repro.ecc.gf2m import GF2mField
 from repro.ecc.hamming import (
@@ -48,12 +57,19 @@ __all__ = [
     "CandidateCountProfile",
     "CandidateEnumerator",
     "candidate_count_profile",
+    "AdjacentBurstChannel",
     "BinarySymmetricChannel",
     "ErrorPattern",
+    "adjacent_burst_patterns",
     "double_bit_patterns",
     "exhaustive_error_patterns",
     "pattern_from_positions",
     "pattern_from_vector",
+    "DAEC_41_32_COLUMNS",
+    "DaecCode",
+    "adjacent_pair_syndromes",
+    "adjacent_syndrome_set",
+    "daec_code",
     "DecodeResult",
     "DecodeStatus",
     "LinearBlockCode",

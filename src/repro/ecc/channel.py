@@ -20,7 +20,9 @@ __all__ = [
     "ErrorPattern",
     "exhaustive_error_patterns",
     "double_bit_patterns",
+    "adjacent_burst_patterns",
     "BinarySymmetricChannel",
+    "AdjacentBurstChannel",
 ]
 
 
@@ -163,6 +165,122 @@ class BinarySymmetricChannel:
         )
         return ErrorPattern(
             vector=vector, width=self._width, positions=positions, index=index
+        )
+
+    def transmit(self, word: int) -> tuple[int, ErrorPattern]:
+        """Send *word* through the channel; return (received, error)."""
+        error = self.sample_error()
+        return error.apply(word), error
+
+
+def adjacent_burst_patterns(width: int, length: int) -> list[ErrorPattern]:
+    """Every contiguous *length*-bit burst over a *width*-bit word.
+
+    There are ``width - length + 1`` such patterns; the enumeration
+    index is the burst's starting (MSB-first) position.
+    """
+    if length < 1 or length > width:
+        raise ValueError(
+            f"burst length {length} out of range for width {width}"
+        )
+    patterns = []
+    for start in range(width - length + 1):
+        positions = tuple(range(start, start + length))
+        vector = 0
+        for position in positions:
+            vector |= 1 << (width - 1 - position)
+        patterns.append(
+            ErrorPattern(
+                vector=vector, width=width, positions=positions, index=start
+            )
+        )
+    return patterns
+
+
+class AdjacentBurstChannel:
+    """A channel whose errors are contiguous multi-bit bursts (MBUs).
+
+    Models the adjacent multi-bit upsets of scaled DRAM/SRAM: one
+    particle strike flips a solid run of physically neighbouring cells.
+    Each event picks a burst length from the configured distribution
+    and a uniformly random starting position, and flips that contiguous
+    run.
+
+    Parameters
+    ----------
+    width:
+        Word width in bits.
+    burst_lengths:
+        ``{length: weight}`` distribution over burst lengths (weights
+        need not sum to 1; they are normalized).  Default
+        ``{2: 0.75, 3: 0.25}`` — mostly adjacent doubles, the class a
+        SEC-DED-DAEC code corrects, with a tail of triples.
+    rng:
+        Source of randomness; pass a seeded :class:`random.Random` for
+        reproducible experiments.
+    """
+
+    DEFAULT_BURST_LENGTHS = {2: 0.75, 3: 0.25}
+
+    def __init__(
+        self,
+        width: int,
+        burst_lengths: dict[int, float] | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        lengths = dict(
+            burst_lengths if burst_lengths is not None
+            else self.DEFAULT_BURST_LENGTHS
+        )
+        if not lengths:
+            raise ValueError("burst_lengths must not be empty")
+        for length, weight in lengths.items():
+            if not 1 <= length <= width:
+                raise ValueError(
+                    f"burst length {length} out of range for width {width}"
+                )
+            if weight <= 0:
+                raise ValueError(
+                    f"burst length {length} has non-positive weight {weight}"
+                )
+        total = sum(lengths.values())
+        self._width = width
+        self._lengths = tuple(sorted(lengths))
+        self._weights = tuple(lengths[l] / total for l in self._lengths)
+        self._rng = rng if rng is not None else random.Random()
+
+    @property
+    def width(self) -> int:
+        """The word width in bits."""
+        return self._width
+
+    @property
+    def burst_lengths(self) -> dict[int, float]:
+        """The normalized burst-length distribution."""
+        return dict(zip(self._lengths, self._weights))
+
+    def sample_length(self) -> int:
+        """Draw one burst length from the configured distribution."""
+        roll = self._rng.random()
+        acc = 0.0
+        for length, weight in zip(self._lengths, self._weights):
+            acc += weight
+            if roll < acc:
+                return length
+        return self._lengths[-1]
+
+    def sample_error(self) -> ErrorPattern:
+        """Draw one contiguous burst at a uniformly random start."""
+        length = self.sample_length()
+        start = self._rng.randrange(self._width - length + 1)
+        positions = tuple(range(start, start + length))
+        vector = 0
+        for position in positions:
+            vector |= 1 << (self._width - 1 - position)
+        return ErrorPattern(
+            vector=vector, width=self._width, positions=positions, index=start
         )
 
     def transmit(self, word: int) -> tuple[int, ErrorPattern]:

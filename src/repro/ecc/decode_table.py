@@ -153,10 +153,19 @@ class DecodeTable:
             len(entry.mask_by_offset) == len(entry.offsets)
             for entry in entries.values()
         )
+        # The table materializes exactly the radius-1 DUE cosets (pairs
+        # of H columns).  An engine whose code corrects t >= 2 bits
+        # (DEC/DECTED BCH) treats *triple*-bit patterns as its DUE
+        # class, so serving it from 2-bit cosets would shadow the
+        # wider enumeration — demote such codes to the lazy path.
+        self.radius_one = code.correctable_bits() == 1
         #: True when the engine may serve recoveries straight from this
         #: table; False falls back to the word-by-word reference path.
         self.supports_fast_path = (
-            self.linear_extract and self.exact_syndrome and self.offsets_distinct
+            self.radius_one
+            and self.linear_extract
+            and self.exact_syndrome
+            and self.offsets_distinct
         )
 
         self.num_syndromes = len(entries)

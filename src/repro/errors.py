@@ -18,6 +18,7 @@ __all__ = [
     "ProgramImageError",
     "ElfFormatError",
     "MemoryFaultError",
+    "InjectionError",
     "UncorrectableError",
     "RecoveryError",
     "SimulationError",
@@ -85,6 +86,16 @@ class ElfFormatError(ProgramImageError):
 
 class MemoryFaultError(ReproError):
     """Base class for faults surfaced by the ECC memory model."""
+
+
+class InjectionError(MemoryFaultError):
+    """A fault-injection request could not be carried out.
+
+    Raised, for example, when a random-target injector is pointed at a
+    memory with no mapped addresses, or a burst does not fit the
+    codeword width.  Subclasses :class:`MemoryFaultError` so existing
+    campaign harnesses that catch the base class keep working.
+    """
 
 
 class UncorrectableError(MemoryFaultError):

@@ -13,11 +13,12 @@ import random
 from collections.abc import Sequence
 
 from repro.ecc.channel import (
+    AdjacentBurstChannel,
     BinarySymmetricChannel,
     ErrorPattern,
     pattern_from_positions,
 )
-from repro.errors import MemoryFaultError
+from repro.errors import InjectionError
 from repro.memory.model import EccMemory
 
 __all__ = ["FaultInjector"]
@@ -47,7 +48,10 @@ class FaultInjector:
     def _mapped_addresses(self) -> list[int]:
         addresses = sorted(self._memory.addresses())
         if not addresses:
-            raise MemoryFaultError("cannot inject faults into an empty memory")
+            raise InjectionError(
+                "cannot inject faults into an empty memory: no addresses "
+                "are mapped (load an image or write words first)"
+            )
         return addresses
 
     def inject_at(self, address: int, positions: Sequence[int]) -> ErrorPattern:
@@ -67,6 +71,28 @@ class FaultInjector:
         n = self._memory.code.n
         positions = tuple(sorted(self._rng.sample(range(n), 2)))
         pattern = self.inject_at(address, positions)
+        return address, pattern
+
+    def inject_adjacent_burst(
+        self,
+        address: int | None = None,
+        burst_lengths: dict[int, float] | None = None,
+    ) -> tuple[int, ErrorPattern]:
+        """Inject a contiguous multi-bit burst (adjacent MBU model).
+
+        Picks a random mapped address when *address* is ``None``; the
+        burst length is drawn from *burst_lengths* (default: the
+        :class:`AdjacentBurstChannel` distribution, mostly adjacent
+        doubles) and the run placed at a uniformly random start.
+        """
+        if address is None:
+            address = self._rng.choice(self._mapped_addresses())
+        channel = AdjacentBurstChannel(
+            self._memory.code.n, burst_lengths=burst_lengths, rng=self._rng
+        )
+        pattern = channel.sample_error()
+        self._memory.corrupt(address, pattern)
+        self._injected.append((address, pattern))
         return address, pattern
 
     def inject_bsc(

@@ -28,6 +28,11 @@ from repro.service.catalog import (
     DEFAULT_CONTEXT_ID,
     ServiceCatalog,
 )
+from repro.service.selector import (
+    AdaptiveCodeSelector,
+    CodeSwitch,
+    SelectorPolicy,
+)
 from repro.service.server import RecoveryService
 from repro.service.shards import BatchEngine, ShardPool, ShardSpec
 
@@ -46,4 +51,7 @@ __all__ = [
     "DEFAULT_CONTEXT_ID",
     "ServiceCatalog",
     "RecoveryService",
+    "AdaptiveCodeSelector",
+    "CodeSwitch",
+    "SelectorPolicy",
 ]

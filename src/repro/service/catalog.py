@@ -30,7 +30,13 @@ from threading import Lock
 
 from repro.core.sideinfo import RecoveryContext
 from repro.core.swdecc import SwdEcc, TieBreak
-from repro.ecc import canonical_secded_39_32, hsiao_39_32
+from repro.ecc import (
+    canonical_secded_39_32,
+    daec_code,
+    dec_code,
+    dected_code,
+    hsiao_39_32,
+)
 from repro.ecc.code import LinearBlockCode
 from repro.errors import ServiceError
 from repro.program.profiles import BENCHMARK_NAMES
@@ -51,9 +57,16 @@ _CONTEXT_IMAGE_LENGTH = 2048
 #: Benchmark-synthesis seed (pins every context's frequency table).
 _CONTEXT_SEED = 2016
 
+#: Built-in code families, resolvable by id in every process.  Factory
+#: codes need no shard forwarding: workers rebuild them lazily from
+#: this table, so registering a new family here is enough to serve it
+#: from pre-forked shards too.
 _CODE_FACTORIES = {
     DEFAULT_CODE_ID: canonical_secded_39_32,
     "hsiao-39-32": hsiao_39_32,
+    "daec-41-32": daec_code,
+    "dec-44-32": dec_code,
+    "dected-45-32": dected_code,
 }
 
 
@@ -91,6 +104,7 @@ class ServiceCatalog:
         }
         self._registered_codes: set[str] = set()
         self._registered_contexts: set[str] = set()
+        self._frozen_reason: str | None = None
 
     @property
     def image_length(self) -> int:
@@ -121,9 +135,47 @@ class ServiceCatalog:
         with self._lock:
             return sorted(set(BENCHMARK_NAMES) | set(self._contexts))
 
+    def freeze(self, reason: str) -> None:
+        """Reject further registrations, naming *reason* in the error.
+
+        Called when a :class:`~repro.service.shards.ShardPool` forks:
+        ``ShardSpec.from_catalog`` snapshots the explicit registrations
+        at that moment, so a registration landing afterwards would
+        exist in the parent only — requests routed to shard workers
+        would die with an opaque unknown-id error.  Freezing turns that
+        silent skew into an immediate, descriptive failure at the
+        registration site.
+        """
+        with self._lock:
+            self._frozen_reason = reason
+
+    def thaw(self) -> None:
+        """Allow registrations again (the shard pool is gone)."""
+        with self._lock:
+            self._frozen_reason = None
+
+    @property
+    def frozen(self) -> bool:
+        """True while registrations are rejected (shard pool live)."""
+        with self._lock:
+            return self._frozen_reason is not None
+
+    def _check_not_frozen(self, what: str, name: str) -> None:
+        # Caller holds self._lock.
+        if self._frozen_reason is not None:
+            raise ServiceError(
+                f"cannot register {what} {name!r}: the catalog is frozen "
+                f"({self._frozen_reason}). Shard workers snapshot "
+                "registrations when the pool starts, so a late "
+                "registration would never reach them — register every "
+                "code and context before starting the service, or run "
+                "with workers=0."
+            )
+
     def register_code(self, code_id: str, code: LinearBlockCode) -> None:
         """Expose *code* to requests under *code_id*."""
         with self._lock:
+            self._check_not_frozen("code", code_id)
             self._codes[code_id] = code
             self._engines.pop(code_id, None)
             self._registered_codes.add(code_id)
@@ -133,6 +185,7 @@ class ServiceCatalog:
     ) -> None:
         """Expose *context* to requests under *context_id*."""
         with self._lock:
+            self._check_not_frozen("context", context_id)
             self._contexts[context_id] = context
             self._registered_contexts.add(context_id)
 

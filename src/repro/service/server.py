@@ -66,6 +66,7 @@ from repro.obs import trace as obs_trace
 from repro.service import api
 from repro.service.batcher import RecoveryBatcher, ShardedBatcher
 from repro.service.catalog import ServiceCatalog
+from repro.service.selector import AdaptiveCodeSelector
 from repro.service.shards import BatchEngine, ShardPool, ShardSpec
 
 __all__ = ["RecoveryService"]
@@ -300,6 +301,12 @@ class RecoveryService:
         ``service.batch_joules`` histograms are recorded regardless.
     registry / event_log:
         Observability overrides (tests use private ones).
+    selector:
+        Optional :class:`~repro.service.selector.AdaptiveCodeSelector`
+        polled after each served request, so its ``selector.*``
+        families stay fresh on /metrics.  Advisory only: request code
+        ids are never rewritten, so served answers remain bit-identical
+        to serial engines.
     """
 
     def __init__(
@@ -316,6 +323,7 @@ class RecoveryService:
         report_cost: bool = False,
         registry: obs_metrics.MetricsRegistry | None = None,
         event_log: obs_events.EventLog | None = None,
+        selector: "AdaptiveCodeSelector | None" = None,
     ) -> None:
         if overload_policy not in ("degrade", "reject"):
             raise ServiceError(
@@ -340,6 +348,7 @@ class RecoveryService:
         self._report_cost = report_cost
         self._registry = registry
         self._event_log = event_log
+        self._selector = selector
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: Thread | None = None
         self._pool: ShardPool | None = None
@@ -448,6 +457,11 @@ class RecoveryService:
         return self._workers
 
     @property
+    def selector(self) -> AdaptiveCodeSelector | None:
+        """The advisory code selector, when one was attached."""
+        return self._selector
+
+    @property
     def batcher(self) -> RecoveryBatcher | ShardedBatcher:
         """The underlying micro-batcher (exposed for tests/tuning).
 
@@ -479,6 +493,13 @@ class RecoveryService:
                 self._catalog,
                 preload=self._catalog.built_benchmark_context_ids(),
                 report_cost=self._report_cost,
+            )
+            # The spec above is the workers' view of the catalog for
+            # the pool's whole lifetime; reject registrations that
+            # could never reach them (thawed again in stop()).
+            self._catalog.freeze(
+                f"{self._workers} shard worker(s) forked with a "
+                "registration snapshot at service start"
             )
             self._pool = ShardPool(
                 self._workers, spec, registry=self.registry
@@ -526,6 +547,7 @@ class RecoveryService:
             if self._workers >= 1:
                 self._batcher = None
                 self._pool = None
+                self._catalog.thaw()
             try:
                 if batcher is not None:
                     batcher.stop()
@@ -647,6 +669,9 @@ class RecoveryService:
         body_out = self._serialize_stage(
             trace, lambda: self._success_body(request, outcome, batch)
         )
+        if self._selector is not None:
+            # Incremental: cost proportional to events since last poll.
+            self._selector.poll()
         self._h_request_seconds.observe(time.perf_counter() - started)
         return 200, body_out, {}
 

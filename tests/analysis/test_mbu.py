@@ -1,0 +1,145 @@
+"""Adjacent-MBU study: arms, scoring, determinism, and recording."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.mbu import (
+    MBU_ARMS,
+    MbuConfig,
+    MbuOutcome,
+    append_mbu_record,
+    mbu_study,
+    run_mbu_trial,
+)
+from repro.errors import AnalysisError
+
+SMALL = MbuConfig(
+    epochs=10,
+    regions=2,
+    words_per_region=16,
+    faults_per_epoch=2,
+    reads_per_epoch=48,
+    seed=3,
+)
+
+
+class TestConfigValidation:
+    def test_epoch_bounds(self):
+        with pytest.raises(AnalysisError):
+            MbuConfig(epochs=0)
+
+    def test_geometry_bounds(self):
+        with pytest.raises(AnalysisError):
+            MbuConfig(regions=0)
+
+    def test_adjacent_fraction_bounds(self):
+        with pytest.raises(AnalysisError):
+            MbuConfig(adjacent_fraction=1.5)
+
+    def test_unknown_arm_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown arm"):
+            run_mbu_trial("static-parity", SMALL)
+
+
+class TestTrial:
+    def test_outcome_accounting(self):
+        outcome = run_mbu_trial("static-secded-39-32", SMALL)
+        assert outcome.faults_injected == (
+            SMALL.epochs * SMALL.faults_per_epoch
+        )
+        assert 0 < outcome.faults_scored <= outcome.faults_injected
+        assert (
+            outcome.hw_corrected + outcome.heuristic_correct
+            + outcome.silent_corruptions + outcome.unrecovered
+            == outcome.faults_scored
+        )
+        assert 0.0 <= outcome.recovery_rate <= 1.0
+        assert outcome.joules > 0
+        assert outcome.switches == 0
+
+    def test_deterministic_under_same_seed(self):
+        assert run_mbu_trial("adaptive", SMALL) == run_mbu_trial(
+            "adaptive", SMALL
+        )
+
+    def test_daec_corrects_bursts_in_hardware(self):
+        outcome = run_mbu_trial("static-daec-41-32", SMALL)
+        assert outcome.hw_corrected > 0
+        assert outcome.regions_upgraded == SMALL.regions
+
+    def test_adaptive_upgrades_under_pure_bursts(self):
+        config = MbuConfig(
+            epochs=16, regions=2, words_per_region=16,
+            faults_per_epoch=3, reads_per_epoch=64, seed=0,
+        )
+        outcome = run_mbu_trial("adaptive", config)
+        assert outcome.switches >= 1
+        assert outcome.regions_upgraded >= 1
+
+    def test_adaptive_stays_put_under_random_doubles(self):
+        config = MbuConfig(
+            epochs=16, regions=2, words_per_region=16,
+            faults_per_epoch=3, reads_per_epoch=64,
+            adjacent_fraction=0.0, seed=0,
+        )
+        outcome = run_mbu_trial("adaptive", config)
+        assert outcome.switches == 0
+        assert outcome.regions_upgraded == 0
+
+    def test_adaptive_beats_static_secded_under_bursts(self):
+        """The headline claim, pinned at a fixed seed."""
+        config = MbuConfig(seed=0)
+        static = run_mbu_trial("static-secded-39-32", config)
+        adaptive = run_mbu_trial("adaptive", config)
+        assert adaptive.recovery_rate > static.recovery_rate
+        # ... within 2x the energy per handled fault.
+        assert adaptive.joules_per_fault <= 2 * static.joules_per_fault
+
+
+class TestStudy:
+    def test_structure_and_means(self):
+        study = mbu_study(
+            profiles={"bursts": 1.0},
+            trials=2,
+            base_config=SMALL,
+        )
+        assert set(study) == {"bursts"}
+        assert set(study["bursts"]) == set(MBU_ARMS)
+        for metrics in study["bursts"].values():
+            assert 0.0 <= metrics["recovery_rate"] <= 1.0
+            assert metrics["joules_per_fault"] > 0
+
+    def test_parallel_equals_serial(self):
+        kwargs = dict(
+            profiles={"bursts": 1.0, "rand": 0.0},
+            trials=2,
+            base_config=SMALL,
+        )
+        assert mbu_study(jobs=1, **kwargs) == mbu_study(jobs=2, **kwargs)
+
+    def test_trials_bound(self):
+        with pytest.raises(AnalysisError):
+            mbu_study(trials=0)
+
+
+class TestRecord:
+    def test_append_creates_and_extends(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        study = {"bursts": {"adaptive": {"recovery_rate": 0.5}}}
+        assert append_mbu_record(path, study, "2026-08-08T00:00:00", {
+            "trials": 1,
+        }) == 1
+        assert append_mbu_record(path, study, "2026-08-08T00:01:00") == 2
+        history = json.loads(path.read_text())
+        assert len(history) == 2
+        assert history[0]["study"] == "mbu"
+        assert history[0]["trials"] == 1
+        assert history[0]["profiles"] == study
+
+    def test_tolerates_corrupt_file(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        path.write_text("{not json")
+        assert append_mbu_record(path, {}, "t") == 1

@@ -23,6 +23,7 @@ from repro.core.swdecc import RecoveryResult, SwdEcc, TieBreak
 from repro.ecc import canonical_secded_39_32, hsiao_39_32
 from repro.ecc.candidates import MAX_RADIUS_ENTRIES, CandidateEnumerator
 from repro.ecc.channel import double_bit_patterns
+from repro.ecc.code import DecodeStatus
 from repro.ecc.decode_table import DecodeTable
 from repro.errors import DecodingError
 from repro.isa.decoder import (
@@ -323,3 +324,97 @@ def test_radius_offsets_memo_is_bounded():
     assert len(memo) == 1
     # A repeat enumeration is served from the freshly stored entry.
     assert enumerator.candidates_within_radius(received, 3) == result
+
+
+# ---------------------------------------------------------------------------
+# Correctable-radius guard (t >= 2 codes must demote to the lazy path)
+# ---------------------------------------------------------------------------
+
+
+def test_radius_one_guard_accepts_secded_family():
+    from repro.ecc.daec import daec_code
+
+    for code in (CODE, hsiao_39_32(), daec_code()):
+        table = DecodeTable(code)
+        assert table.radius_one, code.name
+        assert table.supports_fast_path, code.name
+
+
+def test_radius_one_guard_demotes_dec_and_dected():
+    from repro.ecc.bch import dec_code, dected_code
+
+    for factory in (dec_code, dected_code):
+        code = factory()
+        table = DecodeTable(code)
+        assert code.correctable_bits() == 2
+        assert not table.radius_one, code.name
+        assert not table.supports_fast_path, code.name
+
+
+def test_precompiled_dec_engine_uses_reference_path():
+    from repro.ecc.bch import dec_code
+
+    engine = SwdEcc(
+        dec_code(), tie_break=TieBreak.FIRST, rng=random.Random(0),
+        precompile=True,
+    )
+    # The table exists (pair_masks delegation stays useful) but must
+    # not arm the recovery fast path.
+    assert engine.decode_table is not None
+    assert not engine.decode_table.supports_fast_path
+
+
+def test_dec_precompile_bit_identical_regression():
+    """(44, 32) DEC with precompile=True == reference, word for word.
+
+    DEC corrects doubles in hardware, so its DUE class is triples; a
+    2-bit-coset table serving those would shadow the wider enumeration.
+    """
+    from repro.ecc.bch import dec_code
+
+    code = dec_code()
+    fast = SwdEcc(
+        code, tie_break=TieBreak.FIRST, rng=random.Random(0),
+        precompile=True,
+    )
+    reference = SwdEcc(code, tie_break=TieBreak.FIRST, rng=random.Random(0))
+    rng = random.Random(2016)
+    compared = 0
+    while compared < 25:
+        message = IMAGE.words[rng.randrange(len(IMAGE.words))]
+        positions = rng.sample(range(code.n), 3)
+        received = code.encode(message)
+        for position in positions:
+            received ^= 1 << (code.n - 1 - position)
+        if code.decode(received).status is not DecodeStatus.DUE:
+            continue  # some triples decode inside the t=2 sphere
+        fast_result = fast.recover(received, CONTEXT)
+        reference_result = reference.recover(received, CONTEXT)
+        assert fast_result == reference_result
+        assert hash(fast_result) == hash(reference_result)
+        compared += 1
+
+
+def test_daec_precompiled_identical_on_non_adjacent_doubles():
+    from repro.ecc.daec import daec_code
+
+    code = daec_code()
+    fast = SwdEcc(
+        code, tie_break=TieBreak.FIRST, rng=random.Random(0),
+        precompile=True,
+    )
+    reference = SwdEcc(code, tie_break=TieBreak.FIRST, rng=random.Random(0))
+    rng = random.Random(7)
+    for _ in range(25):
+        message = IMAGE.words[rng.randrange(len(IMAGE.words))]
+        i = rng.randrange(code.n)
+        j = rng.randrange(code.n)
+        while abs(i - j) <= 1:
+            j = rng.randrange(code.n)
+        received = code.encode(message)
+        received ^= 1 << (code.n - 1 - i)
+        received ^= 1 << (code.n - 1 - j)
+        assert code.decode(received).status is DecodeStatus.DUE
+        assert fast.recover(received, CONTEXT) == reference.recover(
+            received, CONTEXT
+        )

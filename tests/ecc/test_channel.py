@@ -10,7 +10,9 @@ from hypothesis import strategies as st
 
 from repro.bits import pair_index
 from repro.ecc.channel import (
+    AdjacentBurstChannel,
     BinarySymmetricChannel,
+    adjacent_burst_patterns,
     double_bit_patterns,
     exhaustive_error_patterns,
     pattern_from_positions,
@@ -127,3 +129,73 @@ class TestBsc:
         channel = BinarySymmetricChannel(0.5, 39, rng=random.Random(seed))
         error = channel.sample_error_of_weight(2)
         assert error.positions[0] < error.positions[1]
+
+
+class TestAdjacentBurstPatterns:
+    def test_count_and_contiguity(self):
+        patterns = adjacent_burst_patterns(39, 2)
+        assert len(patterns) == 38
+        for start, pattern in enumerate(patterns):
+            assert pattern.index == start
+            assert pattern.positions == (start, start + 1)
+
+    def test_length_three(self):
+        patterns = adjacent_burst_patterns(10, 3)
+        assert len(patterns) == 8
+        assert patterns[0].positions == (0, 1, 2)
+        assert patterns[-1].positions == (7, 8, 9)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            adjacent_burst_patterns(8, 0)
+        with pytest.raises(ValueError):
+            adjacent_burst_patterns(8, 9)
+
+
+class TestAdjacentBurstChannel:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            AdjacentBurstChannel(0)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            AdjacentBurstChannel(8, burst_lengths={})
+        with pytest.raises(ValueError):
+            AdjacentBurstChannel(8, burst_lengths={9: 1.0})
+        with pytest.raises(ValueError):
+            AdjacentBurstChannel(8, burst_lengths={2: 0.0})
+        with pytest.raises(ValueError):
+            AdjacentBurstChannel(8, burst_lengths={2: -1.0})
+
+    def test_weights_normalized(self):
+        channel = AdjacentBurstChannel(16, burst_lengths={2: 3.0, 3: 1.0})
+        assert channel.burst_lengths == {2: 0.75, 3: 0.25}
+
+    def test_samples_are_contiguous(self):
+        channel = AdjacentBurstChannel(39, rng=random.Random(11))
+        for _ in range(200):
+            error = channel.sample_error()
+            first, last = error.positions[0], error.positions[-1]
+            assert error.positions == tuple(range(first, last + 1))
+            assert error.index == first
+            assert error.weight in AdjacentBurstChannel.DEFAULT_BURST_LENGTHS
+
+    def test_length_distribution(self):
+        channel = AdjacentBurstChannel(
+            39, burst_lengths={2: 0.75, 3: 0.25}, rng=random.Random(3)
+        )
+        lengths = [channel.sample_length() for _ in range(2000)]
+        fraction = lengths.count(2) / len(lengths)
+        assert 0.70 < fraction < 0.80
+
+    def test_seeded_reproducibility(self):
+        a = AdjacentBurstChannel(39, rng=random.Random(5))
+        b = AdjacentBurstChannel(39, rng=random.Random(5))
+        assert [a.sample_error().vector for _ in range(50)] == [
+            b.sample_error().vector for _ in range(50)
+        ]
+
+    def test_transmit_returns_consistent_pair(self):
+        channel = AdjacentBurstChannel(16, rng=random.Random(7))
+        received, error = channel.transmit(0xA5A5)
+        assert received == 0xA5A5 ^ error.vector

@@ -1,0 +1,175 @@
+"""SEC-DED-DAEC (41, 32): construction invariants and round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.candidates import CandidateEnumerator
+from repro.ecc.code import DecodeStatus
+from repro.ecc.daec import (
+    DAEC_41_32_COLUMNS,
+    DaecCode,
+    adjacent_pair_syndromes,
+    adjacent_syndrome_set,
+    daec_code,
+)
+from repro.ecc.matrices import canonical_secded_39_32
+from repro.errors import CodeConstructionError
+
+CODE = daec_code()
+
+messages = st.integers(min_value=0, max_value=(1 << 32) - 1)
+positions = st.integers(min_value=0, max_value=CODE.n - 1)
+adjacent_starts = st.integers(min_value=0, max_value=CODE.n - 2)
+
+
+def flip(codeword: int, *bit_positions: int) -> int:
+    for position in bit_positions:
+        codeword ^= 1 << (CODE.n - 1 - position)
+    return codeword
+
+
+class TestConstruction:
+    def test_parameters(self):
+        assert (CODE.n, CODE.k, CODE.r) == (41, 32, 9)
+        assert CODE.name == "SEC-DED-DAEC (41,32)"
+
+    def test_minimum_distance_four(self):
+        assert CODE.verify_minimum_distance(4)
+
+    def test_correctable_bits_stays_one(self):
+        # Generic doubles must remain the DUE class (the words SWD-ECC
+        # recovers); only *adjacent* doubles get the hardware branch.
+        assert CODE.correctable_bits() == 1
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(CodeConstructionError, match="41 columns"):
+            DaecCode(DAEC_41_32_COLUMNS[:-1], k=32, r=9)
+
+    def test_non_identity_tail_rejected(self):
+        columns = DAEC_41_32_COLUMNS[:-2] + (1, 2)
+        with pytest.raises(CodeConstructionError, match="identity"):
+            DaecCode(columns, k=32, r=9)
+
+    def test_duplicate_column_rejected(self):
+        columns = (
+            DAEC_41_32_COLUMNS[0],
+            DAEC_41_32_COLUMNS[0],
+        ) + DAEC_41_32_COLUMNS[2:]
+        with pytest.raises(CodeConstructionError, match="distinct"):
+            DaecCode(columns, k=32, r=9)
+
+    def test_hsiao_columns_fail_daec_check(self):
+        # A plain SECDED column set has d >= 4 but shared pair sums, so
+        # the uniqueness rule must reject it.
+        secded = canonical_secded_39_32()
+        columns = tuple(secded.column_syndromes)
+        with pytest.raises(CodeConstructionError):
+            DaecCode._verify_daec_property(columns, secded.r)
+
+
+class TestHMatrixInvariants:
+    """The zero-miscorrection uniqueness properties, re-derived."""
+
+    def test_columns_distinct_nonzero(self):
+        assert len(set(DAEC_41_32_COLUMNS)) == 41
+        assert all(0 < c < 512 for c in DAEC_41_32_COLUMNS)
+
+    def test_no_pair_sum_is_a_column(self):
+        from itertools import combinations
+
+        column_set = set(DAEC_41_32_COLUMNS)
+        for a, b in combinations(DAEC_41_32_COLUMNS, 2):
+            assert a ^ b not in column_set
+
+    def test_adjacent_sums_distinct(self):
+        sums = [
+            DAEC_41_32_COLUMNS[i] ^ DAEC_41_32_COLUMNS[i + 1]
+            for i in range(40)
+        ]
+        assert len(set(sums)) == 40
+
+    def test_each_adjacent_sum_from_exactly_one_pair(self):
+        from itertools import combinations
+
+        adjacent = adjacent_syndrome_set(CODE)
+        producers: dict[int, list[tuple[int, int]]] = {}
+        for i, j in combinations(range(41), 2):
+            s = DAEC_41_32_COLUMNS[i] ^ DAEC_41_32_COLUMNS[j]
+            if s in adjacent:
+                producers.setdefault(s, []).append((i, j))
+        assert len(producers) == 40
+        for s, pairs in producers.items():
+            assert len(pairs) == 1
+            i, j = pairs[0]
+            assert j == i + 1
+
+    def test_adjacent_pair_syndromes_helper(self):
+        mapping = adjacent_pair_syndromes(CODE)
+        assert len(mapping) == 40
+        for syndrome, (i, j) in mapping.items():
+            assert j == i + 1
+            assert DAEC_41_32_COLUMNS[i] ^ DAEC_41_32_COLUMNS[j] == syndrome
+
+    def test_secded_heuristic_mapping_collapses(self):
+        # On a non-DAEC code the helper still answers, but pairs
+        # collide — that is the ~31% classifier noise floor the
+        # selector's hysteresis band is built around.
+        secded = canonical_secded_39_32()
+        assert len(adjacent_syndrome_set(secded)) < secded.n - 1
+
+
+class TestRoundTrips:
+    @given(message=messages)
+    @settings(max_examples=100)
+    def test_clean_word(self, message):
+        result = CODE.decode(CODE.encode(message))
+        assert result.status is DecodeStatus.OK
+        assert result.message == message
+
+    @given(message=messages, position=positions)
+    @settings(max_examples=150)
+    def test_single_bit_corrected(self, message, position):
+        result = CODE.decode(flip(CODE.encode(message), position))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.message == message
+        assert result.corrected_positions == (position,)
+
+    @given(message=messages, start=adjacent_starts)
+    @settings(max_examples=150)
+    def test_adjacent_double_corrected(self, message, start):
+        received = flip(CODE.encode(message), start, start + 1)
+        result = CODE.decode(received)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.message == message
+        assert result.corrected_positions == (start, start + 1)
+        assert result.codeword == CODE.encode(message)
+
+    @given(
+        message=messages,
+        pair=st.tuples(positions, positions).filter(
+            lambda p: abs(p[0] - p[1]) > 1
+        ),
+    )
+    @settings(max_examples=150)
+    def test_non_adjacent_double_stays_due(self, message, pair):
+        received = flip(CODE.encode(message), *pair)
+        result = CODE.decode(received)
+        assert result.status is DecodeStatus.DUE
+
+    @given(
+        message=messages,
+        pair=st.tuples(positions, positions).filter(
+            lambda p: abs(p[0] - p[1]) > 1
+        ),
+    )
+    @settings(max_examples=50)
+    def test_non_adjacent_due_recoverable_by_enumeration(self, message, pair):
+        # The SWD-ECC path: the true codeword must be among the
+        # equidistant candidates of the DUE word.
+        enumerator = CandidateEnumerator(CODE)
+        received = flip(CODE.encode(message), *pair)
+        assert CODE.encode(message) in enumerator.candidates(received)
+        assert message in enumerator.candidate_messages(received)

@@ -8,7 +8,7 @@ import pytest
 
 from repro.core import RecoveryContext, RecoveryPipeline, SwdEcc
 from repro.ecc.code import DecodeStatus
-from repro.errors import MemoryFaultError, UncorrectableError
+from repro.errors import InjectionError, MemoryFaultError, UncorrectableError
 from repro.memory.backing import CleanPageStore
 from repro.memory.faults import FaultInjector
 from repro.memory.model import EccMemory
@@ -167,3 +167,62 @@ class TestFaultInjector:
 
         with pytest.raises(MemoryFaultError):
             memory.corrupt(0x1000, pattern_from_positions((0, 1), 45))
+
+
+class TestBurstInjection:
+    def test_adjacent_burst_is_contiguous(self, memory, code):
+        injector = FaultInjector(memory, rng=random.Random(9))
+        address, pattern = injector.inject_adjacent_burst()
+        assert address in (0x1000, 0x1004)
+        first, last = pattern.positions[0], pattern.positions[-1]
+        assert pattern.positions == tuple(range(first, last + 1))
+        assert pattern.weight in (2, 3)
+        assert len(injector.injection_log) == 1
+
+    def test_adjacent_burst_respects_length_override(self, memory):
+        injector = FaultInjector(memory, rng=random.Random(9))
+        _, pattern = injector.inject_adjacent_burst(
+            0x1000, burst_lengths={4: 1.0}
+        )
+        assert pattern.weight == 4
+
+    def test_adjacent_double_is_corrected_by_daec(self, code):
+        from repro.ecc.daec import daec_code
+
+        memory = EccMemory(daec_code())
+        memory.write(0x1000, 0xDEADBEEF)
+        injector = FaultInjector(memory, rng=random.Random(2))
+        injector.inject_adjacent_burst(0x1000, burst_lengths={2: 1.0})
+        result = memory.read(0x1000)
+        assert result.word == 0xDEADBEEF
+        assert result.status is DecodeStatus.CORRECTED
+
+
+class TestEmptyMemoryInjection:
+    """A random-target injector needs at least one mapped word."""
+
+    def test_double_bit_raises_injection_error(self, code):
+        injector = FaultInjector(EccMemory(code))
+        with pytest.raises(InjectionError, match="empty memory"):
+            injector.inject_double_bit()
+
+    def test_adjacent_burst_raises_injection_error(self, code):
+        injector = FaultInjector(EccMemory(code))
+        with pytest.raises(InjectionError, match="no addresses"):
+            injector.inject_adjacent_burst()
+
+    def test_bsc_raises_injection_error(self, code):
+        injector = FaultInjector(EccMemory(code))
+        with pytest.raises(InjectionError):
+            injector.inject_bsc(0.5)
+
+    def test_injection_error_is_a_memory_fault_error(self):
+        # Callers that caught MemoryFaultError keep working.
+        assert issubclass(InjectionError, MemoryFaultError)
+
+    def test_targeted_injection_still_allowed_to_fail_loudly(self, code):
+        # inject_at names its address explicitly; an unmapped target is
+        # the memory's unmapped-address error, not an InjectionError.
+        injector = FaultInjector(EccMemory(code))
+        with pytest.raises(MemoryFaultError):
+            injector.inject_at(0x1000, [0, 1])

@@ -308,3 +308,103 @@ def test_shard_pool_rejects_bad_worker_counts():
     spec = ShardSpec.from_catalog(ServiceCatalog())
     with pytest.raises(ServiceError):
         ShardPool(0, spec)
+
+
+class TestCatalogFreeze:
+    """Late registrations must fail fast once shard workers snapshot."""
+
+    def test_late_registration_fails_fast_across_process_boundary(self):
+        catalog = ServiceCatalog()
+        catalog.register_code("pre-start", canonical_secded_39_32())
+        service = RecoveryService(
+            port=0,
+            workers=1,
+            catalog=catalog,
+            registry=MetricsRegistry(),
+            event_log=EventLog(),
+        )
+        with service:
+            assert catalog.frozen
+            with pytest.raises(ServiceError, match="frozen"):
+                catalog.register_code(
+                    "too-late", canonical_secded_39_32()
+                )
+            with pytest.raises(ServiceError, match="workers=0"):
+                catalog.register_context("too-late", RecoveryContext())
+            # The pre-start registration still resolves through the
+            # worker, so the snapshot semantics are intact end-to-end.
+            code = canonical_secded_39_32()
+            due = code.encode(0x1234) ^ 0b101
+            payload = _post(
+                service.url + "/recover",
+                {"received": due, "code": "pre-start"},
+            )
+            assert payload["result"]["status"] == "recovered"
+        # stop() thaws: a fresh registration is allowed again.
+        assert not catalog.frozen
+        catalog.register_code("post-stop", canonical_secded_39_32())
+
+    def test_workers_zero_never_freezes(self):
+        service = RecoveryService(
+            port=0, registry=MetricsRegistry(), event_log=EventLog()
+        )
+        with service:
+            assert not service.catalog.frozen
+            service.catalog.register_code(
+                "mid-flight", canonical_secded_39_32()
+            )
+
+    def test_freeze_error_is_descriptive(self):
+        catalog = ServiceCatalog()
+        catalog.freeze("2 shard worker(s) forked")
+        with pytest.raises(ServiceError) as error:
+            catalog.register_code("late", canonical_secded_39_32())
+        message = str(error.value)
+        assert "late" in message
+        assert "2 shard worker(s) forked" in message
+        assert "before starting the service" in message
+        catalog.thaw()
+        catalog.register_code("late", canonical_secded_39_32())
+
+
+class TestNewCodeFamilies:
+    def test_catalog_resolves_daec_dec_dected(self):
+        catalog = ServiceCatalog()
+        for code_id, n in (
+            ("daec-41-32", 41), ("dec-44-32", 44), ("dected-45-32", 45)
+        ):
+            code = catalog.code(code_id)
+            assert (code.n, code.k) == (n, 32), code_id
+            assert code_id in catalog.code_ids()
+
+    def test_shard_worker_rebuilds_daec_factory_code(self):
+        """Factory codes need no forwarding: a worker serves daec-41-32."""
+        from repro.ecc import daec_code
+
+        service = RecoveryService(
+            port=0,
+            workers=1,
+            registry=MetricsRegistry(),
+            event_log=EventLog(),
+        )
+        code = daec_code()
+        # A non-adjacent double: a DUE even for the DAEC decoder.
+        due = code.encode(0xDEADBEEF) ^ (1 << 40) ^ (1 << 2)
+        with service:
+            payload = _post(
+                service.url + "/recover",
+                {"received": due, "code": "daec-41-32"},
+            )
+        assert payload["result"]["status"] == "recovered"
+
+
+def _post(url: str, payload: dict, timeout: float = 15.0) -> dict:
+    import urllib.request
+
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.load(response)

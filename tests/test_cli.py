@@ -317,3 +317,48 @@ class TestServeRecoveryCommand:
         assert len(created) == 1
         assert not created[0].running
         assert not created[0].batcher.running
+
+
+class TestResilienceMbuCommand:
+    def test_mbu_renders_table(self, capsys):
+        assert main([
+            "resilience", "--mbu", "--trials", "1", "--epochs", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Adjacent-MBU study" in out
+        assert "static-secded-39-32" in out
+        assert "static-daec-41-32" in out
+        assert "adaptive" in out
+        assert "adjacent-bursts" in out
+
+    def test_mbu_json(self, capsys):
+        import json
+
+        assert main([
+            "resilience", "--mbu", "--trials", "1", "--epochs", "8",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mbu"] is True
+        arms = payload["profiles"]["random-doubles"]
+        assert set(arms) == {
+            "static-secded-39-32", "static-daec-41-32", "adaptive"
+        }
+
+    def test_mbu_record_appends(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_sweep.json"
+        assert main([
+            "resilience", "--mbu", "--trials", "1", "--epochs", "8",
+            "--record", str(path),
+        ]) == 0
+        capsys.readouterr()
+        history = json.loads(path.read_text())
+        assert len(history) == 1
+        assert history[0]["study"] == "mbu"
+        assert history[0]["epochs"] == 8
+
+    def test_record_without_mbu_rejected(self, capsys):
+        assert main(["resilience", "--record", "x.json"]) == 2
+        assert "--mbu" in capsys.readouterr().err
